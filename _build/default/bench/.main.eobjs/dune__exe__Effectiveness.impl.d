@@ -1,0 +1,1 @@
+bench/effectiveness.ml: Attack_lab Bench_util Fmt List Perm Perm_parser Policy_parser Printf Reconcile Sdnshield Token

@@ -1,0 +1,1 @@
+bench/fig5.ml: Api_trace Array Bechamel Bench_util Engine Fmt List Ownership Perm_gen Printf Sdnshield Shield_workload Staged Sys Test

@@ -1,0 +1,1 @@
+bench/fig6.ml: Bench_util Cbench Fmt List Printf Scenarios Shield_controller Shield_workload

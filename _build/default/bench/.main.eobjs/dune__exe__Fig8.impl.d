@@ -1,0 +1,1 @@
+bench/fig8.ml: Api App Bench_util Dataplane Engine Events Fmt Kernel List Metrics Ownership Perm_parser Printf Runtime Sdnshield Shield_controller Shield_net Shield_openflow Stats Topology

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Effectiveness Fig5 Fig6 Fig7 Fig8 Fmt List Reconcile_perf String Sys Table1

@@ -1,0 +1,1 @@
+bench/reconcile_perf.ml: Bench_util Buffer Fmt List Perm_gen Policy_parser Printf Reconcile Sdnshield Shield_workload Token

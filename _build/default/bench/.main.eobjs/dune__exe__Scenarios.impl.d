@@ -1,0 +1,1 @@
+bench/scenarios.ml: Alto Api App Dataplane Engine Events Kernel L2_switch Lazy Metrics Ownership Perm_parser Runtime Sdnshield Shield_apps Shield_controller Shield_net Sys Topology Unix

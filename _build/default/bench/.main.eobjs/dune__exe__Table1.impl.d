@@ -1,0 +1,1 @@
+bench/table1.ml: Attack_lab Bench_util Fmt List

@@ -1,0 +1,78 @@
+(* Figure 7 — end-to-end throughput pressure test on the L2
+   learning-switch scenario (the paper drops the ALTO scenario here
+   because the ALTO app's update rate is externally limited).
+
+   CBench throughput mode: flood packet-ins, count completions/second,
+   original vs SDNShield-enabled controller, varying switches.
+
+   Paper result: "SDNShield brings negligible throughput degradation
+   compared to the original OpenDaylight controller."
+
+   Two variants are reported:
+   - "bare": our simulator kernel as-is.  It processes a packet-in in
+     ~1-5 us — 5-10x lighter than OpenDaylight — so the fixed
+     isolation cost (thread handoffs, which OCaml's runtime lock
+     serializes where the paper's JVM parallelizes them) looks
+     relatively enormous.
+   - "calibrated": each packet-in additionally costs ~30 us of app
+     processing, the per-event weight of an OpenDaylight-class
+     controller (20-60k responses/s in CBench studies).  This is the
+     apples-to-apples setting for the paper's claim. *)
+
+open Shield_workload
+
+let switch_counts = [ 4; 16; 64 ]
+let total_events = 20_000
+let odl_class_work_us = 30
+
+let run_one ?shield_mode ~work_us ~shield n =
+  let h = Scenarios.l2_scenario ?shield_mode ~work_us ~shield ~switches:n () in
+  let gen = Cbench.create ~switches:n () in
+  let rate = Cbench.throughput_run gen h.Scenarios.runtime ~total:total_events in
+  h.Scenarios.shutdown ();
+  rate
+
+let variant_table ~work_us label =
+  Bench_util.subhr label;
+  let rows =
+    List.map
+      (fun n ->
+        let base = run_one ~work_us ~shield:false n in
+        let threads = run_one ~work_us ~shield:true n in
+        let domains =
+          run_one
+            ~shield_mode:
+              (Shield_controller.Runtime.Isolated_domains { ksd_domains = 2 })
+            ~work_us ~shield:true n
+        in
+        let pct v = Printf.sprintf "%.1f%%" ((base -. v) /. base *. 100.) in
+        [ string_of_int n;
+          Printf.sprintf "%.0f ev/s" base;
+          Printf.sprintf "%.0f ev/s" threads;
+          pct threads;
+          Printf.sprintf "%.0f ev/s" domains;
+          pct domains ])
+      switch_counts
+  in
+  Bench_util.table
+    [ "switches"; "original"; "SDNShield (threads)"; "degr.";
+      "SDNShield (parallel KSDs)"; "degr." ]
+    rows
+
+let run () =
+  Bench_util.hr
+    (Printf.sprintf
+       "Figure 7: throughput pressure test (L2 switch, %d packet-ins)"
+       total_events);
+  variant_table ~work_us:0 "bare simulator kernel (per-event cost ~1-5 us)";
+  variant_table ~work_us:odl_class_work_us
+    (Printf.sprintf
+       "calibrated to an OpenDaylight-class controller (+%d us/event)"
+       odl_class_work_us);
+  Fmt.pr
+    "@.paper: negligible degradation.  The calibrated variant is the@.";
+  Fmt.pr
+    "comparable setting; the bare variant shows the raw isolation cost@.";
+  Fmt.pr
+    "(OCaml systhreads serialize on the runtime lock, so thread handoffs@.";
+  Fmt.pr "are pure overhead here where the paper's JVM ran them in parallel).@."

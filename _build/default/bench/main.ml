@@ -1,0 +1,38 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§IX), plus the ablations called out in
+   DESIGN.md.
+
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- fig5     # one experiment
+
+   Experiments: table1 effectiveness reconciliation fig5 fig6 fig7 fig8
+                reconcile-perf ablation-compile ablation-isolation
+                ablation-inclusion *)
+
+let experiments : (string * (unit -> unit)) list =
+  [ ("table1", Table1.run);
+    ("effectiveness", Effectiveness.run_attacks);
+    ("reconciliation", Effectiveness.run_reconciliation);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8.run);
+    ("reconcile-perf", Reconcile_perf.run);
+    ("ablation-compile", Ablations.run_compile);
+    ("ablation-isolation", Ablations.run_isolation);
+    ("ablation-inclusion", Ablations.run_inclusion) ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "all" ] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Fmt.epr "unknown experiment %S; available: %s@." name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+      names

@@ -1,0 +1,193 @@
+(* sdnshield — command-line front end for the permission and
+   reconciliation engines.
+
+     sdnshield parse <manifest-file>
+         Validate and pretty-print a permission manifest.
+
+     sdnshield parse-policy <policy-file>
+         Validate and pretty-print a security policy.
+
+     sdnshield reconcile --app NAME <manifest-file> <policy-file>
+         Run reconciliation and print the report and the final
+         manifest.  Exits 1 when violations were found (after repair).
+
+     sdnshield check <manifest-file> [CALL...]
+         Compile the manifest and check call specs, e.g.:
+           insert:1:10.0.0.1:100   (switch 1, dst IP, priority)
+           delete:1:10.0.0.1
+           stats:flow | stats:port | stats:switch
+           pktout:1  pktout-replay:1
+           net:66.66.66.66:80  file:/etc/passwd  spawn:sh
+           topo  event:pkt_in
+
+   All input files use the syntax of the paper's Appendices A and B. *)
+
+open Cmdliner
+open Shield_openflow
+open Shield_openflow.Types
+open Shield_controller
+open Sdnshield
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* parse ---------------------------------------------------------------------- *)
+
+let parse_cmd =
+  let run path =
+    match Perm_parser.manifest_of_string (read_file path) with
+    | Ok m ->
+      Fmt.pr "%a@." Perm.pp m;
+      (match Perm.macros m with
+      | [] -> `Ok ()
+      | ms ->
+        Fmt.pr "# unresolved stubs: %s@." (String.concat ", " ms);
+        `Ok ())
+    | Error e -> `Error (false, "parse error: " ^ e)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST") in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Validate and pretty-print a permission manifest")
+    Term.(ret (const run $ path))
+
+let parse_policy_cmd =
+  let run path =
+    match Policy_parser.of_string (read_file path) with
+    | Ok p ->
+      Fmt.pr "%a@." Policy.pp p;
+      `Ok ()
+    | Error e -> `Error (false, "parse error: " ^ e)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY") in
+  Cmd.v
+    (Cmd.info "parse-policy" ~doc:"Validate and pretty-print a security policy")
+    Term.(ret (const run $ path))
+
+(* reconcile ------------------------------------------------------------------- *)
+
+let reconcile_cmd =
+  let run app manifest_path policy_path =
+    match
+      Reconcile.run_strings ~app_name:app
+        ~manifest_src:(read_file manifest_path)
+        ~policy_src:(read_file policy_path)
+    with
+    | Error e -> `Error (false, e)
+    | Ok (final, report) ->
+      List.iter
+        (fun v -> Fmt.pr "violation: %a@." Reconcile.pp_violation v)
+        report.Reconcile.violations;
+      List.iter
+        (fun (a, ms) ->
+          Fmt.pr "unresolved stubs in %s: %s@." a (String.concat ", " ms))
+        report.Reconcile.unresolved_macros;
+      Fmt.pr "# final permissions for %s@.%a@." app Perm.pp final;
+      if Reconcile.ok report then `Ok ()
+      else `Error (false, "policy violations were found (manifest repaired above)")
+  in
+  let app_arg =
+    Arg.(value & opt string "app" & info [ "app" ] ~docv:"NAME" ~doc:"App name")
+  in
+  let manifest = Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST") in
+  let policy = Arg.(required & pos 1 (some file) None & info [] ~docv:"POLICY") in
+  Cmd.v
+    (Cmd.info "reconcile"
+       ~doc:"Reconcile an app manifest against a security policy")
+    Term.(ret (const run $ app_arg $ manifest $ policy))
+
+(* check ----------------------------------------------------------------------- *)
+
+let call_of_spec spec : (Api.call, string) result =
+  let fm ?(priority = 100) dst =
+    Flow_mod.add ~priority
+      ~match_:
+        (Match_fields.make ~dl_type:Eth_ip
+           ~nw_dst:(Match_fields.exact_ip (ipv4_of_string dst))
+           ())
+      ~actions:[ Action.Output 2 ] ()
+  in
+  match String.split_on_char ':' spec with
+  | [ "insert"; dpid; dst ] ->
+    Ok (Api.Install_flow (int_of_string dpid, fm dst))
+  | [ "insert"; dpid; dst; prio ] ->
+    Ok (Api.Install_flow (int_of_string dpid, fm ~priority:(int_of_string prio) dst))
+  | [ "delete"; dpid; dst ] ->
+    Ok
+      (Api.Install_flow
+         ( int_of_string dpid,
+           Flow_mod.delete
+             ~match_:
+               (Match_fields.make ~nw_dst:(Match_fields.exact_ip (ipv4_of_string dst)) ())
+             () ))
+  | [ "stats"; "flow" ] -> Ok (Api.Read_stats (Stats.request Stats.Flow_level))
+  | [ "stats"; "port" ] -> Ok (Api.Read_stats (Stats.request Stats.Port_level))
+  | [ "stats"; "switch" ] -> Ok (Api.Read_stats (Stats.request Stats.Switch_level))
+  | [ "pktout"; dpid ] ->
+    Ok
+      (Api.Send_packet_out
+         { dpid = int_of_string dpid; port = 1;
+           packet = Packet.arp ~src:1 ~dst:2 (); from_pkt_in = false })
+  | [ "pktout-replay"; dpid ] ->
+    Ok
+      (Api.Send_packet_out
+         { dpid = int_of_string dpid; port = 1;
+           packet = Packet.arp ~src:1 ~dst:2 (); from_pkt_in = true })
+  | [ "net"; ip; port ] ->
+    Ok
+      (Api.Syscall
+         (Api.Net_connect
+            { dst = ipv4_of_string ip; dst_port = int_of_string port; payload = "" }))
+  | [ "file"; path ] -> Ok (Api.Syscall (Api.File_open { path; write = false }))
+  | [ "spawn"; cmd ] -> Ok (Api.Syscall (Api.Spawn_process cmd))
+  | [ "topo" ] -> Ok Api.Read_topology
+  | [ "event"; "pkt_in" ] -> Ok (Api.Receive_event Api.E_packet_in)
+  | [ "event"; "flow" ] -> Ok (Api.Receive_event Api.E_flow)
+  | [ "event"; "topology" ] -> Ok (Api.Receive_event Api.E_topology)
+  | _ -> Error (Printf.sprintf "bad call spec %S" spec)
+
+let check_cmd =
+  let run manifest_path specs =
+    match Perm_parser.manifest_of_string (read_file manifest_path) with
+    | Error e -> `Error (false, "parse error: " ^ e)
+    | Ok manifest -> (
+      match Perm.macros manifest with
+      | _ :: _ as ms ->
+        `Error
+          ( false,
+            "manifest has unresolved stubs (" ^ String.concat ", " ms
+            ^ "); reconcile first" )
+      | [] ->
+        let engine =
+          Engine.create ~ownership:(Ownership.create ()) ~app_name:"cli"
+            ~cookie:1 manifest
+        in
+        let had_error = ref false in
+        List.iter
+          (fun spec ->
+            match call_of_spec spec with
+            | Error e ->
+              had_error := true;
+              Fmt.pr "ERROR  %s@." e
+            | Ok call -> (
+              match Engine.check engine call with
+              | Api.Allow -> Fmt.pr "ALLOW  %a@." Api.pp_call call
+              | Api.Deny why -> Fmt.pr "DENY   %a  (%s)@." Api.pp_call call why))
+          specs;
+        if !had_error then `Error (false, "some call specs were invalid")
+        else `Ok ())
+  in
+  let manifest = Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST") in
+  let specs = Arg.(value & pos_right 0 string [] & info [] ~docv:"CALL") in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check API call specs against a manifest")
+    Term.(ret (const run $ manifest $ specs))
+
+let () =
+  let info =
+    Cmd.info "sdnshield" ~version:"1.0.0"
+      ~doc:"SDNShield permission & reconciliation engines (DSN'16 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; parse_policy_cmd; reconcile_cmd; check_cmd ]))

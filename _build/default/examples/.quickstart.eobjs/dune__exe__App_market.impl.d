@@ -1,0 +1,1 @@
+examples/app_market.ml: Api App Dataplane Engine Fmt Kernel List Ownership Perm Perm_parser Policy_parser Reconcile Runtime Sdnshield Shield_controller Shield_net Token Topology

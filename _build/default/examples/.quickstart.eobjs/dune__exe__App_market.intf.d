@@ -1,0 +1,1 @@
+examples/app_market.mli:

@@ -1,0 +1,1 @@
+examples/hll_composition.ml: Action Api Compiler Dataplane Deploy Engine Fmt Kernel List Ownership Packet Perm_parser Sdnshield Shield_controller Shield_hll Shield_net Shield_openflow Syntax Topology

@@ -1,0 +1,1 @@
+examples/hll_composition.mli:

@@ -1,0 +1,1 @@
+examples/malicious_routing.ml: Attacks Dataplane Engine Firewall Fmt Kernel List Option Ownership Perm_parser Routing Runtime Sandbox Sdnshield Shield_apps Shield_controller Shield_net Topology

@@ -1,0 +1,1 @@
+examples/policy_templates.ml: Fmt List Perm Perm_parser Policy_parser Reconcile Sdnshield

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action Api Engine Flow_mod Fmt Match_fields Ownership Packet Perm Perm_parser Sdnshield Shield_controller Shield_openflow

@@ -1,0 +1,1 @@
+lib/apps/alto.ml: Action Api App Events Flow_mod List Match_fields Option Printf Shield_controller Shield_net Shield_openflow String Topology Types

@@ -1,0 +1,1 @@
+lib/apps/attacks.ml: Action Alto Api App Dataplane Events Flow_mod Fmt Kernel List Match_fields Message Option Packet Sandbox Shield_controller Shield_net Shield_openflow Stats Topology Types

@@ -1,0 +1,1 @@
+lib/apps/defenses.ml: Action Api Dataplane Flow_mod Flow_table Fmt List Match_fields Shield_controller Shield_net Shield_openflow Switch Topology

@@ -1,0 +1,1 @@
+lib/apps/l2_switch.ml: Action Api App Events Flow_mod Hashtbl Match_fields Message Packet Shield_controller Shield_openflow

@@ -1,0 +1,1 @@
+lib/apps/monitoring.ml: Api App Events Fmt List Printf Shield_controller Shield_openflow Stats String

@@ -1,0 +1,1 @@
+lib/apps/routing.ml: Action Api App Events Flow_mod List Match_fields Option Shield_controller Shield_net Shield_openflow Topology Types

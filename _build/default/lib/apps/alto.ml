@@ -1,0 +1,161 @@
+(* ALTO service app + traffic-engineering consumer — the paper's second
+   evaluation scenario (§IX-A).
+
+   The ALTO app provides "real-time topology and routing cost
+   information to upper-layer apps": here it reads the topology,
+   computes a hop-count cost map between host pairs, and publishes it
+   on the "alto" inter-app channel.  The TE app "listens to the ALTO
+   app events and reacts with flow-mods that change the routing paths":
+   it parses the cost map and (re)pins routes for the costliest pairs.
+
+   In this scenario SDNShield checks permissions at four points, as the
+   paper enumerates: listener notification to the ALTO app, the data
+   publication, the event notification to the TE app, and the TE app's
+   rule issuance. *)
+
+open Shield_openflow
+open Shield_controller
+open Shield_net
+
+let channel = "alto"
+
+(* Cost map wire format: "h1>h2=3;h1>h3=2;..." *)
+let encode_cost_map entries =
+  String.concat ";"
+    (List.map (fun (a, b, c) -> Printf.sprintf "%s>%s=%d" a b c) entries)
+
+let decode_cost_map payload =
+  if payload = "" then []
+  else
+    String.split_on_char ';' payload
+    |> List.filter_map (fun item ->
+           match String.index_opt item '>' with
+           | None -> None
+           | Some i -> (
+             match String.index_opt item '=' with
+             | None -> None
+             | Some j when j > i ->
+               let a = String.sub item 0 i in
+               let b = String.sub item (i + 1) (j - i - 1) in
+               let c = int_of_string_opt (String.sub item (j + 1) (String.length item - j - 1)) in
+               Option.map (fun c -> (a, b, c)) c
+             | Some _ -> None))
+
+(* The ALTO provider app ---------------------------------------------------- *)
+
+type alto = { app : App.t; updates_published : int ref }
+
+let alto_manifest_src =
+  "PERM visible_topology\n\
+   PERM topology_event\n\
+   PERM read_statistics LIMITING PORT_LEVEL OR SWITCH_LEVEL\n"
+
+let topo_of_view (view : Api.topology_view) =
+  let topo = Topology.create () in
+  List.iter (fun d -> Topology.add_switch topo d) view.Api.switches;
+  List.iter (fun (a, b) -> Topology.add_link topo ~src:a ~dst:b) view.Api.links;
+  List.iter
+    (fun (h : Topology.host) ->
+      Topology.add_host topo ~name:h.Topology.name ~mac:h.Topology.mac
+        ~ip:h.Topology.ip ~attachment:h.Topology.attachment)
+    view.Api.hosts;
+  topo
+
+let cost_map_of_view (view : Api.topology_view) =
+  let topo = topo_of_view view in
+  let hosts = view.Api.hosts in
+  List.concat_map
+    (fun (a : Topology.host) ->
+      List.filter_map
+        (fun (b : Topology.host) ->
+          if a.Topology.name >= b.Topology.name then None
+          else
+            Topology.shortest_path topo ~src:a.Topology.attachment.Topology.dpid
+              ~dst:b.Topology.attachment.Topology.dpid
+            |> Option.map (fun path ->
+                   (a.Topology.name, b.Topology.name, List.length path)))
+        hosts)
+    hosts
+
+let create_alto ?(name = "alto") () : alto =
+  let updates_published = ref 0 in
+  let publish (ctx : App.ctx) =
+    match ctx.App.call Api.Read_topology with
+    | Api.Topology_of view ->
+      let payload = encode_cost_map (cost_map_of_view view) in
+      incr updates_published;
+      ignore (ctx.App.call (Api.Publish_event { tag = channel; payload }))
+    | _ -> ()
+  in
+  let app =
+    App.make
+      ~subscriptions:[ Api.E_topology; Api.E_app "alto-poll" ]
+      ~init:publish
+      ~handle:(fun ctx -> function
+        | Events.Topology_changed _ -> publish ctx
+        | Events.App_published { tag = "alto-poll"; _ } -> publish ctx
+        | _ -> ())
+      name
+  in
+  { app; updates_published }
+
+(* The traffic-engineering consumer app ------------------------------------- *)
+
+type te = { app : App.t; reroutes : int ref }
+
+let te_manifest_src =
+  "PERM visible_topology\n\
+   PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS\n"
+
+(** Reroute the [max_pairs] costliest host pairs: pin the (current
+    shortest) path for each with TE-priority rules. *)
+let create_te ?(name = "te") ?(max_pairs = 4) () : te =
+  let reroutes = ref 0 in
+  let handle (ctx : App.ctx) = function
+    | Events.App_published { tag; payload; _ } when tag = channel -> (
+      let cost_map = decode_cost_map payload in
+      let costly =
+        List.sort (fun (_, _, a) (_, _, b) -> compare b a) cost_map
+        |> List.filteri (fun i _ -> i < max_pairs)
+      in
+      match ctx.App.call Api.Read_topology with
+      | Api.Topology_of view ->
+        let topo = topo_of_view view in
+        List.iter
+          (fun (ha, hb, _cost) ->
+            match (Topology.host_by_name topo ha, Topology.host_by_name topo hb)
+            with
+            | Some a, Some b -> (
+              match
+                Topology.shortest_path topo
+                  ~src:a.Topology.attachment.Topology.dpid
+                  ~dst:b.Topology.attachment.Topology.dpid
+              with
+              | None -> ()
+              | Some path ->
+                let hops = Topology.path_hops topo path in
+                List.iter
+                  (fun (_, sw, out) ->
+                    let port =
+                      match out with
+                      | Some p -> p
+                      | None -> b.Topology.attachment.Topology.port
+                    in
+                    let fm =
+                      Flow_mod.add ~priority:150
+                        ~match_:
+                          (Match_fields.make ~dl_type:Types.Eth_ip
+                             ~nw_src:(Match_fields.exact_ip a.Topology.ip)
+                             ~nw_dst:(Match_fields.exact_ip b.Topology.ip)
+                             ())
+                        ~actions:[ Action.Output port ] ()
+                    in
+                    incr reroutes;
+                    ignore (ctx.App.call (Api.Install_flow (sw, fm))))
+                  hops)
+            | _ -> ())
+          costly
+      | _ -> ())
+    | _ -> ()
+  in
+  { app = App.make ~subscriptions:[ Api.E_app channel ] ~handle name; reroutes }

@@ -1,0 +1,86 @@
+(* Security app: a port-80-only firewall.
+
+   Installs explicit forwarding paths for TCP/80 between all host pairs
+   and a low-priority catch-all drop on every switch, so only HTTP (and
+   ARP, needed for resolution) traverses the network.  This is the
+   security app the dynamic-flow-tunneling attack (§II Class 4, [16])
+   tries to bypass. *)
+
+open Shield_openflow
+open Shield_controller
+open Shield_net
+
+type t = { app : App.t; rules_installed : int ref }
+
+let manifest_src =
+  "PERM visible_topology\n\
+   PERM topology_event\n\
+   PERM insert_flow\n\
+   PERM delete_flow LIMITING OWN_FLOWS\n"
+
+let allowed_port = 80
+
+let install (ctx : App.ctx) (view : Api.topology_view) rules_installed =
+  let topo = Alto.topo_of_view view in
+  let put dpid fm =
+    incr rules_installed;
+    ignore (ctx.App.call (Api.Install_flow (dpid, fm)))
+  in
+  List.iter
+    (fun dpid ->
+      (* Catch-all drop: anything without a more specific rule dies. *)
+      put dpid
+        (Flow_mod.add ~priority:1 ~match_:Match_fields.wildcard_all ~actions:[] ());
+      (* ARP still floods, or nothing ever resolves. *)
+      put dpid
+        (Flow_mod.add ~priority:60
+           ~match_:(Match_fields.make ~dl_type:Types.Eth_arp ())
+           ~actions:[ Action.Flood ] ()))
+    view.Api.switches;
+  (* HTTP paths between every host pair. *)
+  List.iter
+    (fun (dst : Topology.host) ->
+      let dst_sw = dst.Topology.attachment.Topology.dpid in
+      List.iter
+        (fun sw ->
+          let out_port =
+            if sw = dst_sw then Some dst.Topology.attachment.Topology.port
+            else
+              match Topology.shortest_path topo ~src:sw ~dst:dst_sw with
+              | Some (_ :: next :: _) ->
+                Option.map fst (Topology.link_ports_between topo ~src:sw ~dst:next)
+              | _ -> None
+          in
+          match out_port with
+          | None -> ()
+          | Some port ->
+            put sw
+              (Flow_mod.add ~priority:200
+                 ~match_:
+                   (Match_fields.make ~dl_type:Types.Eth_ip
+                      ~nw_proto:Types.Proto_tcp
+                      ~nw_dst:(Match_fields.exact_ip dst.Topology.ip)
+                      ~tp_dst:allowed_port ())
+                 ~actions:[ Action.Output port ] ()))
+        view.Api.switches)
+    view.Api.hosts
+
+let create ?(name = "firewall") () : t =
+  let rules_installed = ref 0 in
+  let refresh (ctx : App.ctx) =
+    match ctx.App.call Api.Read_topology with
+    | Api.Topology_of view -> install ctx view rules_installed
+    | _ -> ()
+  in
+  let app =
+    App.make
+      ~subscriptions:[ Api.E_topology ]
+      ~init:refresh
+      ~handle:(fun ctx -> function
+        | Events.Topology_changed _ -> refresh ctx
+        | _ -> ())
+      name
+  in
+  { app; rules_installed }
+
+let app t = t.app

@@ -1,0 +1,72 @@
+(* L2 learning switch — the paper's first evaluation scenario (§IX-A).
+
+   Listens to packet-ins (ARP and anything else that misses), learns
+   the source MAC's location, and either installs a forwarding rule and
+   replays the packet towards a known destination or floods.  This is a
+   faithful port of the OpenDaylight l2switch behaviour the paper
+   benchmarks. *)
+
+open Shield_openflow
+open Shield_openflow.Types
+open Shield_controller
+
+type t = {
+  app : App.t;
+  flow_mods_issued : int ref;
+  floods : int ref;
+}
+
+(** The permission manifest this app ships with: exactly what a
+    learning switch needs and nothing more. *)
+let manifest_src =
+  "PERM pkt_in_event\n\
+   PERM read_payload\n\
+   PERM insert_flow LIMITING ACTION FORWARD\n\
+   PERM send_pkt_out LIMITING FROM_PKT_IN\n"
+
+let create ?(name = "l2switch") ?(idle_timeout = 0) () : t =
+  (* mac tables: dpid -> (mac -> port) *)
+  let tables : (dpid, (mac, port_no) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let table_of dpid =
+    match Hashtbl.find_opt tables dpid with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 32 in
+      Hashtbl.replace tables dpid tbl;
+      tbl
+  in
+  let flow_mods_issued = ref 0 and floods = ref 0 in
+  let handle (ctx : App.ctx) = function
+    | Events.Packet_in pi ->
+      let tbl = table_of pi.Message.dpid in
+      let pkt = pi.Message.packet in
+      Hashtbl.replace tbl pkt.Packet.dl_src pi.Message.in_port;
+      (match Hashtbl.find_opt tbl pkt.Packet.dl_dst with
+      | Some out_port when out_port <> pi.Message.in_port ->
+        (* Known destination: pin a flow and replay the packet. *)
+        let match_ = Match_fields.make ~dl_dst:pkt.Packet.dl_dst () in
+        let fm =
+          Flow_mod.add ~priority:100 ~idle_timeout ~match_
+            ~actions:[ Action.Output out_port ] ()
+        in
+        incr flow_mods_issued;
+        ignore (ctx.App.call (Api.Install_flow (pi.Message.dpid, fm)));
+        ignore
+          (ctx.App.call
+             (Api.Send_packet_out
+                { dpid = pi.Message.dpid; port = out_port; packet = pkt;
+                  from_pkt_in = true }))
+      | _ ->
+        (* Unknown destination (or hairpin): flood. *)
+        incr floods;
+        ignore
+          (ctx.App.call
+             (Api.Send_packet_out
+                { dpid = pi.Message.dpid; port = -1; packet = pkt;
+                  from_pkt_in = true })))
+    | _ -> ()
+  in
+  { app = App.make ~subscriptions:[ Api.E_packet_in ] ~handle name;
+    flow_mods_issued; floods }
+
+let app t = t.app

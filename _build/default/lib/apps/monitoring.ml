@@ -1,0 +1,78 @@
+(* Tenant monitoring app — the paper's Scenario 1 (§VII).
+
+   Supervises network usage: on every "tick" it reads the (visible)
+   topology and port statistics and reports them to the management
+   collector over the host network.  The app also exposes a web
+   management interface — modelled as the host-network report channel —
+   which is the vulnerability surface Scenario 1 assumes. *)
+
+open Shield_openflow
+open Shield_controller
+
+(** The manifest the app ships with, verbatim from §VII — including the
+    two developer stubs (LocalTopo, AdminRange) the administrator
+    completes at deployment. *)
+let manifest_src =
+  "PERM visible_topology LIMITING LocalTopo\n\
+   PERM read_statistics\n\
+   PERM host_network LIMITING AdminRange\n\
+   PERM insert_flow\n"
+
+(** Scenario 1's administrator policy, verbatim from §VII: the stub
+    bindings plus the network-access/insert-flow mutual exclusion. *)
+let policy_src ~switches ~admin_subnet ~admin_mask =
+  Fmt.str
+    "LET LocalTopo = { SWITCH %s }\n\
+     LET AdminRange = { IP_DST %s MASK %s }\n\
+     ASSERT EITHER { PERM host_network } OR { PERM insert_flow }\n"
+    (String.concat "," (List.map string_of_int switches))
+    admin_subnet admin_mask
+
+type t = { app : App.t; reports_sent : int ref; reports_failed : int ref }
+
+let tick_channel = "monitor-tick"
+
+let create ?(name = "monitoring") ~collector_ip ?(collector_port = 8080) () : t =
+  let reports_sent = ref 0 and reports_failed = ref 0 in
+  let report (ctx : App.ctx) =
+    let topo_summary =
+      match ctx.App.call Api.Read_topology with
+      | Api.Topology_of view ->
+        Printf.sprintf "switches=%d hosts=%d"
+          (List.length view.Api.switches)
+          (List.length view.Api.hosts)
+      | _ -> "topology-unavailable"
+    in
+    let stats_summary =
+      match
+        ctx.App.call (Api.Read_stats (Stats.request Stats.Port_level))
+      with
+      | Api.Stats_result (Stats.Port_stats l) ->
+        Printf.sprintf "port-stats=%d" (List.length l)
+      | _ -> "stats-unavailable"
+    in
+    match
+      ctx.App.call
+        (Api.Syscall
+           (Api.Net_connect
+              { dst = collector_ip; dst_port = collector_port;
+                payload = topo_summary ^ " " ^ stats_summary }))
+    with
+    | Api.Done -> incr reports_sent
+    | _ -> incr reports_failed
+  in
+  let app =
+    App.make
+      ~subscriptions:[ Api.E_app tick_channel ]
+      ~handle:(fun ctx -> function
+        | Events.App_published { tag; _ } when tag = tick_channel -> report ctx
+        | _ -> ())
+      name
+  in
+  { app; reports_sent; reports_failed }
+
+let app t = t.app
+
+(** The tick event a harness feeds to trigger one monitoring round. *)
+let tick_event =
+  Events.App_published { source = "env"; tag = tick_channel; payload = "" }

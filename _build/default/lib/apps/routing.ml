@@ -1,0 +1,93 @@
+(* Proactive shortest-path routing.
+
+   On startup (and on every topology change) reads the topology and
+   installs, for every host, per-switch rules forwarding IP traffic for
+   that host's address along the shortest path, plus an ARP-flood rule
+   per switch so address resolution keeps working.  This is the benign
+   behaviour of the paper's Scenario-2 routing app. *)
+
+open Shield_openflow
+open Shield_controller
+open Shield_net
+
+type t = { app : App.t; rules_installed : int ref }
+
+(** Scenario 2's permission manifest (§VII): topology visibility, flow
+    events, packet-out, and insert_flow limited to pure forwarding on
+    its own flows. *)
+let manifest_src =
+  "PERM visible_topology\n\
+   PERM topology_event\n\
+   PERM flow_event\n\
+   PERM send_pkt_out\n\
+   PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS\n"
+
+let ip_match_for (h : Topology.host) =
+  Match_fields.make ~dl_type:Types.Eth_ip
+    ~nw_dst:(Match_fields.exact_ip h.Topology.ip) ()
+
+let install_routes (ctx : App.ctx) (view : Api.topology_view) rules_installed =
+  (* ARP flood so hosts can resolve each other. *)
+  List.iter
+    (fun dpid ->
+      let fm =
+        Flow_mod.add ~priority:50
+          ~match_:(Match_fields.make ~dl_type:Types.Eth_arp ())
+          ~actions:[ Action.Flood ] ()
+      in
+      incr rules_installed;
+      ignore (ctx.App.call (Api.Install_flow (dpid, fm))))
+    view.Api.switches;
+  (* Per-destination-host shortest-path tree. *)
+  let topo = Topology.create () in
+  List.iter (fun (a, b) -> Topology.add_link topo ~src:a ~dst:b) view.Api.links;
+  List.iter (fun d -> Topology.add_switch topo d) view.Api.switches;
+  List.iter
+    (fun (h : Topology.host) ->
+      Topology.add_host topo ~name:h.Topology.name ~mac:h.Topology.mac
+        ~ip:h.Topology.ip ~attachment:h.Topology.attachment)
+    view.Api.hosts;
+  List.iter
+    (fun (dst : Topology.host) ->
+      let dst_sw = dst.Topology.attachment.Topology.dpid in
+      List.iter
+        (fun sw ->
+          let out_port =
+            if sw = dst_sw then Some dst.Topology.attachment.Topology.port
+            else
+              match Topology.shortest_path topo ~src:sw ~dst:dst_sw with
+              | Some (_ :: next :: _) ->
+                Option.map fst (Topology.link_ports_between topo ~src:sw ~dst:next)
+              | _ -> None
+          in
+          match out_port with
+          | None -> ()
+          | Some port ->
+            let fm =
+              Flow_mod.add ~priority:100 ~match_:(ip_match_for dst)
+                ~actions:[ Action.Output port ] ()
+            in
+            incr rules_installed;
+            ignore (ctx.App.call (Api.Install_flow (sw, fm))))
+        view.Api.switches)
+    view.Api.hosts
+
+let create ?(name = "routing") () : t =
+  let rules_installed = ref 0 in
+  let refresh (ctx : App.ctx) =
+    match ctx.App.call Api.Read_topology with
+    | Api.Topology_of view -> install_routes ctx view rules_installed
+    | _ -> ()
+  in
+  let app =
+    App.make
+      ~subscriptions:[ Api.E_topology ]
+      ~init:refresh
+      ~handle:(fun ctx -> function
+        | Events.Topology_changed _ -> refresh ctx
+        | _ -> ())
+      name
+  in
+  { app; rules_installed }
+
+let app t = t.app

@@ -1,0 +1,1 @@
+lib/controller/api.ml: Flow_mod Fmt List Match_fields Packet Shield_net Shield_openflow Stats Stdlib String Topology

@@ -1,0 +1,1 @@
+lib/controller/app.ml: Api Events List

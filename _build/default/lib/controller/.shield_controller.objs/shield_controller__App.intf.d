@@ -1,0 +1,1 @@
+lib/controller/app.mli: Api Events

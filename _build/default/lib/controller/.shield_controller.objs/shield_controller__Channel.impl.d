@@ -1,0 +1,1 @@
+lib/controller/channel.ml: Condition Mutex Queue

@@ -1,0 +1,1 @@
+lib/controller/events.ml: Api Fmt Match_fields Message Shield_openflow Stats

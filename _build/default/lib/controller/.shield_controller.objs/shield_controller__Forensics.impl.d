@@ -1,0 +1,1 @@
+lib/controller/forensics.ml: Fmt Kernel List Packet Printf Sandbox Shield_net Shield_openflow String Types

@@ -1,0 +1,1 @@
+lib/controller/kernel.ml: Api Dataplane Events Flow_mod Flow_table List Message Printf Sandbox Shield_net Shield_openflow Stats Topology

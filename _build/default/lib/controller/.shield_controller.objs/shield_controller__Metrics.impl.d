@@ -1,0 +1,1 @@
+lib/controller/metrics.ml: Array Fmt List Mutex Unix

@@ -1,0 +1,1 @@
+lib/controller/runtime.ml: Api App Channel Condition Domain Events Fmt Kernel List Mutex Packet Printexc Printf Sandbox Shield_openflow String Thread

@@ -1,0 +1,1 @@
+lib/controller/runtime.mli: Api App Channel Condition Domain Events Kernel Mutex Sandbox Thread

@@ -1,0 +1,1 @@
+lib/controller/sandbox.ml: Api Fun List Mutex Shield_openflow

@@ -1,0 +1,38 @@
+(* The controller application interface.
+
+   An app is a name, the event kinds it listens to, an [init] hook and
+   an event handler.  Handlers act through the [ctx] they are given —
+   every capability flows through [ctx.call], which is where the
+   permission engine sits.  Apps never see kernel internals, the data
+   isolation property of the paper's thread-container design. *)
+
+type ctx = {
+  app_name : string;
+  call : Api.call -> Api.result;
+  transaction : Api.call list -> (Api.result list, int * string) result;
+      (** Atomic call group: all calls are permission-checked first and
+          executed only if every one passes (§VI-B2). *)
+}
+
+type t = {
+  name : string;
+  subscriptions : Api.event_kind list;
+  uses : Api.capability list;
+      (** Capabilities the app's code consumes — the "APIs the app
+          imports", verified against the granted tokens at load time
+          (§VIII-B's OSGi-level access control). *)
+  init : ctx -> unit;
+  handle : ctx -> Events.t -> unit;
+}
+
+let make ?(subscriptions = []) ?(uses = []) ?(init = fun _ -> ())
+    ?(handle = fun _ _ -> ()) name =
+  { name; subscriptions; uses; init; handle }
+
+let subscribes app kind =
+  List.exists
+    (fun k ->
+      match (k, kind) with
+      | Api.E_app a, Api.E_app b -> a = b
+      | a, b -> a = b)
+    app.subscriptions

@@ -1,0 +1,36 @@
+(** The controller application interface.
+
+    An app is a name, the event kinds it listens to, the capabilities
+    it declares (checked at load time, §VIII-B), an [init] hook and an
+    event handler.  Handlers act only through the {!ctx} they are given
+    — every capability flows through [ctx.call], where the permission
+    engine sits.  Apps never see kernel internals: the data-isolation
+    property of the paper's thread-container design. *)
+
+type ctx = {
+  app_name : string;
+  call : Api.call -> Api.result;
+  transaction : Api.call list -> (Api.result list, int * string) result;
+      (** Atomic call group (§VI-B2): all calls are permission-checked
+          first and executed only if every one passes. *)
+}
+
+type t = {
+  name : string;
+  subscriptions : Api.event_kind list;
+  uses : Api.capability list;
+      (** Capabilities the app's code consumes — verified against the
+          granted tokens at load time. *)
+  init : ctx -> unit;
+  handle : ctx -> Events.t -> unit;
+}
+
+val make :
+  ?subscriptions:Api.event_kind list ->
+  ?uses:Api.capability list ->
+  ?init:(ctx -> unit) ->
+  ?handle:(ctx -> Events.t -> unit) ->
+  string ->
+  t
+
+val subscribes : t -> Api.event_kind -> bool

@@ -1,0 +1,131 @@
+(* Unbounded blocking channel built on Mutex + Condition.
+
+   This is the inter-thread communication utility of the isolation
+   architecture (§VIII-B of the paper): app threads and Kernel Service
+   Deputy threads exchange events and API requests through these
+   queues. *)
+
+type 'a t = {
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create () =
+  { queue = Queue.create (); mutex = Mutex.create ();
+    nonempty = Condition.create (); closed = false }
+
+exception Closed
+
+(** Push [v]; raises [Closed] after [close]. *)
+let push t v =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    raise Closed
+  end;
+  Queue.push v t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+(** Block until an element is available; [None] once the channel is
+    closed and drained. *)
+let pop t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then begin
+      let v = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      Some v
+    end
+    else if t.closed then begin
+      Mutex.unlock t.mutex;
+      None
+    end
+    else begin
+      Condition.wait t.nonempty t.mutex;
+      wait ()
+    end
+  in
+  wait ()
+
+let try_pop t =
+  Mutex.lock t.mutex;
+  let v = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  v
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+(** Close the channel: pending elements remain poppable, further pushes
+    raise, blocked poppers are woken. *)
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+(* Single-assignment synchronization cell (reply slot for API calls). *)
+module Ivar = struct
+  type 'a t = {
+    mutable value : 'a option;
+    mutex : Mutex.t;
+    filled : Condition.t;
+  }
+
+  let create () =
+    { value = None; mutex = Mutex.create (); filled = Condition.create () }
+
+  let fill t v =
+    Mutex.lock t.mutex;
+    (match t.value with
+    | Some _ ->
+      Mutex.unlock t.mutex;
+      invalid_arg "Ivar.fill: already filled"
+    | None ->
+      t.value <- Some v;
+      Condition.broadcast t.filled;
+      Mutex.unlock t.mutex)
+
+  let read t =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      match t.value with
+      | Some v ->
+        Mutex.unlock t.mutex;
+        v
+      | None ->
+        Condition.wait t.filled t.mutex;
+        wait ()
+    in
+    wait ()
+end
+
+(* Countdown latch: event-dispatch completion barrier. *)
+module Latch = struct
+  type t = {
+    mutable remaining : int;
+    mutex : Mutex.t;
+    zero : Condition.t;
+  }
+
+  let create n = { remaining = n; mutex = Mutex.create (); zero = Condition.create () }
+
+  let count_down t =
+    Mutex.lock t.mutex;
+    t.remaining <- t.remaining - 1;
+    if t.remaining <= 0 then Condition.broadcast t.zero;
+    Mutex.unlock t.mutex
+
+  let wait t =
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.zero t.mutex
+    done;
+    Mutex.unlock t.mutex
+end

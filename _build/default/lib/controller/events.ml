@@ -1,0 +1,34 @@
+(* Controller events dispatched to app listeners. *)
+
+open Shield_openflow
+open Shield_openflow.Types
+
+type t =
+  | Packet_in of Message.packet_in
+  | Flow_removed of { dpid : dpid; match_ : Match_fields.t; cookie : int }
+  | Topology_changed of Api.topo_change
+  | Error_event of Message.error_kind
+  | Stats_update of Stats.reply
+  | App_published of { source : string; tag : string; payload : string }
+      (** Inter-app publication, e.g. ALTO cost-map updates consumed by
+          the traffic-engineering app. *)
+
+(** The permission-relevant kind of an event, matched against
+    [Receive_event] permission checks. *)
+let kind = function
+  | Packet_in _ -> Api.E_packet_in
+  | Flow_removed _ -> Api.E_flow
+  | Topology_changed _ -> Api.E_topology
+  | Error_event _ -> Api.E_error
+  | Stats_update _ -> Api.E_stats
+  | App_published { tag; _ } -> Api.E_app tag
+
+let pp ppf = function
+  | Packet_in pi -> Fmt.pf ppf "ev:packet-in s%d p%d" pi.dpid pi.in_port
+  | Flow_removed { dpid; cookie; _ } ->
+    Fmt.pf ppf "ev:flow-removed s%d cookie=%d" dpid cookie
+  | Topology_changed _ -> Fmt.string ppf "ev:topology-changed"
+  | Error_event e -> Fmt.pf ppf "ev:error %a" Message.pp_error e
+  | Stats_update _ -> Fmt.string ppf "ev:stats"
+  | App_published { source; tag; _ } ->
+    Fmt.pf ppf "ev:app-published %s/%s" source tag

@@ -1,0 +1,125 @@
+(* Forensic analysis over the reference monitor's activity logs.
+
+   §VII (Scenario 2): even where permissions cannot block an action
+   outright — a routing app must be able to insert rules — "SDNShield
+   can provide activity logging, which enables forensic analysis after
+   the attack happens."  The sandbox audit log and the kernel delivery
+   log are that activity record; this module is the analysis layer:
+
+   - per-app activity summaries (calls, denials, syscalls, deliveries);
+   - suspicion heuristics keyed to the four attack classes of §II;
+   - an incident report combining both. *)
+
+open Shield_openflow
+
+type app_summary = {
+  app : string;
+  actions : int;
+  denials : int;
+  net_connections : int;
+  distinct_net_destinations : string list;
+  packets_delivered : int;
+  rst_packets_delivered : int;
+}
+
+type suspicion = {
+  suspect : string;
+  attack_class : int;  (** Threat-model class (§II), 1-4. *)
+  evidence : string;
+}
+
+let summarize_app ~(sandbox : Sandbox.t) ~(kernel : Kernel.t) app : app_summary
+    =
+  let audit =
+    List.filter (fun (e : Sandbox.audit_entry) -> e.Sandbox.app_name = app)
+      (Sandbox.audit_log sandbox)
+  in
+  let conns = Sandbox.connections_by sandbox ~app in
+  let deliveries =
+    List.filter (fun (who, _) -> who = app) (Kernel.deliveries kernel)
+  in
+  { app;
+    actions = List.length audit;
+    denials = List.length (List.filter (fun (e : Sandbox.audit_entry) -> not e.Sandbox.allowed) audit);
+    net_connections = List.length conns;
+    distinct_net_destinations =
+      List.sort_uniq compare
+        (List.map
+           (fun (r : Sandbox.net_record) -> Types.ipv4_to_string r.Sandbox.dst)
+           conns);
+    packets_delivered = List.length deliveries;
+    rst_packets_delivered =
+      List.length
+        (List.filter
+           (fun (_, (d : Shield_net.Dataplane.delivery)) ->
+             Packet.is_rst d.Shield_net.Dataplane.packet)
+           deliveries) }
+
+(** Heuristic indicators for the §II attack classes, evaluated over the
+    activity record.  [allowed_destinations] is the administrator's
+    collector allow-list for Class-2 analysis. *)
+let suspicions ?(allowed_destinations = []) ~(sandbox : Sandbox.t)
+    ~(kernel : Kernel.t) (apps : string list) : suspicion list =
+  List.concat_map
+    (fun app ->
+      let s = summarize_app ~sandbox ~kernel app in
+      let class1 =
+        if s.rst_packets_delivered > 0 then
+          [ { suspect = app; attack_class = 1;
+              evidence =
+                Printf.sprintf "%d TCP RST packet(s) injected into sessions"
+                  s.rst_packets_delivered } ]
+        else []
+      in
+      let class2 =
+        let rogue =
+          List.filter
+            (fun dst -> not (List.mem dst allowed_destinations))
+            s.distinct_net_destinations
+        in
+        if rogue <> [] then
+          [ { suspect = app; attack_class = 2;
+              evidence =
+                "host-network connections to non-allowlisted destinations: "
+                ^ String.concat ", " rogue } ]
+        else []
+      in
+      let repeated_denials =
+        (* Many denials = an app probing the boundary of its grants. *)
+        if s.denials >= 3 then
+          [ { suspect = app; attack_class = 3;
+              evidence =
+                Printf.sprintf
+                  "%d denied actions (probing beyond granted permissions)"
+                  s.denials } ]
+        else []
+      in
+      class1 @ class2 @ repeated_denials)
+    apps
+  @
+  (* Class 3/4 rule-level signatures come from the data-plane analyzer
+     in Shield_apps.Defenses; here we surface cross-app shadowing from
+     the audit trail: denied install_flow entries indicate attempted
+     overrides when OWN_FLOWS gated them. *)
+  List.filter_map
+    (fun (e : Sandbox.audit_entry) ->
+      if
+        (not e.Sandbox.allowed)
+        && String.length e.Sandbox.action >= 12
+        && String.sub e.Sandbox.action 0 12 = "install_flow"
+      then
+        Some
+          { suspect = e.Sandbox.app_name; attack_class = 4;
+            evidence = "denied flow-mod: " ^ e.Sandbox.action }
+      else None)
+    (Sandbox.audit_log sandbox)
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "@[<h>%s: actions=%d denials=%d net=%d(%d dsts) delivered=%d rst=%d@]"
+    s.app s.actions s.denials s.net_connections
+    (List.length s.distinct_net_destinations)
+    s.packets_delivered s.rst_packets_delivered
+
+let pp_suspicion ppf s =
+  Fmt.pf ppf "@[<h>[class %d] %s: %s@]" s.attack_class s.suspect s.evidence

@@ -1,0 +1,82 @@
+(* Latency/throughput sample collection with percentile summaries.
+
+   The end-to-end experiments (Figures 6–8) report medians with 10/90
+   percentile error bars; this module computes exactly those. *)
+
+type t = {
+  mutable samples : float list;  (** Seconds. *)
+  mutable count : int;
+  mutex : Mutex.t;
+}
+
+let create () = { samples = []; count = 0; mutex = Mutex.create () }
+
+let record t v =
+  Mutex.lock t.mutex;
+  t.samples <- v :: t.samples;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
+
+let count t = t.count
+
+let samples t =
+  Mutex.lock t.mutex;
+  let s = t.samples in
+  Mutex.unlock t.mutex;
+  s
+
+(** [percentile p sorted] with [sorted] ascending and [p] in [0,100],
+    using nearest-rank interpolation. *)
+let percentile p sorted =
+  match sorted with
+  | [] -> nan
+  | _ ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+
+type summary = {
+  n : int;
+  median : float;
+  p10 : float;
+  p90 : float;
+  mean : float;
+  min : float;
+  max : float;
+}
+
+let summarize t =
+  let s = List.sort compare (samples t) in
+  match s with
+  | [] -> { n = 0; median = nan; p10 = nan; p90 = nan; mean = nan; min = nan; max = nan }
+  | _ ->
+    let n = List.length s in
+    { n;
+      median = percentile 50. s;
+      p10 = percentile 10. s;
+      p90 = percentile 90. s;
+      mean = List.fold_left ( +. ) 0. s /. float_of_int n;
+      min = List.hd s;
+      max = List.nth s (n - 1) }
+
+let summarize_list values =
+  let t = create () in
+  List.iter (record t) values;
+  summarize t
+
+(** Wall-clock an action, recording the elapsed time. *)
+let time t f =
+  let start = Unix.gettimeofday () in
+  let r = f () in
+  record t (Unix.gettimeofday () -. start);
+  r
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d median=%.1fus p10=%.1fus p90=%.1fus" s.n (s.median *. 1e6)
+    (s.p10 *. 1e6) (s.p90 *. 1e6)

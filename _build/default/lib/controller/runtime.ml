@@ -1,0 +1,450 @@
+(* The controller runtime, in the paper's two architectures:
+
+   - [Monolithic]: the baseline.  App handlers run inline in the
+     dispatching thread and API calls execute as direct function calls
+     (through the checker hook, identity for the unprotected baseline).
+
+   - [Isolated]: SDNShield's thread-container architecture (§VI-A).
+     Each app runs in its own unprivileged thread with a private event
+     queue; every API call travels over a request channel to a pool of
+     privileged Kernel Service Deputy (KSD) threads which consult the
+     permission checker and execute the call on the app's behalf.
+
+   Reference-monitor duties at the dispatch boundary:
+   - event delivery is gated by a [Receive_event] permission check;
+   - packet-in payloads are stripped unless [Read_payload_access] passes;
+   - all denials are recorded in the sandbox audit log. *)
+
+open Shield_openflow
+
+type mode =
+  | Monolithic
+  | Isolated of { ksd_threads : int }
+  | Isolated_domains of { ksd_domains : int }
+      (** Like [Isolated], but the KSD pool runs on separate domains
+          (true parallelism on OCaml 5): permission checking and kernel
+          execution overlap with app-thread processing, reproducing the
+          paper's "multiple instances of KSDs can run in parallel"
+          scalability claim.  App threads remain systhreads (apps can
+          outnumber cores). *)
+
+let is_isolated = function
+  | Monolithic -> false
+  | Isolated _ | Isolated_domains _ -> true
+
+type counters = {
+  mutable calls : int;
+  mutable denials : int;
+  mutable events_delivered : int;
+  mutable events_suppressed : int;
+  cmutex : Mutex.t;
+}
+
+type instance = {
+  app : App.t;
+  checker : Api.checker;
+  cookie : int;
+  ev_chan : ev_item Channel.t;
+  mutable thread : Thread.t option;
+  mutable ctx : App.ctx option;
+}
+
+and ev_item = Deliver of Events.t * Channel.Latch.t option
+
+type request =
+  | Call of instance * Api.call * Api.result Channel.Ivar.t
+  | Txn of
+      instance
+      * Api.call list
+      * (Api.result list, int * string) result Channel.Ivar.t
+
+type t = {
+  kernel : Kernel.t;
+  kmutex : Mutex.t;
+  mode : mode;
+  mutable instances : instance list;
+  reqs : request Channel.t;
+  mutable ksd_pool : Thread.t list;
+  mutable ksd_domains : unit Domain.t list;
+  inflight_mutex : Mutex.t;
+  inflight_zero : Condition.t;
+  mutable inflight : int;
+  counters : counters;
+  mutable rejected : (string * string) list;
+      (** Apps refused at load time, with the reason. *)
+}
+
+let sandbox t = t.kernel.Kernel.sandbox
+let kernel t = t.kernel
+
+let incr_counter t f =
+  Mutex.lock t.counters.cmutex;
+  f t.counters;
+  Mutex.unlock t.counters.cmutex
+
+let stats t =
+  Mutex.lock t.counters.cmutex;
+  let r =
+    ( t.counters.calls, t.counters.denials, t.counters.events_delivered,
+      t.counters.events_suppressed )
+  in
+  Mutex.unlock t.counters.cmutex;
+  r
+
+(* In-flight accounting (for [drain]) ------------------------------------- *)
+
+let inflight_incr t =
+  Mutex.lock t.inflight_mutex;
+  t.inflight <- t.inflight + 1;
+  Mutex.unlock t.inflight_mutex
+
+let inflight_decr t =
+  Mutex.lock t.inflight_mutex;
+  t.inflight <- t.inflight - 1;
+  if t.inflight = 0 then Condition.broadcast t.inflight_zero;
+  Mutex.unlock t.inflight_mutex
+
+let wait_inflight_zero t =
+  Mutex.lock t.inflight_mutex;
+  while t.inflight > 0 do
+    Condition.wait t.inflight_zero t.inflight_mutex
+  done;
+  Mutex.unlock t.inflight_mutex
+
+(* Permission-checked execution ------------------------------------------- *)
+
+let audit_denial t inst call why =
+  incr_counter t (fun c -> c.denials <- c.denials + 1);
+  Sandbox.record_audit (sandbox t) ~app:inst.app.App.name
+    ~action:(Fmt.to_to_string Api.pp_call call)
+    ~allowed:false ~detail:why
+
+let locked_exec t inst call =
+  Mutex.lock t.kmutex;
+  let r =
+    try Kernel.exec t.kernel ~app:inst.app.App.name ~cookie:inst.cookie call
+    with exn ->
+      Mutex.unlock t.kmutex;
+      raise exn
+  in
+  Mutex.unlock t.kmutex;
+  r
+
+let checked_exec t inst call : Api.result =
+  incr_counter t (fun c -> c.calls <- c.calls + 1);
+  match inst.checker.Api.check call with
+  | Api.Allow ->
+    let concrete = inst.checker.Api.rewrite call in
+    let results = List.map (locked_exec t inst) concrete in
+    inst.checker.Api.vet_result call (inst.checker.Api.combine call results)
+  | Api.Deny why ->
+    audit_denial t inst call why;
+    Api.Denied why
+
+let checked_txn t inst calls =
+  incr_counter t (fun c -> c.calls <- c.calls + List.length calls);
+  match inst.checker.Api.check_transaction calls with
+  | Ok () ->
+    (* All checks passed: execute the whole group under one kernel
+       lock so no other app observes a partial transaction. *)
+    Mutex.lock t.kmutex;
+    let results =
+      List.map
+        (fun call ->
+          let concrete = inst.checker.Api.rewrite call in
+          let rs =
+            List.map
+              (fun c ->
+                Kernel.exec t.kernel ~app:inst.app.App.name ~cookie:inst.cookie
+                  c)
+              concrete
+          in
+          inst.checker.Api.vet_result call (inst.checker.Api.combine call rs))
+        calls
+    in
+    Mutex.unlock t.kmutex;
+    Ok results
+  | Error (i, why) ->
+    audit_denial t inst (List.nth calls i) why;
+    Error (i, why)
+
+(* Contexts ---------------------------------------------------------------- *)
+
+let make_ctx t inst : App.ctx =
+  match t.mode with
+  | Monolithic ->
+    { App.app_name = inst.app.App.name;
+      call = (fun call -> checked_exec t inst call);
+      transaction = (fun calls -> checked_txn t inst calls) }
+  | Isolated _ | Isolated_domains _ ->
+    { App.app_name = inst.app.App.name;
+      call =
+        (fun call ->
+          let ivar = Channel.Ivar.create () in
+          Channel.push t.reqs (Call (inst, call, ivar));
+          Channel.Ivar.read ivar);
+      transaction =
+        (fun calls ->
+          let ivar = Channel.Ivar.create () in
+          Channel.push t.reqs (Txn (inst, calls, ivar));
+          Channel.Ivar.read ivar) }
+
+let ctx_of inst =
+  match inst.ctx with
+  | Some c -> c
+  | None -> invalid_arg "runtime: instance not started"
+
+(* Event dispatch ---------------------------------------------------------- *)
+
+(** Apply the reference-monitor checks that precede event delivery.
+    Returns [None] when delivery is suppressed, or the (possibly
+    payload-stripped) event to deliver. *)
+let vet_event t inst ev : Events.t option =
+  let kind = Events.kind ev in
+  match inst.checker.Api.check (Api.Receive_event kind) with
+  | Api.Deny why ->
+    incr_counter t (fun c -> c.events_suppressed <- c.events_suppressed + 1);
+    audit_denial t inst (Api.Receive_event kind) why;
+    None
+  | Api.Allow -> (
+    match ev with
+    | Events.Packet_in pi -> (
+      match inst.checker.Api.check Api.Read_payload_access with
+      | Api.Allow -> Some ev
+      | Api.Deny _ ->
+        (* pkt_in_event without read_payload: deliver headers only. *)
+        Some
+          (Events.Packet_in
+             { pi with packet = { pi.packet with Packet.payload = "" } }))
+    | _ -> Some ev)
+
+let handle_in_instance t inst ev =
+  incr_counter t (fun c -> c.events_delivered <- c.events_delivered + 1);
+  try inst.app.App.handle (ctx_of inst) ev
+  with exn ->
+    (* A crashing app must not take the runtime down: the isolation
+       property.  Record it as an error-class audit entry. *)
+    Sandbox.record_audit (sandbox t) ~app:inst.app.App.name
+      ~action:"handler-exception" ~allowed:true
+      ~detail:(Printexc.to_string exn)
+
+let dispatch_one t inst ev latch =
+  match vet_event t inst ev with
+  | None -> (match latch with Some l -> Channel.Latch.count_down l | None -> ())
+  | Some ev -> (
+    match t.mode with
+    | Monolithic ->
+      handle_in_instance t inst ev;
+      (match latch with Some l -> Channel.Latch.count_down l | None -> ())
+    | Isolated _ | Isolated_domains _ ->
+      inflight_incr t;
+      Channel.push inst.ev_chan (Deliver (ev, latch)))
+
+let subscribers t ev =
+  let kind = Events.kind ev in
+  List.filter (fun inst -> App.subscribes inst.app kind) t.instances
+
+(** Tell every checker about state changes it must track (e.g. flow
+    expirations feeding ownership stores). *)
+let notify_observers t ev =
+  match ev with
+  | Events.Flow_removed { dpid; match_; cookie } ->
+    List.iter
+      (fun inst ->
+        inst.checker.Api.observe (Api.Flow_expired { dpid; match_; cookie }))
+      t.instances
+  | _ -> ()
+
+(** Dispatch all events the kernel queued as side effects of API calls,
+    cascading until quiescent. *)
+let rec process_pending t =
+  Mutex.lock t.kmutex;
+  let evs = Kernel.take_pending t.kernel in
+  Mutex.unlock t.kmutex;
+  match evs with
+  | [] -> ()
+  | evs ->
+    List.iter
+      (fun ev ->
+        notify_observers t ev;
+        List.iter (fun inst -> dispatch_one t inst ev None) (subscribers t ev))
+      evs;
+    (* In monolithic mode handlers ran inline and may have queued more. *)
+    if t.mode = Monolithic then process_pending t
+
+(** Fire-and-forget event injection (throughput mode). *)
+let feed t ev =
+  notify_observers t ev;
+  List.iter (fun inst -> dispatch_one t inst ev None) (subscribers t ev);
+  process_pending t
+
+(** Inject [ev] and block until every subscribed app has finished
+    handling it, including cascaded events (latency mode). *)
+let rec feed_sync t ev =
+  notify_observers t ev;
+  let subs = subscribers t ev in
+  (match subs with
+  | [] -> ()
+  | _ ->
+    let latch = Channel.Latch.create (List.length subs) in
+    List.iter (fun inst -> dispatch_one t inst ev (Some latch)) subs;
+    Channel.Latch.wait latch);
+  process_pending_sync t
+
+and process_pending_sync t =
+  Mutex.lock t.kmutex;
+  let evs = Kernel.take_pending t.kernel in
+  Mutex.unlock t.kmutex;
+  List.iter (feed_sync t) evs
+
+(** Wait until all asynchronously dispatched work has completed,
+    including cascades. *)
+let rec drain t =
+  wait_inflight_zero t;
+  Mutex.lock t.kmutex;
+  let quiescent = t.kernel.Kernel.pending = [] in
+  Mutex.unlock t.kmutex;
+  if not quiescent then begin
+    process_pending t;
+    drain t
+  end
+
+(* Threads ----------------------------------------------------------------- *)
+
+let app_thread t inst () =
+  let rec loop () =
+    match Channel.pop inst.ev_chan with
+    | None -> ()
+    | Some (Deliver (ev, latch)) ->
+      handle_in_instance t inst ev;
+      (match latch with Some l -> Channel.Latch.count_down l | None -> ());
+      inflight_decr t;
+      loop ()
+  in
+  loop ()
+
+let ksd_thread t () =
+  let rec loop () =
+    match Channel.pop t.reqs with
+    | None -> ()
+    | Some (Call (inst, call, ivar)) ->
+      Channel.Ivar.fill ivar (checked_exec t inst call);
+      loop ()
+    | Some (Txn (inst, calls, ivar)) ->
+      Channel.Ivar.fill ivar (checked_txn t inst calls);
+      loop ()
+  in
+  loop ()
+
+(* Lifecycle --------------------------------------------------------------- *)
+
+type load_check = Skip_load_check | Warn_at_load | Reject_at_load
+
+(** Load-time access control (§VIII-B): tokens backing the app's
+    declared capabilities and event subscriptions must be granted at
+    all, or the app is flagged (or refused) before it ever runs —
+    "no runtime permission checking is needed in case the app does not
+    have the required permission tokens at all". *)
+let load_violations (app : App.t) (checker : Api.checker) : string list =
+  let missing_caps =
+    List.filter_map
+      (fun cap ->
+        if checker.Api.granted cap then None
+        else Some ("capability " ^ Api.capability_to_string cap))
+      app.App.uses
+  in
+  let missing_events =
+    List.filter_map
+      (fun kind ->
+        match kind with
+        | Api.E_app _ -> None (* inter-app channels need no token *)
+        | _ -> (
+          match checker.Api.check (Api.Receive_event kind) with
+          | Api.Deny _ ->
+            Some ("event subscription " ^ Api.event_kind_to_string kind)
+          | Api.Allow -> None))
+      app.App.subscriptions
+  in
+  missing_caps @ missing_events
+
+(** [create ~mode kernel apps] builds a runtime over [kernel] hosting
+    [apps], each paired with its permission checker, then runs every
+    app's [init] through its own context.  [load_check] selects the
+    load-time access-control behaviour (default: skip). *)
+let create ?(load_check = Skip_load_check) ~mode kernel
+    (apps : (App.t * Api.checker) list) : t =
+  let counters =
+    { calls = 0; denials = 0; events_delivered = 0; events_suppressed = 0;
+      cmutex = Mutex.create () }
+  in
+  let t =
+    { kernel; kmutex = Mutex.create (); mode; instances = [];
+      reqs = Channel.create (); ksd_pool = []; ksd_domains = [];
+      inflight_mutex = Mutex.create ();
+      inflight_zero = Condition.create (); inflight = 0; counters;
+      rejected = [] }
+  in
+  let apps =
+    match load_check with
+    | Skip_load_check -> apps
+    | Warn_at_load | Reject_at_load ->
+      List.filter
+        (fun ((app : App.t), checker) ->
+          match load_violations app checker with
+          | [] -> true
+          | violations ->
+            let reason = String.concat ", " violations in
+            Sandbox.record_audit kernel.Kernel.sandbox ~app:app.App.name
+              ~action:"load-time-check" ~allowed:(load_check = Warn_at_load)
+              ~detail:reason;
+            if load_check = Reject_at_load then begin
+              t.rejected <- (app.App.name, reason) :: t.rejected;
+              false
+            end
+            else true)
+        apps
+  in
+  let instances =
+    List.mapi
+      (fun i (app, checker) ->
+        { app; checker; cookie = i + 1; ev_chan = Channel.create ();
+          thread = None; ctx = None })
+      apps
+  in
+  t.instances <- instances;
+  List.iter (fun inst -> inst.ctx <- Some (make_ctx t inst)) instances;
+  (match mode with
+  | Monolithic -> ()
+  | Isolated { ksd_threads } ->
+    t.ksd_pool <-
+      List.init (max 1 ksd_threads) (fun _ -> Thread.create (ksd_thread t) ());
+    List.iter
+      (fun inst -> inst.thread <- Some (Thread.create (app_thread t inst) ()))
+      instances
+  | Isolated_domains { ksd_domains } ->
+    t.ksd_domains <-
+      List.init (max 1 ksd_domains) (fun _ -> Domain.spawn (ksd_thread t));
+    List.iter
+      (fun inst -> inst.thread <- Some (Thread.create (app_thread t inst) ()))
+      instances);
+  (* App initialisation goes through the same mediated contexts. *)
+  List.iter (fun inst -> inst.app.App.init (ctx_of inst)) instances;
+  process_pending t;
+  t
+
+let shutdown t =
+  (match t.mode with
+  | Monolithic -> ()
+  | Isolated _ | Isolated_domains _ ->
+    List.iter (fun inst -> Channel.close inst.ev_chan) t.instances;
+    List.iter
+      (fun inst -> match inst.thread with Some th -> Thread.join th | None -> ())
+      t.instances;
+    Channel.close t.reqs;
+    List.iter Thread.join t.ksd_pool;
+    List.iter Domain.join t.ksd_domains)
+
+let instance_ctx t name =
+  match List.find_opt (fun i -> i.app.App.name = name) t.instances with
+  | Some inst -> ctx_of inst
+  | None -> invalid_arg (Printf.sprintf "runtime: no app %S" name)

@@ -1,0 +1,106 @@
+(** The controller runtime, in the paper's architectures.
+
+    - [Monolithic]: the baseline — handlers run inline, API calls are
+      direct function calls (through the checker hook).
+    - [Isolated]: SDNShield's thread-container architecture (§VI-A) —
+      each app in its own unprivileged thread with a private event
+      queue; every API call travels over a request channel to a pool of
+      privileged Kernel Service Deputy (KSD) threads.
+    - [Isolated_domains]: the KSD pool on separate domains (true
+      parallelism on OCaml 5) — the paper's "multiple instances of KSDs
+      can run in parallel" scalability claim.
+
+    Reference-monitor duties at the dispatch boundary: event delivery
+    is gated by [Receive_event] checks, packet-in payloads are stripped
+    unless [Read_payload_access] passes, every denial lands in the
+    sandbox audit log, and load-time access control (§VIII-B) can warn
+    about or reject apps whose declared usage exceeds their grants. *)
+
+type mode =
+  | Monolithic
+  | Isolated of { ksd_threads : int }
+  | Isolated_domains of { ksd_domains : int }
+
+val is_isolated : mode -> bool
+
+type t = private {
+  kernel : Kernel.t;
+  kmutex : Mutex.t;
+  mode : mode;
+  mutable instances : instance list;
+  reqs : request Channel.t;
+  mutable ksd_pool : Thread.t list;
+  mutable ksd_domains : unit Domain.t list;
+  inflight_mutex : Mutex.t;
+  inflight_zero : Condition.t;
+  mutable inflight : int;
+  counters : counters;
+  mutable rejected : (string * string) list;
+      (** Apps refused at load time, with the reason. *)
+}
+
+and instance = private {
+  app : App.t;
+  checker : Api.checker;
+  cookie : int;
+  ev_chan : ev_item Channel.t;
+  mutable thread : Thread.t option;
+  mutable ctx : App.ctx option;
+}
+
+and ev_item = Deliver of Events.t * Channel.Latch.t option
+
+and request =
+  | Call of instance * Api.call * Api.result Channel.Ivar.t
+  | Txn of
+      instance
+      * Api.call list
+      * (Api.result list, int * string) result Channel.Ivar.t
+
+and counters = private {
+  mutable calls : int;
+  mutable denials : int;
+  mutable events_delivered : int;
+  mutable events_suppressed : int;
+  cmutex : Mutex.t;
+}
+
+type load_check = Skip_load_check | Warn_at_load | Reject_at_load
+
+val load_violations : App.t -> Api.checker -> string list
+(** Capabilities and event subscriptions whose backing tokens the
+    checker does not grant at all. *)
+
+val create :
+  ?load_check:load_check -> mode:mode -> Kernel.t ->
+  (App.t * Api.checker) list -> t
+(** Build a runtime hosting the apps, run load-time access control
+    (default: skip), start threads/domains per [mode], and run every
+    surviving app's [init] through its mediated context. *)
+
+val shutdown : t -> unit
+(** Stop app threads and the KSD pool (idempotent for [Monolithic]). *)
+
+val feed : t -> Events.t -> unit
+(** Fire-and-forget event injection (throughput mode); cascaded events
+    are dispatched opportunistically. *)
+
+val feed_sync : t -> Events.t -> unit
+(** Inject an event and block until every subscribed app has finished
+    handling it, including cascaded events (latency mode). *)
+
+val drain : t -> unit
+(** Wait until all asynchronously dispatched work has completed. *)
+
+val process_pending : t -> unit
+(** Dispatch events the kernel queued as side effects of API calls. *)
+
+val stats : t -> int * int * int * int
+(** (calls, denials, events delivered, events suppressed). *)
+
+val sandbox : t -> Sandbox.t
+val kernel : t -> Kernel.t
+
+val instance_ctx : t -> string -> App.ctx
+(** The mediated context of a hosted app, for external drivers.
+    @raise Invalid_argument on unknown names. *)

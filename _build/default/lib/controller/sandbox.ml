@@ -1,0 +1,70 @@
+(* Simulated host operating system + reference monitor audit log.
+
+   Plays the role of the Java SecurityManager choke point: every host
+   system call an app attempts is recorded here, with its outcome.  The
+   "outside world" is a list of recorded network connections — the
+   observable the information-leak PoC and its test assert on. *)
+
+open Shield_openflow.Types
+
+type net_record = {
+  app : string;
+  dst : ipv4;
+  dst_port : int;
+  payload : string;
+}
+
+type file_record = { app : string; path : string; write : bool }
+type proc_record = { app : string; command : string }
+
+type audit_entry = {
+  app_name : string;
+  action : string;
+  allowed : bool;
+  detail : string;
+}
+
+type t = {
+  mutable net_log : net_record list;
+  mutable file_log : file_record list;
+  mutable proc_log : proc_record list;
+  mutable audit : audit_entry list;
+  mutex : Mutex.t;
+}
+
+let create () =
+  { net_log = []; file_log = []; proc_log = []; audit = [];
+    mutex = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record_audit t ~app ~action ~allowed ~detail =
+  with_lock t (fun () ->
+      t.audit <- { app_name = app; action; allowed; detail } :: t.audit)
+
+(** Execute an (already permission-approved) syscall for [app]. *)
+let execute t ~app (sc : Api.syscall) : Api.result =
+  with_lock t (fun () ->
+      match sc with
+      | Api.Net_connect { dst; dst_port; payload } ->
+        t.net_log <- { app; dst; dst_port; payload } :: t.net_log;
+        Api.Done
+      | Api.File_open { path; write } ->
+        t.file_log <- { app; path; write } :: t.file_log;
+        Api.Done
+      | Api.Spawn_process command ->
+        t.proc_log <- { app; command } :: t.proc_log;
+        Api.Done)
+
+(** Connections successfully made by [app] — what actually leaked. *)
+let connections_by t ~app =
+  with_lock t (fun () ->
+      List.filter (fun (r : net_record) -> r.app = app) t.net_log)
+
+let denied_actions t ~app =
+  with_lock t (fun () ->
+      List.filter (fun e -> e.app_name = app && not e.allowed) t.audit)
+
+let audit_log t = with_lock t (fun () -> List.rev t.audit)

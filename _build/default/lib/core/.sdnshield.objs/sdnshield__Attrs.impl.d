@@ -1,0 +1,1 @@
+lib/core/attrs.ml: Action Api Filter Flow_mod Match_fields Option Packet Shield_controller Shield_net Shield_openflow Stats Types

@@ -1,0 +1,1 @@
+lib/core/attrs.mli: Action Api Filter Flow_mod Match_fields Packet Shield_controller Shield_openflow Stats

@@ -1,0 +1,1 @@
+lib/core/compiled.ml: Array Attrs Engine Filter Filter_eval Hashtbl Int32 List Option Perm Shield_controller Token

@@ -1,0 +1,1 @@
+lib/core/compiled.mli: Attrs Filter Filter_eval Perm Shield_controller

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Api Attrs Filter Filter_eval Flow_mod List Mutex Ownership Perm Printf Shield_controller Shield_net Shield_openflow Stats Stdlib String Token Topology Vtopo

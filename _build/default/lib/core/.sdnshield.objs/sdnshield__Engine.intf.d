@@ -1,0 +1,1 @@
+lib/core/engine.mli: Api Ownership Perm Shield_controller Shield_net Token Topology

@@ -1,0 +1,1 @@
+lib/core/filter.ml: Fmt Int List Set Shield_openflow String

@@ -1,0 +1,1 @@
+lib/core/filter_eval.ml: Action Attrs Filter Flow_mod Int32 List Option Shield_openflow Types

@@ -1,0 +1,1 @@
+lib/core/filter_eval.mli: Action Attrs Filter Shield_openflow Types

@@ -1,0 +1,1 @@
+lib/core/inclusion.ml: Filter Int32 List Nf Option Perm

@@ -1,0 +1,1 @@
+lib/core/inclusion.mli: Filter Perm

@@ -1,0 +1,1 @@
+lib/core/infer.ml: Action Api App Attrs Engine Events Filter Filter_eval Fun Int32 List Mutex Option Perm Perm_ops Runtime Shield_controller Shield_openflow Stats Token

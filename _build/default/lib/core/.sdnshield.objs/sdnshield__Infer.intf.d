@@ -1,0 +1,1 @@
+lib/core/infer.mli: Api App Events Kernel Perm Shield_controller

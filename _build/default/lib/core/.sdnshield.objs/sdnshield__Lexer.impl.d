@@ -1,0 +1,1 @@
+lib/core/lexer.ml: Fmt List Printf Shield_openflow String

@@ -1,0 +1,1 @@
+lib/core/nf.ml: Filter Fmt List

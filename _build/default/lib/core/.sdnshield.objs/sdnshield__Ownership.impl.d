@@ -1,0 +1,1 @@
+lib/core/ownership.ml: Flow_mod Fun Hashtbl List Match_fields Mutex Option Shield_openflow

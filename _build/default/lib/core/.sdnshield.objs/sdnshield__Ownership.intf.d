@@ -1,0 +1,1 @@
+lib/core/ownership.mli: Flow_mod Match_fields Shield_openflow

@@ -1,0 +1,1 @@
+lib/core/perm.ml: Filter Fmt List Option Token

@@ -1,0 +1,1 @@
+lib/core/perm_ops.ml: Filter List Perm Token

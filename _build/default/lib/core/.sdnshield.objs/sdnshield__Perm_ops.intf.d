@@ -1,0 +1,1 @@
+lib/core/perm_ops.mli: Filter Perm

@@ -1,0 +1,1 @@
+lib/core/perm_parser.ml: Filter Fmt Int32 Lexer List Perm Printf Shield_openflow String Token

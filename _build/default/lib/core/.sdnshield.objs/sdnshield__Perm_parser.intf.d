@@ -1,0 +1,1 @@
+lib/core/perm_parser.mli: Filter Lexer Perm

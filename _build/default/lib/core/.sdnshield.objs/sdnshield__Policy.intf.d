@@ -1,0 +1,1 @@
+lib/core/policy.mli: Filter Format Perm

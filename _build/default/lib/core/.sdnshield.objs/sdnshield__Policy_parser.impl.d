@@ -1,0 +1,1 @@
+lib/core/policy_parser.ml: Fmt Lexer List Perm Perm_parser Policy String

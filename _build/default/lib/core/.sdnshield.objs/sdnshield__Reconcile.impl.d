@@ -1,0 +1,1 @@
+lib/core/reconcile.ml: Filter Fmt Inclusion List Perm Perm_ops Perm_parser Policy Policy_parser Printf

@@ -1,0 +1,1 @@
+lib/core/vtopo.ml: Action Api Filter Filter_eval Flow_mod List Match_fields Shield_controller Shield_net Shield_openflow Stats Topology

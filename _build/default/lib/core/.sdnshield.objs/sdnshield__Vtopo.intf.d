@@ -1,0 +1,1 @@
+lib/core/vtopo.mli: Api Filter Flow_mod Shield_controller Shield_net Shield_openflow Stats Topology

@@ -1,0 +1,171 @@
+(* Attribute extraction: the bridge between concrete [Api.call] values
+   and the abstract attributes permission filters inspect.
+
+   "We use the term attribute to refer to any of the runtime arguments
+   or context of an API call" (§IV).  [of_call] flattens a call into
+   its inspectable attributes; [field_value] answers "what does this
+   call say about header field F?" uniformly for flow-mod matches,
+   packet-out payload headers, and host-network syscall endpoints. *)
+
+open Shield_openflow
+open Shield_openflow.Types
+open Shield_controller
+
+type call_kind =
+  | K_insert_flow  (** Flow-mod add or modify. *)
+  | K_delete_flow
+  | K_read_flow_table
+  | K_read_topology
+  | K_modify_topology
+  | K_read_stats
+  | K_pkt_out
+  | K_event of Api.event_kind
+  | K_read_payload
+  | K_publish
+  | K_net_syscall
+  | K_file_syscall
+  | K_proc_syscall
+
+type t = {
+  kind : call_kind;
+  match_ : Match_fields.t option;  (** Flow-mod match / read pattern. *)
+  actions : Action.t list option;
+  priority : int option;
+  dpid : dpid option;
+  stats_level : Stats.level option;
+  packet : Packet.t option;  (** Packet-out payload. *)
+  net_dst : (ipv4 * int) option;  (** Host-network syscall endpoint. *)
+  from_pkt_in : bool option;
+  flow_command : Flow_mod.command option;
+  cookie : int option;
+      (** Owner of the entity under inspection — set when vetting the
+          visibility of an existing flow entry, not for calls. *)
+}
+
+let base kind =
+  { kind; match_ = None; actions = None; priority = None; dpid = None;
+    stats_level = None; packet = None; net_dst = None; from_pkt_in = None;
+    flow_command = None; cookie = None }
+
+let of_call (call : Api.call) : t =
+  match call with
+  | Api.Install_flow (dpid, fm) ->
+    let kind =
+      match fm.Flow_mod.command with
+      | Flow_mod.Add | Flow_mod.Modify -> K_insert_flow
+      | Flow_mod.Delete -> K_delete_flow
+    in
+    { (base kind) with
+      match_ = Some fm.Flow_mod.match_;
+      actions = Some fm.Flow_mod.actions;
+      priority = Some fm.Flow_mod.priority;
+      dpid = Some dpid;
+      flow_command = Some fm.Flow_mod.command }
+  | Api.Read_flow_table { dpid; pattern } ->
+    { (base K_read_flow_table) with dpid; match_ = pattern }
+  | Api.Read_topology -> base K_read_topology
+  | Api.Modify_topology change ->
+    let dpid =
+      match change with
+      | Api.Add_switch d | Api.Remove_switch d -> Some d
+      | Api.Add_link (a, _) | Api.Remove_link (a, _) ->
+        Some a.Shield_net.Topology.dpid
+    in
+    { (base K_modify_topology) with dpid }
+  | Api.Read_stats req ->
+    { (base K_read_stats) with
+      dpid = req.Stats.dpid_filter;
+      stats_level = Some req.Stats.level;
+      match_ = req.Stats.match_filter }
+  | Api.Send_packet_out { dpid; packet; from_pkt_in; _ } ->
+    { (base K_pkt_out) with
+      dpid = Some dpid;
+      packet = Some packet;
+      from_pkt_in = Some from_pkt_in }
+  | Api.Receive_event kind -> base (K_event kind)
+  | Api.Read_payload_access -> base K_read_payload
+  | Api.Publish_event _ -> base K_publish
+  | Api.Syscall (Api.Net_connect { dst; dst_port; _ }) ->
+    { (base K_net_syscall) with net_dst = Some (dst, dst_port) }
+  | Api.Syscall (Api.File_open _) -> base K_file_syscall
+  | Api.Syscall (Api.Spawn_process _) -> base K_proc_syscall
+
+(** What an attribute says about one header field. *)
+type field_info =
+  | Ip_range of ipv4 * ipv4  (** (addr, mask): the call covers this range. *)
+  | Exact_int of int
+  | Unconstrained  (** The call has the dimension but leaves it open. *)
+  | No_dimension  (** The call has no such attribute at all. *)
+
+let of_ip_match = function
+  | Some (im : Match_fields.ip_match) -> Ip_range (im.addr, im.mask)
+  | None -> Unconstrained
+
+let of_int_opt = function Some i -> Exact_int i | None -> Unconstrained
+
+(** Extract what [attrs] constrains header field [f] to.
+
+    - flow-mod-like calls expose their match fields;
+    - packet-outs expose the concrete header values of the payload;
+    - host-network syscalls expose their destination IP/port under
+      IP_DST/TCP_DST (the paper's [network_access LIMITING IP_DST …]). *)
+let field_value (attrs : t) (f : Filter.field) : field_info =
+  match attrs.match_ with
+  | Some m -> (
+    match f with
+    | Filter.F_ip_src -> of_ip_match m.nw_src
+    | Filter.F_ip_dst -> of_ip_match m.nw_dst
+    | Filter.F_tcp_src -> of_int_opt m.tp_src
+    | Filter.F_tcp_dst -> of_int_opt m.tp_dst
+    | Filter.F_eth_src -> of_int_opt m.dl_src
+    | Filter.F_eth_dst -> of_int_opt m.dl_dst
+    | Filter.F_in_port -> of_int_opt m.in_port
+    | Filter.F_eth_type ->
+      of_int_opt (Option.map Types.eth_type_code m.dl_type)
+    | Filter.F_ip_proto ->
+      of_int_opt (Option.map Types.ip_proto_code m.nw_proto)
+    | Filter.F_vlan -> of_int_opt m.dl_vlan)
+  | None -> (
+    match attrs.packet with
+    | Some pkt -> (
+      let ip g = Option.map g pkt.Packet.ip in
+      let tp g = Option.map g pkt.Packet.tp in
+      match f with
+      | Filter.F_ip_src -> (
+        match ip (fun i -> i.Packet.nw_src) with
+        | Some a -> Ip_range (a, 0xFFFFFFFFl)
+        | None -> Unconstrained)
+      | Filter.F_ip_dst -> (
+        match ip (fun i -> i.Packet.nw_dst) with
+        | Some a -> Ip_range (a, 0xFFFFFFFFl)
+        | None -> Unconstrained)
+      | Filter.F_tcp_src -> of_int_opt (tp (fun t -> t.Packet.tp_src))
+      | Filter.F_tcp_dst -> of_int_opt (tp (fun t -> t.Packet.tp_dst))
+      | Filter.F_eth_src -> Exact_int pkt.Packet.dl_src
+      | Filter.F_eth_dst -> Exact_int pkt.Packet.dl_dst
+      | Filter.F_eth_type -> Exact_int (Types.eth_type_code pkt.Packet.dl_type)
+      | Filter.F_ip_proto ->
+        of_int_opt (ip (fun i -> Types.ip_proto_code i.Packet.nw_proto))
+      | Filter.F_vlan -> of_int_opt pkt.Packet.dl_vlan
+      | Filter.F_in_port -> No_dimension)
+    | None -> (
+      match attrs.net_dst with
+      | Some (dst, port) -> (
+        match f with
+        | Filter.F_ip_dst -> Ip_range (dst, 0xFFFFFFFFl)
+        | Filter.F_tcp_dst -> Exact_int port
+        | _ -> No_dimension)
+      | None -> No_dimension))
+
+(** Does this call kind carry header-field attributes at all?  A
+    predicate filter attached to a permission whose calls lack the
+    dimension passes vacuously (§IV-B: a singleton filter "is only
+    effective to modify a subset of permissions that contain the
+    specific attributes it inspects"). *)
+let has_header_dimension (attrs : t) =
+  match attrs.kind with
+  | K_insert_flow | K_delete_flow | K_read_flow_table | K_pkt_out
+  | K_net_syscall ->
+    true
+  | K_read_stats -> attrs.match_ <> None
+  | _ -> false

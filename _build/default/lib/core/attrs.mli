@@ -1,0 +1,63 @@
+(** Attribute extraction — the bridge between concrete
+    {!Shield_controller.Api.call} values and the abstract attributes
+    permission filters inspect (§IV: "any of the runtime arguments or
+    context of an API call"). *)
+
+open Shield_openflow
+open Shield_openflow.Types
+open Shield_controller
+
+type call_kind =
+  | K_insert_flow  (** Flow-mod add or modify. *)
+  | K_delete_flow
+  | K_read_flow_table
+  | K_read_topology
+  | K_modify_topology
+  | K_read_stats
+  | K_pkt_out
+  | K_event of Api.event_kind
+  | K_read_payload
+  | K_publish
+  | K_net_syscall
+  | K_file_syscall
+  | K_proc_syscall
+
+type t = {
+  kind : call_kind;
+  match_ : Match_fields.t option;  (** Flow-mod match / read pattern. *)
+  actions : Action.t list option;
+  priority : int option;
+  dpid : dpid option;
+  stats_level : Stats.level option;
+  packet : Packet.t option;  (** Packet-out payload. *)
+  net_dst : (ipv4 * int) option;  (** Host-network syscall endpoint. *)
+  from_pkt_in : bool option;
+  flow_command : Flow_mod.command option;
+  cookie : int option;
+      (** Owner of the entity under inspection — set when vetting the
+          visibility of an existing flow entry, never for calls. *)
+}
+
+val base : call_kind -> t
+(** An attribute record with every optional attribute absent. *)
+
+val of_call : Api.call -> t
+(** Flatten a call into its inspectable attributes. *)
+
+(** What an attribute says about one header field. *)
+type field_info =
+  | Ip_range of ipv4 * ipv4  (** (addr, mask): the call covers this range. *)
+  | Exact_int of int
+  | Unconstrained  (** The call has the dimension but leaves it open. *)
+  | No_dimension  (** The call has no such attribute at all. *)
+
+val field_value : t -> Filter.field -> field_info
+(** What the call constrains header field [f] to: flow-mod-like calls
+    expose their match fields, packet-outs the concrete payload
+    headers, and host-network syscalls their destination under
+    [IP_DST]/[TCP_DST]. *)
+
+val has_header_dimension : t -> bool
+(** Does this call kind carry header-field attributes at all?  A
+    predicate filter on a kind without them passes vacuously
+    (§IV-B). *)

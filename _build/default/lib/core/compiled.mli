@@ -1,0 +1,19 @@
+(** Closure-compiled permission checking — the compilation strategy of
+    §III ("compiles the permission manifest into the runtime checking
+    code").  Filters become closure trees with constants pre-resolved;
+    the manifest becomes a token-indexed array.  Stateless-decision
+    equivalence with the interpreting {!Engine} is property-tested;
+    [bench/main.exe ablation-compile] measures the difference. *)
+
+type checker_fn = Filter_eval.env -> Attrs.t -> bool
+
+val compile_singleton : Filter.singleton -> checker_fn
+val compile : Filter.expr -> checker_fn
+
+type t
+
+val of_manifest : ?env:Filter_eval.env -> Perm.manifest -> t
+(** Compile once.  [env] supplies the stateful dimensions (defaults to
+    {!Filter_eval.pure_env} for stateless checking). *)
+
+val check : t -> Shield_controller.Api.call -> Shield_controller.Api.decision

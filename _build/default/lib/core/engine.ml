@@ -1,0 +1,390 @@
+(* The permission engine (PE, §VI-B).
+
+   One engine instance guards one app.  It holds the app's reconciled
+   manifest, answers allow/deny for every API call, tracks the stateful
+   dimensions (ownership, rule budgets) in a store shared with the
+   other apps' engines, enforces transactional call groups with
+   rollback, translates virtual-topology calls, and vets read results
+   for visibility.  [checker] packages all of it as the controller's
+   pluggable [Api.checker]. *)
+
+open Shield_openflow
+open Shield_net
+open Shield_controller
+
+type t = {
+  app_name : string;
+  cookie : int;
+  manifest : Perm.manifest;
+  ownership : Ownership.t;
+  vtopo : Vtopo.t option;
+  record_state : bool;
+      (** When false, approved flow-mods are not recorded in the
+          ownership store: pure stateless checking, as the paper
+          characterises the permission engine for its Figure-5
+          microbenchmark. *)
+  mutex : Mutex.t;  (** Guards stateful check/record sequences. *)
+  mutable checks : int;
+  mutable denials : int;
+}
+
+(* Manifest compilation ----------------------------------------------------- *)
+
+let find_virt_members (manifest : Perm.manifest) =
+  (* A virtual big switch is requested by a Virt_topo atom on
+     visible_topology; its member set defaults to the switches of a
+     Phys_topo atom on the same permission, else the whole network. *)
+  match Perm.find manifest Token.Visible_topology with
+  | None -> None
+  | Some p ->
+    let has_virt =
+      Filter.fold_atoms
+        (fun acc s ->
+          acc || match s with Filter.Virt_topo _ -> true | _ -> false)
+        false p.Perm.filter
+    in
+    if not has_virt then None
+    else
+      Some
+        (Filter.fold_atoms
+           (fun acc s ->
+             match s with
+             | Filter.Phys_topo { switches; _ } ->
+               Filter.Int_set.union acc switches
+             | _ -> acc)
+           Filter.Int_set.empty p.Perm.filter)
+
+(** Build an engine for [app_name].  [ownership] must be shared across
+    all engines of one deployment; [topo] enables virtual-topology
+    translation when the manifest requests it.  Manifests containing
+    unexpanded macros are rejected: reconciliation must run first. *)
+let create ?topo ?(record_state = true) ~ownership ~app_name ~cookie
+    (manifest : Perm.manifest) : t =
+  (match Perm.macros manifest with
+  | [] -> ()
+  | ms ->
+    invalid_arg
+      (Printf.sprintf "engine: manifest of %s has unresolved macros: %s"
+         app_name (String.concat ", " ms)));
+  let vtopo =
+    match (find_virt_members manifest, topo) with
+    | Some members, Some topo -> Some (Vtopo.create ~members topo)
+    | Some _, None ->
+      invalid_arg
+        (Printf.sprintf
+           "engine: %s requests a virtual topology but no physical topology \
+            was supplied"
+           app_name)
+    | None, _ -> None
+  in
+  { app_name; cookie; manifest; ownership; vtopo; record_state;
+    mutex = Mutex.create (); checks = 0; denials = 0 }
+
+(* Token resolution --------------------------------------------------------- *)
+
+(** Which token a call requires.  [None] = no permission needed
+    (inter-app publications and their receipt are governed by
+    subscription, not tokens). *)
+let token_of_call (call : Api.call) : Token.t option =
+  match call with
+  | Api.Install_flow (_, fm) -> (
+    match fm.Flow_mod.command with
+    | Flow_mod.Add | Flow_mod.Modify -> Some Token.Insert_flow
+    | Flow_mod.Delete -> Some Token.Delete_flow)
+  | Api.Read_flow_table _ -> Some Token.Read_flow_table
+  | Api.Read_topology -> Some Token.Visible_topology
+  | Api.Modify_topology _ -> Some Token.Modify_topology
+  | Api.Read_stats _ -> Some Token.Read_statistics
+  | Api.Send_packet_out _ -> Some Token.Send_pkt_out
+  | Api.Receive_event k -> (
+    match k with
+    | Api.E_packet_in -> Some Token.Pkt_in_event
+    | Api.E_flow -> Some Token.Flow_event
+    | Api.E_topology -> Some Token.Topology_event
+    | Api.E_error -> Some Token.Error_event
+    | Api.E_stats -> Some Token.Read_statistics
+    | Api.E_app _ -> None)
+  | Api.Read_payload_access -> Some Token.Read_payload
+  | Api.Publish_event _ -> None
+  | Api.Syscall (Api.Net_connect _) -> Some Token.Host_network
+  | Api.Syscall (Api.File_open _) -> Some Token.File_system
+  | Api.Syscall (Api.Spawn_process _) -> Some Token.Process_runtime
+
+(* Evaluation environment --------------------------------------------------- *)
+
+let env t : Filter_eval.env =
+  { Filter_eval.owns_all_targeted =
+      (fun attrs ->
+        match attrs.Attrs.cookie with
+        | Some c ->
+          (* Vetting an existing entry: owned iff tagged with our
+             cookie. *)
+          c = t.cookie
+        | None -> (
+          match (attrs.Attrs.dpid, attrs.Attrs.match_, attrs.Attrs.flow_command)
+          with
+          | Some dpid, Some match_, Some command ->
+            Ownership.owns_all_targeted t.ownership ~cookie:t.cookie ~dpid
+              ~command ~match_
+          | _ -> true));
+    rule_count =
+      (fun dpid -> Ownership.count t.ownership ~cookie:t.cookie ~dpid) }
+
+(* Checking ------------------------------------------------------------------ *)
+
+let is_stateful = function Api.Install_flow _ -> true | _ -> false
+
+let record_state t (call : Api.call) =
+  if t.record_state then
+    match call with
+    | Api.Install_flow (dpid, fm) ->
+      Ownership.record t.ownership ~dpid fm ~cookie:t.cookie
+    | _ -> ()
+
+(** When a virtual topology is active, the app's entire view is the
+    big switch: any call addressing a physical datapath directly is
+    outside the abstraction and denied, whichever token it rides on. *)
+let vtopo_confined t (attrs : Attrs.t) =
+  match (t.vtopo, attrs.Attrs.dpid) with
+  | Some vt, Some d -> d = vt.Vtopo.vdpid
+  | _ -> true
+
+let check_unlocked t (call : Api.call) : Api.decision =
+  t.checks <- t.checks + 1;
+  let deny why =
+    t.denials <- t.denials + 1;
+    Api.Deny why
+  in
+  if not (vtopo_confined t (Attrs.of_call call)) then
+    deny "virtual topology: physical switches are not addressable"
+  else
+  match token_of_call call with
+  | None -> Api.Allow
+  | Some token -> (
+    match Perm.find t.manifest token with
+    | None -> deny (Printf.sprintf "missing permission %s" (Token.to_string token))
+    | Some p ->
+      if Filter_eval.eval (env t) p.Perm.filter (Attrs.of_call call) then begin
+        record_state t call;
+        Api.Allow
+      end
+      else
+        (* Keep the hot deny path allocation-light: permission checking
+           sits on the control-plane critical path (§IX-B2), and the
+           runtime's audit layer already records the offending call. *)
+        deny ("permission filter rejects call: " ^ Token.to_string token))
+
+(** Check one call; approved flow-mods update the ownership store. *)
+let check t call =
+  if is_stateful call then begin
+    Mutex.lock t.mutex;
+    let d = check_unlocked t call in
+    Mutex.unlock t.mutex;
+    d
+  end
+  else check_unlocked t call
+
+(** Transactional check (§VI-B2): every call in the group must pass;
+    state updates from earlier calls in the group are visible to later
+    ones and roll back entirely when any call is denied. *)
+let check_transaction t (calls : Api.call list) :
+    (unit, int * string) Stdlib.result =
+  Mutex.lock t.mutex;
+  let snap = Ownership.snapshot t.ownership in
+  let rec go i = function
+    | [] -> Ok ()
+    | call :: rest -> (
+      match check_unlocked t call with
+      | Api.Allow -> go (i + 1) rest
+      | Api.Deny why ->
+        Ownership.restore t.ownership snap;
+        Error (i, why))
+  in
+  let r = go 0 calls in
+  Mutex.unlock t.mutex;
+  r
+
+(* Virtual-topology call translation ---------------------------------------- *)
+
+let rewrite t (call : Api.call) : Api.call list =
+  match t.vtopo with
+  | None -> [ call ]
+  | Some vt -> (
+    let vdpid = vt.Vtopo.vdpid in
+    match call with
+    | Api.Install_flow (d, fm) when d = vdpid ->
+      List.map
+        (fun (pd, pfm) -> Api.Install_flow (pd, pfm))
+        (Vtopo.translate_flow_mod vt fm)
+    | Api.Read_flow_table { dpid = Some d; pattern } when d = vdpid ->
+      List.map
+        (fun m -> Api.Read_flow_table { dpid = Some m; pattern })
+        (Filter.Int_set.elements vt.Vtopo.members)
+    | Api.Read_flow_table { dpid = None; pattern } ->
+      (* Whole-view read = the member switches. *)
+      List.map
+        (fun m -> Api.Read_flow_table { dpid = Some m; pattern })
+        (Filter.Int_set.elements vt.Vtopo.members)
+    | Api.Read_stats req
+      when req.Stats.dpid_filter = Some vdpid || req.Stats.dpid_filter = None ->
+      List.map
+        (fun m -> Api.Read_stats { req with Stats.dpid_filter = Some m })
+        (Filter.Int_set.elements vt.Vtopo.members)
+    | Api.Send_packet_out ({ dpid = d; port; _ } as po) when d = vdpid -> (
+      match Vtopo.endpoint_of_vport vt port with
+      | Some ep ->
+        [ Api.Send_packet_out
+            { po with dpid = ep.Topology.dpid; port = ep.Topology.port } ]
+      | None -> [])
+    | _ -> [ call ])
+
+let merge_results (call : Api.call) (results : Api.result list) : Api.result =
+  match results with
+  | [] -> Api.Failed "virtual-topology translation produced no calls"
+  | [ r ] -> r
+  | rs -> (
+    match List.find_opt (function Api.Failed _ | Api.Denied _ -> true | _ -> false) rs with
+    | Some bad -> bad
+    | None -> (
+      match call with
+      | Api.Read_flow_table _ ->
+        Api.Flow_entries
+          (List.concat_map
+             (function Api.Flow_entries l -> l | _ -> [])
+             rs)
+      | Api.Read_stats _ ->
+        let flow, port, sw =
+          List.fold_left
+            (fun (f, p, s) -> function
+              | Api.Stats_result (Stats.Flow_stats l) -> (f @ l, p, s)
+              | Api.Stats_result (Stats.Port_stats l) -> (f, p @ l, s)
+              | Api.Stats_result (Stats.Switch_stats l) -> (f, p, s @ l)
+              | _ -> (f, p, s))
+            ([], [], []) rs
+        in
+        if flow <> [] then Api.Stats_result (Stats.Flow_stats flow)
+        else if port <> [] then Api.Stats_result (Stats.Port_stats port)
+        else Api.Stats_result (Stats.Switch_stats sw)
+      | _ -> List.hd rs))
+
+(* Result vetting (visibility filtering) ------------------------------------ *)
+
+let filter_for t token =
+  match Perm.find t.manifest token with
+  | Some p -> p.Perm.filter
+  | None -> Filter.False
+
+let entry_visible t expr ~dpid (fs : Stats.flow_stat) =
+  let attrs =
+    { (Attrs.base Attrs.K_read_flow_table) with
+      Attrs.match_ = Some fs.Stats.match_;
+      priority = Some fs.Stats.priority;
+      dpid = Some dpid;
+      cookie = Some fs.Stats.cookie }
+  in
+  Filter_eval.eval (env t) expr attrs
+
+let switch_visible t expr ~kind d =
+  Filter_eval.eval (env t) expr { (Attrs.base kind) with Attrs.dpid = Some d }
+
+let vet_flow_entries t expr l =
+  let vetted =
+    List.filter_map
+      (fun (dpid, entries) ->
+        if not (switch_visible t expr ~kind:Attrs.K_read_flow_table dpid) then
+          None
+        else
+          match List.filter (entry_visible t expr ~dpid) entries with
+          | [] -> None
+          | kept -> Some (dpid, kept))
+      l
+  in
+  match t.vtopo with
+  | Some vt when vetted <> [] -> Vtopo.aggregate_flow_stats vt vetted
+  | _ -> vetted
+
+let vet_topology t expr (view : Api.topology_view) : Api.topology_view =
+  match t.vtopo with
+  | Some vt -> Vtopo.translate_topology_view vt view
+  | None ->
+    let vis d = switch_visible t expr ~kind:Attrs.K_read_topology d in
+    { Api.switches = List.filter vis view.Api.switches;
+      links =
+        List.filter
+          (fun ((a : Topology.endpoint), (b : Topology.endpoint)) ->
+            vis a.Topology.dpid && vis b.Topology.dpid)
+          view.Api.links;
+      hosts =
+        List.filter
+          (fun (h : Topology.host) -> vis h.Topology.attachment.Topology.dpid)
+          view.Api.hosts }
+
+let vet_stats t expr (reply : Stats.reply) : Stats.reply =
+  let vis d = switch_visible t expr ~kind:Attrs.K_read_stats d in
+  let vetted =
+    match reply with
+    | Stats.Flow_stats l ->
+      Stats.Flow_stats
+        (List.filter_map
+           (fun (d, entries) ->
+             if not (vis d) then None
+             else Some (d, List.filter (entry_visible t expr ~dpid:d) entries))
+           l)
+    | Stats.Port_stats l -> Stats.Port_stats (List.filter (fun (d, _) -> vis d) l)
+    | Stats.Switch_stats l ->
+      Stats.Switch_stats (List.filter (fun (s : Stats.switch_stat) -> vis s.Stats.dpid) l)
+  in
+  match t.vtopo with
+  | Some vt -> Vtopo.aggregate_stats vt vetted
+  | None -> vetted
+
+let vet_result t (call : Api.call) (result : Api.result) : Api.result =
+  match (call, result) with
+  | Api.Read_flow_table _, Api.Flow_entries l ->
+    Api.Flow_entries (vet_flow_entries t (filter_for t Token.Read_flow_table) l)
+  | Api.Read_topology, Api.Topology_of view ->
+    Api.Topology_of (vet_topology t (filter_for t Token.Visible_topology) view)
+  | Api.Read_stats _, Api.Stats_result reply ->
+    Api.Stats_result (vet_stats t (filter_for t Token.Read_statistics) reply)
+  | _ -> result
+
+(* Packaging ----------------------------------------------------------------- *)
+
+(** React to controller state changes: a switch-expired rule leaves the
+    ownership store so OWN_FLOWS / MAX_RULE_COUNT reflect reality. *)
+let observe t (change : Api.state_change) =
+  match change with
+  | Api.Flow_expired { dpid; match_; cookie } ->
+    Ownership.forget t.ownership ~dpid ~match_ ~cookie
+
+(** Load-time capability test (§VIII-B): is the token behind the
+    capability granted at all, whatever its filters? *)
+let granted t (cap : Api.capability) : bool =
+  let has tok = Perm.grants_token t.manifest tok in
+  match cap with
+  | Api.Cap_flow_write -> has Token.Insert_flow || has Token.Delete_flow
+  | Api.Cap_flow_read -> has Token.Read_flow_table
+  | Api.Cap_topology_read -> has Token.Visible_topology
+  | Api.Cap_topology_write -> has Token.Modify_topology
+  | Api.Cap_stats -> has Token.Read_statistics
+  | Api.Cap_packet_out -> has Token.Send_pkt_out
+  | Api.Cap_payload -> has Token.Read_payload
+  | Api.Cap_host_network -> has Token.Host_network
+  | Api.Cap_file_system -> has Token.File_system
+  | Api.Cap_process -> has Token.Process_runtime
+
+(** The engine as a controller-pluggable checker. *)
+let checker (t : t) : Api.checker =
+  { Api.check = (fun call -> check t call);
+    check_transaction = (fun calls -> check_transaction t calls);
+    rewrite = (fun call -> rewrite t call);
+    combine = (fun call results -> merge_results call results);
+    vet_result = (fun call result -> vet_result t call result);
+    observe = (fun change -> observe t change);
+    granted = (fun cap -> granted t cap) }
+
+let stats t = (t.checks, t.denials)
+
+let reset_stats t =
+  t.checks <- 0;
+  t.denials <- 0

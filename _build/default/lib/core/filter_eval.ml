@@ -1,0 +1,149 @@
+(* Filter-expression evaluation: does this API call pass this filter?
+
+   Evaluation is mostly pure over the call's attributes; the stateful
+   dimensions (flow ownership, per-switch rule budgets) are answered
+   through the [env] callbacks supplied by the permission engine, which
+   keeps this module controller- and state-representation independent.
+
+   Semantic conventions, per §IV-B:
+   - a singleton on a dimension the call *kind* doesn't have passes
+     vacuously (the filter "is only effective" on calls carrying the
+     attribute);
+   - a predicate filter on a dimension the call has but leaves
+     unconstrained fails: the call would cover a broader range than the
+     filter allows ("only allows API calls with narrower predicates to
+     pass through");
+   - read-type visibility filters (OWN_FLOWS on reads, topology sets on
+     whole-network reads) pass at check time and are enforced by
+     response filtering in the engine. *)
+
+open Shield_openflow
+
+type env = {
+  owns_all_targeted : Attrs.t -> bool;
+      (** Every existing rule this flow-mod overlaps/targets belongs to
+          the calling app. *)
+  rule_count : Types.dpid option -> int;
+      (** Rules the calling app currently has installed at the switch. *)
+}
+
+(** Environment for stateless evaluation: ownership holds trivially and
+    rule budgets are empty.  Used where only pure attributes matter. *)
+let pure_env = { owns_all_targeted = (fun _ -> true); rule_count = (fun _ -> 0) }
+
+let field_of_set_field : Action.set_field -> Filter.field = function
+  | Action.Set_dl_src _ -> Filter.F_eth_src
+  | Action.Set_dl_dst _ -> Filter.F_eth_dst
+  | Action.Set_nw_src _ -> Filter.F_ip_src
+  | Action.Set_nw_dst _ -> Filter.F_ip_dst
+  | Action.Set_tp_src _ -> Filter.F_tcp_src
+  | Action.Set_tp_dst _ -> Filter.F_tcp_dst
+
+let eval_pred ~field ~value ~mask (attrs : Attrs.t) =
+  if not (Attrs.has_header_dimension attrs) then true
+  else
+    match Attrs.field_value attrs field with
+    | Attrs.No_dimension -> true
+    | Attrs.Unconstrained -> false
+    | Attrs.Ip_range (addr, call_mask) -> (
+      match value with
+      | Filter.V_ip faddr ->
+        let fmask = Option.value mask ~default:0xFFFFFFFFl in
+        (* Call range ⊆ filter range: the filter's mask bits must all be
+           fixed by the call, to the filter's values. *)
+        Int32.logand fmask (Int32.lognot call_mask) = 0l
+        && Int32.logand addr fmask = Int32.logand faddr fmask
+      | Filter.V_int _ -> false)
+    | Attrs.Exact_int i -> (
+      match value with
+      | Filter.V_int v -> i = v
+      | Filter.V_ip ip -> Int32.of_int i = ip)
+
+let eval_wildcard ~field ~mask (attrs : Attrs.t) =
+  match attrs.kind with
+  | Attrs.K_insert_flow | Attrs.K_delete_flow -> (
+    match Attrs.field_value attrs field with
+    | Attrs.No_dimension | Attrs.Unconstrained -> true
+    | Attrs.Ip_range (_, call_mask) -> Int32.logand call_mask mask = 0l
+    | Attrs.Exact_int _ -> mask = 0l)
+  | _ -> true
+
+let action_allowed kind (a : Action.t) =
+  match (kind, a) with
+  | Filter.A_drop, _ -> false (* drop = empty list, handled separately *)
+  | Filter.A_forward, (Action.Output _ | Action.Flood) -> true
+  | Filter.A_forward, _ -> false
+  | Filter.A_modify f, Action.Set sf -> field_of_set_field sf = f
+  | Filter.A_modify _, (Action.Output _ | Action.Flood) -> true
+  | Filter.A_modify _, Action.To_controller -> false
+
+let eval_action kind (attrs : Attrs.t) =
+  match attrs.actions with
+  | None -> true
+  | Some actions -> (
+    match kind with
+    | Filter.A_drop -> actions = []
+    | _ -> actions <> [] && List.for_all (action_allowed kind) actions)
+
+let eval_owner env ownership (attrs : Attrs.t) =
+  match ownership with
+  | Filter.All_flows -> true
+  | Filter.Own_flows -> (
+    match attrs.kind with
+    | Attrs.K_insert_flow | Attrs.K_delete_flow -> env.owns_all_targeted attrs
+    | _ when attrs.cookie <> None ->
+      (* Vetting an existing entry's visibility: ask the engine whether
+         the entry's owner is the calling app. *)
+      env.owns_all_targeted attrs
+    | _ -> true (* read calls: visibility filtering at the response *))
+
+let eval_topo_member switches (attrs : Attrs.t) =
+  match attrs.dpid with
+  | None -> true (* whole-network reads: response filtering *)
+  | Some d -> Filter.Int_set.mem d switches
+
+(** Datapath id used by apps confined to a single virtual big switch. *)
+let virtual_big_switch_dpid = 1000
+
+let eval_virt_topo vt (attrs : Attrs.t) =
+  match attrs.dpid with
+  | None -> true
+  | Some d -> (
+    match vt with
+    | Filter.Single_big_switch -> d = virtual_big_switch_dpid
+    | Filter.Switch_groups groups -> List.exists (fun (_, vid) -> d = vid) groups)
+
+let eval_singleton env (s : Filter.singleton) (attrs : Attrs.t) =
+  match s with
+  | Filter.Pred { field; value; mask } -> eval_pred ~field ~value ~mask attrs
+  | Filter.Wildcard { field; mask } -> eval_wildcard ~field ~mask attrs
+  | Filter.Action_f kind -> eval_action kind attrs
+  | Filter.Owner o -> eval_owner env o attrs
+  | Filter.Max_priority n -> (
+    match attrs.priority with Some p -> p <= n | None -> true)
+  | Filter.Min_priority n -> (
+    match attrs.priority with Some p -> p >= n | None -> true)
+  | Filter.Max_rule_count n -> (
+    match (attrs.kind, attrs.flow_command) with
+    | Attrs.K_insert_flow, Some Flow_mod.Add -> env.rule_count attrs.dpid < n
+    | _ -> true)
+  | Filter.Pkt_out k -> (
+    match (k, attrs.from_pkt_in) with
+    | Filter.Arbitrary, _ -> true
+    | Filter.From_pkt_in, Some b -> b
+    | Filter.From_pkt_in, None -> true)
+  | Filter.Phys_topo { switches; _ } -> eval_topo_member switches attrs
+  | Filter.Virt_topo vt -> eval_virt_topo vt attrs
+  | Filter.Callback _ -> true (* capability marker; see DESIGN.md *)
+  | Filter.Stats_level l -> (
+    match attrs.stats_level with Some l' -> l = l' | None -> true)
+  | Filter.Macro _ -> false (* unresolved stub: deny closed *)
+
+let rec eval env (expr : Filter.expr) (attrs : Attrs.t) =
+  match expr with
+  | Filter.True -> true
+  | Filter.False -> false
+  | Filter.Atom s -> eval_singleton env s attrs
+  | Filter.And (a, b) -> eval env a attrs && eval env b attrs
+  | Filter.Or (a, b) -> eval env a attrs || eval env b attrs
+  | Filter.Not e -> not (eval env e attrs)

@@ -1,0 +1,35 @@
+(** Filter-expression evaluation: does this API call pass this filter?
+
+    Semantic conventions (§IV-B):
+    - a singleton on a dimension the call {e kind} lacks passes
+      vacuously;
+    - a predicate filter on a dimension the call has but leaves
+      unconstrained fails (the call would be broader than allowed);
+    - read-type visibility filters pass at check time and are enforced
+      by response filtering in {!Engine}. *)
+
+open Shield_openflow
+
+(** Stateful dimensions are answered through callbacks, keeping this
+    module independent of any state representation. *)
+type env = {
+  owns_all_targeted : Attrs.t -> bool;
+      (** Every existing rule this flow-mod overlaps/targets belongs to
+          the calling app; for entry vetting ([Attrs.cookie] set), is
+          the entry the app's own. *)
+  rule_count : Types.dpid option -> int;
+      (** Rules the calling app currently has installed at the switch
+          ([None] = domain-wide). *)
+}
+
+val pure_env : env
+(** Stateless environment: ownership holds trivially, budgets empty. *)
+
+val field_of_set_field : Action.set_field -> Filter.field
+
+val virtual_big_switch_dpid : int
+(** The datapath id apps confined to a single virtual big switch
+    address (see {!Vtopo}). *)
+
+val eval_singleton : env -> Filter.singleton -> Attrs.t -> bool
+val eval : env -> Filter.expr -> Attrs.t -> bool

@@ -1,0 +1,219 @@
+(* Automatic permission-manifest generation by dynamic analysis.
+
+   §III: "A permission manifest can be automatically generated from app
+   source code with static/dynamic analysis tools ... Then, the
+   developers can refine the permission manifest."  This module is the
+   dynamic-analysis tool: run the app under a recording checker
+   ([recorder], which allows everything and logs the API-call stream),
+   then [of_trace] synthesises a least-privilege manifest:
+
+   - only the tokens the app actually used;
+   - IP predicates narrowed to the smallest common prefix covering the
+     observed addresses;
+   - action filters covering exactly the observed action kinds;
+   - the observed priority ceiling and packet-out provenance;
+   - statistics limited to the observed levels.
+
+   The guarantee (property-tested): every recorded call is allowed by
+   the inferred manifest, and anything outside the observed envelope is
+   not. *)
+
+open Shield_openflow
+open Shield_openflow.Types
+open Shield_controller
+
+(* Recorder -------------------------------------------------------------------- *)
+
+(** An allow-all checker that records the call stream.  [calls ()]
+    returns the trace in issue order. *)
+let recorder () : Api.checker * (unit -> Api.call list) =
+  let log = ref [] in
+  let mutex = Mutex.create () in
+  let push call =
+    Mutex.lock mutex;
+    log := call :: !log;
+    Mutex.unlock mutex
+  in
+  ( { Api.allow_all with
+      Api.check =
+        (fun call ->
+          push call;
+          Api.Allow);
+      check_transaction =
+        (fun calls ->
+          List.iter push calls;
+          Ok ()) },
+    fun () -> List.rev !log )
+
+(* IP-range hulls ---------------------------------------------------------------- *)
+
+type hull = {
+  mutable range : (ipv4 * ipv4) option;  (** (addr, mask) covering all. *)
+  mutable unconstrained : bool;  (** Saw a call leaving the field open. *)
+  mutable present : bool;
+}
+
+let new_hull () = { range = None; unconstrained = false; present = false }
+
+(** Smallest common prefix covering two masked ranges. *)
+let merge_range (a1, m1) (a2, m2) =
+  let rec shrink len =
+    if len = 0 then (0l, 0l)
+    else
+      let m = prefix_mask len in
+      if
+        Int32.logand m m1 = m && Int32.logand m m2 = m
+        && Int32.logand a1 m = Int32.logand a2 m
+      then (Int32.logand a1 m, m)
+      else shrink (len - 1)
+  in
+  shrink 32
+
+let hull_add h (info : Attrs.field_info) =
+  match info with
+  | Attrs.No_dimension -> ()
+  | Attrs.Unconstrained ->
+    h.present <- true;
+    h.unconstrained <- true
+  | Attrs.Ip_range (addr, mask) ->
+    h.present <- true;
+    h.range <-
+      (match h.range with
+      | None -> Some (Int32.logand addr mask, mask)
+      | Some r -> Some (merge_range r (addr, mask)))
+  | Attrs.Exact_int _ -> ()
+
+let hull_filter field h : Filter.expr option =
+  if (not h.present) || h.unconstrained then None
+  else
+    match h.range with
+    | Some (addr, mask) when mask <> 0l ->
+      Some (Filter.ip_subnet field addr mask)
+    | _ -> None
+
+(* Per-token accumulators ----------------------------------------------------------- *)
+
+type flow_acc = {
+  dst_hull : hull;
+  src_hull : hull;
+  mutable max_priority : int;
+  mutable kinds : Filter.action_kind list;  (** Deduplicated. *)
+  mutable seen : bool;
+}
+
+let new_flow_acc () =
+  { dst_hull = new_hull (); src_hull = new_hull (); max_priority = 0;
+    kinds = []; seen = false }
+
+let add_kind acc k = if not (List.mem k acc.kinds) then acc.kinds <- k :: acc.kinds
+
+let observe_actions acc (actions : Action.t list) =
+  if actions = [] then add_kind acc Filter.A_drop
+  else begin
+    let sets = Action.modified_fields actions in
+    if sets = [] then add_kind acc Filter.A_forward
+    else
+      List.iter
+        (fun sf -> add_kind acc (Filter.A_modify (Filter_eval.field_of_set_field sf)))
+        sets
+  end
+
+let flow_filter acc : Filter.expr =
+  let parts =
+    List.filter_map Fun.id
+      [ hull_filter Filter.F_ip_dst acc.dst_hull;
+        hull_filter Filter.F_ip_src acc.src_hull;
+        (match acc.kinds with
+        | [] -> None
+        | kinds ->
+          Some
+            (Filter.disj_list
+               (List.map (fun k -> Filter.atom (Filter.Action_f k)) kinds)));
+        Some (Filter.atom (Filter.Max_priority acc.max_priority)) ]
+  in
+  Filter.conj_list parts
+
+(* Trace analysis --------------------------------------------------------------------- *)
+
+type acc = {
+  insert : flow_acc;
+  delete : flow_acc;
+  net_hull : hull;
+  mutable net_seen : bool;
+  mutable stats_levels : Stats.level list;
+  mutable pkt_out_all_replays : bool;
+  mutable tokens : Token.Set.t;
+}
+
+let observe acc (call : Api.call) =
+  (match Engine.token_of_call call with
+  | Some token -> acc.tokens <- Token.Set.add token acc.tokens
+  | None -> ());
+  let attrs = Attrs.of_call call in
+  match attrs.Attrs.kind with
+  | Attrs.K_insert_flow | Attrs.K_delete_flow ->
+    let facc =
+      if attrs.Attrs.kind = Attrs.K_insert_flow then acc.insert else acc.delete
+    in
+    facc.seen <- true;
+    hull_add facc.dst_hull (Attrs.field_value attrs Filter.F_ip_dst);
+    hull_add facc.src_hull (Attrs.field_value attrs Filter.F_ip_src);
+    Option.iter
+      (fun p -> facc.max_priority <- max facc.max_priority p)
+      attrs.Attrs.priority;
+    Option.iter (observe_actions facc) attrs.Attrs.actions
+  | Attrs.K_read_stats ->
+    Option.iter
+      (fun l ->
+        if not (List.mem l acc.stats_levels) then
+          acc.stats_levels <- l :: acc.stats_levels)
+      attrs.Attrs.stats_level
+  | Attrs.K_pkt_out ->
+    if attrs.Attrs.from_pkt_in <> Some true then acc.pkt_out_all_replays <- false
+  | Attrs.K_net_syscall ->
+    acc.net_seen <- true;
+    hull_add acc.net_hull (Attrs.field_value attrs Filter.F_ip_dst)
+  | _ -> ()
+
+(** Synthesise a least-privilege manifest from an observed call
+    trace. *)
+let of_trace (trace : Api.call list) : Perm.manifest =
+  let acc =
+    { insert = new_flow_acc (); delete = new_flow_acc ();
+      net_hull = new_hull (); net_seen = false; stats_levels = [];
+      pkt_out_all_replays = true; tokens = Token.Set.empty }
+  in
+  List.iter (observe acc) trace;
+  let perm_for (token : Token.t) : Perm.t =
+    let filter =
+      match token with
+      | Token.Insert_flow when acc.insert.seen -> flow_filter acc.insert
+      | Token.Delete_flow when acc.delete.seen -> flow_filter acc.delete
+      | Token.Read_statistics when acc.stats_levels <> [] ->
+        Filter.disj_list
+          (List.map (fun l -> Filter.atom (Filter.Stats_level l)) acc.stats_levels)
+      | Token.Send_pkt_out ->
+        if acc.pkt_out_all_replays then
+          Filter.atom (Filter.Pkt_out Filter.From_pkt_in)
+        else Filter.atom (Filter.Pkt_out Filter.Arbitrary)
+      | Token.Host_network -> (
+        match hull_filter Filter.F_ip_dst acc.net_hull with
+        | Some f -> f
+        | None -> Filter.True)
+      | _ -> Filter.True
+    in
+    { Perm.token; filter = Perm_ops.simplify_expr filter }
+  in
+  Perm.normalize (List.map perm_for (Token.Set.elements acc.tokens))
+
+(** Convenience: run [app] once under a recorder in a throwaway
+    monolithic runtime, feeding it [events], and infer its manifest
+    from what it did. *)
+let of_app_run ~kernel (app : App.t) (events : Events.t list) : Perm.manifest =
+  let checker, calls = recorder () in
+  let rt = Runtime.create ~mode:Runtime.Monolithic kernel [ (app, checker) ] in
+  List.iter (Runtime.feed_sync rt) events;
+  Runtime.shutdown rt;
+  (* Event receipt and payload access are implicit calls the runtime
+     checks; the recorder saw them, so they land in the trace too. *)
+  of_trace (calls ())

@@ -1,0 +1,25 @@
+(** Automatic permission-manifest generation by dynamic analysis
+    (§III): run the app under a recording checker, then synthesise a
+    least-privilege manifest from the observed call stream — only the
+    tokens used, IP predicates narrowed to the smallest covering
+    prefix, action filters covering exactly the observed kinds, the
+    observed priority ceiling, packet-out provenance and statistics
+    levels.
+
+    Guarantee (property-tested): the inferred manifest admits every
+    recorded call. *)
+
+open Shield_controller
+
+val recorder : unit -> Api.checker * (unit -> Api.call list)
+(** An allow-all checker that records the call stream (thread-safe);
+    the closure returns the trace in issue order. *)
+
+val of_trace : Api.call list -> Perm.manifest
+(** Synthesise a least-privilege manifest from an observed trace. *)
+
+val of_app_run : kernel:Kernel.t -> App.t -> Events.t list -> Perm.manifest
+(** Run [app] once under a recorder in a throwaway monolithic runtime,
+    feeding it [events], and infer its manifest — including the
+    implicit event-receipt and payload-access permissions the runtime
+    checks. *)

@@ -1,0 +1,164 @@
+(* Hand-written lexer shared by the permission language (Appendix A)
+   and the security-policy language (Appendix B).
+
+   Conventions from the paper's listings: backslash-newline continues a
+   statement (treated as whitespace here since statements are delimited
+   by keywords, not newlines), [#] starts a comment, dotted quads lex
+   as IP addresses, and double-quoted strings are app names. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | IP of int32
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | LE
+  | GE
+  | LT
+  | GT
+  | EQ
+  | EOF
+
+exception Lex_error of string
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "%s" s
+  | INT i -> Fmt.pf ppf "%d" i
+  | IP ip -> Fmt.string ppf (Shield_openflow.Types.ipv4_to_string ip)
+  | STRING s -> Fmt.pf ppf "%S" s
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | COMMA -> Fmt.string ppf ","
+  | LE -> Fmt.string ppf "<="
+  | GE -> Fmt.string ppf ">="
+  | LT -> Fmt.string ppf "<"
+  | GT -> Fmt.string ppf ">"
+  | EQ -> Fmt.string ppf "="
+  | EOF -> Fmt.string ppf "<eof>"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize [src].  Numbers made only of digits and dots with exactly
+    three dots become [IP]; bare digit runs become [INT]. *)
+let tokenize src : token list =
+  let n = String.length src in
+  let line = ref 1 in
+  let fail msg = raise (Lex_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match src.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1) acc
+      | ' ' | '\t' | '\r' | '\\' -> go (i + 1) acc
+      | '#' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      | '{' -> go (i + 1) (LBRACE :: acc)
+      | '}' -> go (i + 1) (RBRACE :: acc)
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | '=' -> go (i + 1) (EQ :: acc)
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (LE :: acc)
+        else go (i + 1) (LT :: acc)
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (GE :: acc)
+        else go (i + 1) (GT :: acc)
+      | '"' ->
+        let rec scan j =
+          if j >= n then fail "unterminated string"
+          else if src.[j] = '"' then j
+          else scan (j + 1)
+        in
+        let close = scan (i + 1) in
+        go (close + 1) (STRING (String.sub src (i + 1) (close - i - 1)) :: acc)
+      | c when is_digit c ->
+        let rec scan j dots =
+          if j < n && (is_digit src.[j] || src.[j] = '.') then
+            scan (j + 1) (if src.[j] = '.' then dots + 1 else dots)
+          else (j, dots)
+        in
+        let stop, dots = scan i 0 in
+        let text = String.sub src i (stop - i) in
+        if dots = 0 then
+          go stop (INT (int_of_string text) :: acc)
+        else if dots = 3 then
+          let ip =
+            try Shield_openflow.Types.ipv4_of_string text
+            with Invalid_argument _ -> fail ("bad IP literal " ^ text)
+          in
+          go stop (IP ip :: acc)
+        else fail ("bad numeric literal " ^ text)
+      | c when is_ident_char c ->
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        go stop (IDENT (String.sub src i (stop - i)) :: acc)
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+(* Token-stream cursor used by the recursive-descent parsers. *)
+type stream = { mutable toks : token list }
+
+exception Parse_error of string
+
+let of_string src = { toks = tokenize src }
+
+let peek s = match s.toks with [] -> EOF | t :: _ -> t
+
+let peek2 s = match s.toks with _ :: t :: _ -> t | _ -> EOF
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let next s =
+  let t = peek s in
+  advance s;
+  t
+
+let fail_at s msg =
+  raise
+    (Parse_error
+       (Fmt.str "%s (at %a)" msg pp_token (peek s)))
+
+let expect s tok =
+  if peek s = tok then advance s
+  else fail_at s (Fmt.str "expected %a" pp_token tok)
+
+(** Case-insensitive keyword test against the next token. *)
+let at_kw s kw =
+  match peek s with
+  | IDENT id -> String.uppercase_ascii id = String.uppercase_ascii kw
+  | _ -> false
+
+let eat_kw s kw =
+  if at_kw s kw then begin
+    advance s;
+    true
+  end
+  else false
+
+let expect_kw s kw =
+  if not (eat_kw s kw) then fail_at s (Printf.sprintf "expected %s" kw)
+
+let expect_ident s =
+  match next s with
+  | IDENT id -> id
+  | t -> raise (Parse_error (Fmt.str "expected identifier, got %a" pp_token t))
+
+let expect_int s =
+  match next s with
+  | INT i -> i
+  | t -> raise (Parse_error (Fmt.str "expected integer, got %a" pp_token t))

@@ -1,0 +1,55 @@
+(** Hand-written lexer shared by the permission language (Appendix A)
+    and the security-policy language (Appendix B).
+
+    Conventions from the paper's listings: backslash-newline continues
+    a statement, [#] starts a comment, dotted quads lex as IP
+    addresses, double-quoted strings are app names. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | IP of int32
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | LE
+  | GE
+  | LT
+  | GT
+  | EQ
+  | EOF
+
+exception Lex_error of string
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> token list
+(** @raise Lex_error on malformed input. *)
+
+(** {1 Token-stream cursor} for the recursive-descent parsers. *)
+
+type stream = { mutable toks : token list }
+
+exception Parse_error of string
+
+val of_string : string -> stream
+val peek : stream -> token
+val peek2 : stream -> token
+val advance : stream -> unit
+val next : stream -> token
+
+val fail_at : stream -> string -> 'a
+(** @raise Parse_error with the current token appended. *)
+
+val expect : stream -> token -> unit
+
+val at_kw : stream -> string -> bool
+(** Case-insensitive keyword test against the next token. *)
+
+val eat_kw : stream -> string -> bool
+val expect_kw : stream -> string -> unit
+val expect_ident : stream -> string
+val expect_int : stream -> int

@@ -1,0 +1,95 @@
+(* Normal forms over filter expressions.
+
+   Algorithm 1 (§V-B1) compares Filter A against Filter B by putting A
+   in conjunctive normal form and B in disjunctive normal form.  Both
+   forms are represented here as clause lists over literals (possibly
+   negated singletons).
+
+   Representation conventions:
+   - CNF: the list is a conjunction of clauses, each clause a
+     disjunction of literals.  [[]]-free empty list = True; a list
+     containing an empty clause contains False.
+   - DNF: dual — empty list = False; an empty clause = True.
+
+   Distribution can explode exponentially; conversion raises
+   [Too_large] past [max_clauses] and callers fall back to a
+   conservative answer. *)
+
+type literal = { positive : bool; atom : Filter.singleton }
+type clause = literal list
+
+exception Too_large
+
+let pos atom = { positive = true; atom }
+let negl atom = { positive = false; atom }
+
+let pp_literal ppf l =
+  if l.positive then Filter.pp_singleton ppf l.atom
+  else Fmt.pf ppf "NOT %a" Filter.pp_singleton l.atom
+
+(* Negation normal form with explicit polarity at the leaves. *)
+type nnf =
+  | N_true
+  | N_false
+  | N_lit of literal
+  | N_and of nnf * nnf
+  | N_or of nnf * nnf
+
+let rec to_nnf ~negated (e : Filter.expr) : nnf =
+  match e with
+  | Filter.True -> if negated then N_false else N_true
+  | Filter.False -> if negated then N_true else N_false
+  | Filter.Atom a -> N_lit (if negated then negl a else pos a)
+  | Filter.Not e -> to_nnf ~negated:(not negated) e
+  | Filter.And (a, b) ->
+    if negated then N_or (to_nnf ~negated a, to_nnf ~negated b)
+    else N_and (to_nnf ~negated a, to_nnf ~negated b)
+  | Filter.Or (a, b) ->
+    if negated then N_and (to_nnf ~negated a, to_nnf ~negated b)
+    else N_or (to_nnf ~negated a, to_nnf ~negated b)
+
+let guard ~max_clauses clauses =
+  if List.length clauses > max_clauses then raise Too_large else clauses
+
+(* Cross product of clause lists: every pairing merged into one clause. *)
+let cross ~max_clauses xs ys =
+  guard ~max_clauses
+    (List.concat_map (fun x -> List.map (fun y -> x @ y) ys) xs)
+
+(** CNF clauses of [e].  [[]] = True, a member [[]] = False clause. *)
+let cnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
+  let rec go = function
+    | N_true -> []
+    | N_false -> [ [] ]
+    | N_lit l -> [ [ l ] ]
+    | N_and (a, b) -> guard ~max_clauses (go a @ go b)
+    | N_or (a, b) -> cross ~max_clauses (go a) (go b)
+  in
+  go (to_nnf ~negated:false e)
+
+(** DNF clauses of [e].  [] = False, a member [] = True clause. *)
+let dnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
+  let rec go = function
+    | N_true -> [ [] ]
+    | N_false -> []
+    | N_lit l -> [ [ l ] ]
+    | N_or (a, b) -> guard ~max_clauses (go a @ go b)
+    | N_and (a, b) -> cross ~max_clauses (go a) (go b)
+  in
+  go (to_nnf ~negated:false e)
+
+(** Rebuild a filter expression from CNF clauses (for testing and for
+    normalisation round-trips). *)
+let expr_of_cnf (clauses : clause list) : Filter.expr =
+  let lit l =
+    if l.positive then Filter.Atom l.atom else Filter.neg (Filter.Atom l.atom)
+  in
+  Filter.conj_list
+    (List.map (fun c -> Filter.disj_list (List.map lit c)) clauses)
+
+let expr_of_dnf (clauses : clause list) : Filter.expr =
+  let lit l =
+    if l.positive then Filter.Atom l.atom else Filter.neg (Filter.Atom l.atom)
+  in
+  Filter.disj_list
+    (List.map (fun c -> Filter.conj_list (List.map lit c)) clauses)

@@ -1,0 +1,28 @@
+(** Normal forms over filter expressions, as used by Algorithm 1
+    (§V-B1): filter A goes to CNF, filter B to DNF, and singleton
+    filters are compared clause-pairwise. *)
+
+type literal = { positive : bool; atom : Filter.singleton }
+type clause = literal list
+
+exception Too_large
+(** Raised when distribution exceeds [max_clauses]; callers fall back
+    to a conservative answer. *)
+
+val pos : Filter.singleton -> literal
+val negl : Filter.singleton -> literal
+val pp_literal : Format.formatter -> literal -> unit
+
+val cnf : ?max_clauses:int -> Filter.expr -> clause list
+(** Conjunction of disjunctive clauses.  [[]] = True; a member [[]] is
+    a False clause.  [max_clauses] defaults to 4096. *)
+
+val dnf : ?max_clauses:int -> Filter.expr -> clause list
+(** Disjunction of conjunctive clauses.  [[]] = False; a member [[]] is
+    a True clause. *)
+
+val expr_of_cnf : clause list -> Filter.expr
+(** Rebuild an expression from CNF clauses (semantics-preserving,
+    property-tested). *)
+
+val expr_of_dnf : clause list -> Filter.expr

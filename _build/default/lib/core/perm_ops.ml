@@ -1,0 +1,101 @@
+(* Set operations on permission expressions (§V-A/§V-B2).
+
+   Manifests denote behaviour sets, so MEET/JOIN/complement are defined
+   as generalisations of filter conjunction/disjunction/negation,
+   applied token-wise (tokens partition the behaviour space):
+
+     meet A B : token in both, filters conjoined — the reconciliation
+                repair for boundary violations;
+     join A B : token union, filters disjoined;
+     complement A : for every token of the universe, the behaviours A
+                does not allow. *)
+
+(* Light syntactic simplification: constant folding via the smart
+   constructors plus flatten/dedup/complement detection on n-ary
+   AND/OR levels.  Keeps reconciled filters readable; not a full
+   minimiser. *)
+let rec flatten_and = function
+  | Filter.And (a, b) -> flatten_and a @ flatten_and b
+  | e -> [ e ]
+
+let rec flatten_or = function
+  | Filter.Or (a, b) -> flatten_or a @ flatten_or b
+  | e -> [ e ]
+
+let dedup es =
+  List.fold_left
+    (fun acc e -> if List.exists (Filter.equal_expr e) acc then acc else e :: acc)
+    [] es
+  |> List.rev
+
+let complementary a b =
+  match (a, b) with
+  | Filter.Not x, y | y, Filter.Not x -> Filter.equal_expr x y
+  | _ -> false
+
+let has_complementary_pair es =
+  List.exists (fun a -> List.exists (fun b -> complementary a b) es) es
+
+let rec simplify_expr (e : Filter.expr) : Filter.expr =
+  match e with
+  | Filter.True | Filter.False | Filter.Atom _ -> e
+  | Filter.Not a -> Filter.neg (simplify_expr a)
+  | Filter.And _ ->
+    let parts = flatten_and e |> List.map simplify_expr in
+    let parts = List.concat_map flatten_and parts |> dedup in
+    if List.exists (( = ) Filter.False) parts || has_complementary_pair parts
+    then Filter.False
+    else Filter.conj_list (List.filter (( <> ) Filter.True) parts)
+  | Filter.Or _ ->
+    let parts = flatten_or e |> List.map simplify_expr in
+    let parts = List.concat_map flatten_or parts |> dedup in
+    if List.exists (( = ) Filter.True) parts || has_complementary_pair parts
+    then Filter.True
+    else Filter.disj_list (List.filter (( <> ) Filter.False) parts)
+
+let simplify (m : Perm.manifest) : Perm.manifest =
+  List.map (fun (p : Perm.t) -> { p with Perm.filter = simplify_expr p.filter }) m
+  |> Perm.normalize
+
+(** [meet a b] — behaviours allowed by both manifests. *)
+let meet (a : Perm.manifest) (b : Perm.manifest) : Perm.manifest =
+  List.filter_map
+    (fun (pa : Perm.t) ->
+      match Perm.find b pa.token with
+      | Some pb ->
+        let filter = simplify_expr (Filter.conj pa.filter pb.filter) in
+        if filter = Filter.False then None
+        else Some { Perm.token = pa.token; filter }
+      | None -> None)
+    a
+
+(** [join a b] — behaviours allowed by either manifest. *)
+let join (a : Perm.manifest) (b : Perm.manifest) : Perm.manifest =
+  simplify (Perm.normalize (a @ b))
+
+(** [complement a] — every behaviour [a] does not allow, across the
+    full token universe. *)
+let complement (a : Perm.manifest) : Perm.manifest =
+  List.filter_map
+    (fun token ->
+      match Perm.find a token with
+      | None -> Some { Perm.token; filter = Filter.True }
+      | Some p -> (
+        match simplify_expr (Filter.neg p.filter) with
+        | Filter.False -> None
+        | filter -> Some { Perm.token; filter }))
+    Token.all
+
+(** [subtract a b] = a ∩ complement(b): what remains of [a] after
+    removing [b]'s behaviours.  This is the truncation primitive used
+    to repair mutual-exclusion violations. *)
+let subtract (a : Perm.manifest) (b : Perm.manifest) : Perm.manifest =
+  List.filter_map
+    (fun (pa : Perm.t) ->
+      match Perm.find b pa.token with
+      | None -> Some pa
+      | Some pb -> (
+        match simplify_expr (Filter.conj pa.filter (Filter.neg pb.filter)) with
+        | Filter.False -> None
+        | filter -> Some { pa with Perm.filter }))
+    a

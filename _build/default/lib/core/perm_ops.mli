@@ -1,0 +1,28 @@
+(** Set operations on permission manifests (§V-A/§V-B2): MEET / JOIN /
+    complement over the behaviour sets manifests denote, applied
+    token-wise.  The lattice laws (meet admits iff both admit, join iff
+    either, subtract iff left-and-not-right) are property-tested
+    against the evaluation semantics. *)
+
+val simplify_expr : Filter.expr -> Filter.expr
+(** Light syntactic simplification: constant folding, flattening,
+    deduplication and complementary-pair detection.  Semantics-
+    preserving (property-tested); not a full minimiser. *)
+
+val simplify : Perm.manifest -> Perm.manifest
+
+val meet : Perm.manifest -> Perm.manifest -> Perm.manifest
+(** Behaviours allowed by both manifests — the reconciliation repair
+    for boundary violations. *)
+
+val join : Perm.manifest -> Perm.manifest -> Perm.manifest
+(** Behaviours allowed by either manifest. *)
+
+val complement : Perm.manifest -> Perm.manifest
+(** Every behaviour the manifest does not allow, across the full token
+    universe. *)
+
+val subtract : Perm.manifest -> Perm.manifest -> Perm.manifest
+(** [subtract a b = meet a (complement b)]: what remains of [a] after
+    removing [b]'s behaviours — the truncation primitive repairing
+    mutual-exclusion violations. *)

@@ -1,0 +1,215 @@
+(* Recursive-descent parser for the SDNShield permission language
+   (paper Appendix A).
+
+     perm_stmt   := PERM token [LIMITING filter_expr]
+     filter_expr := filter_expr AND/OR filter | NOT filter_expr
+                  | ( filter_expr ) | filter
+
+   with the filter categories of §IV-B.  Identifiers that are not
+   keywords parse as macro stubs (the customization hooks of §V-A),
+   e.g. [PERM network_access LIMITING AdminRange]. *)
+
+open Lexer
+
+let keywords =
+  [ "PERM"; "LIMITING"; "AND"; "OR"; "NOT"; "MASK"; "WILDCARD"; "ACTION";
+    "DROP"; "FORWARD"; "MODIFY"; "OWN_FLOWS"; "ALL_FLOWS"; "MAX_PRIORITY";
+    "MIN_PRIORITY"; "MAX_RULE_COUNT"; "FROM_PKT_IN"; "ARBITRARY"; "SWITCH";
+    "LINK"; "VIRTUAL"; "AS"; "SINGLE_BIG_SWITCH"; "EXTERNAL_LINKS";
+    "EVENT_INTERCEPTION"; "MODIFY_EVENT_ORDER"; "FLOW_LEVEL"; "PORT_LEVEL";
+    "SWITCH_LEVEL"; "TRUE"; "FALSE"; "LET"; "ASSERT"; "EITHER"; "MEET";
+    "JOIN"; "APP" ]
+
+let is_keyword id = List.mem (String.uppercase_ascii id) keywords
+
+let expect_field s =
+  let id = expect_ident s in
+  match Filter.field_of_string id with
+  | Some f -> f
+  | None -> raise (Parse_error (Printf.sprintf "unknown field %s" id))
+
+let parse_value s : Filter.value =
+  match next s with
+  | INT i -> Filter.V_int i
+  | IP ip -> Filter.V_ip ip
+  | t -> raise (Parse_error (Fmt.str "expected value, got %a" pp_token t))
+
+let parse_mask s : Shield_openflow.Types.ipv4 =
+  match next s with
+  | IP ip -> ip
+  | INT i -> Int32.of_int i
+  | t -> raise (Parse_error (Fmt.str "expected mask, got %a" pp_token t))
+
+(* Integer lists appear both brace-delimited ({1, 2, 3}) and bare
+   (SWITCH 0,1 LINK 3,4 — the paper's Scenario 1 style). *)
+let parse_int_list s =
+  let braced = peek s = LBRACE in
+  if braced then advance s;
+  let rec more acc =
+    match peek s with
+    | INT i ->
+      advance s;
+      if peek s = COMMA then begin
+        advance s;
+        more (i :: acc)
+      end
+      else List.rev (i :: acc)
+    | _ -> fail_at s "expected integer list"
+  in
+  let items = more [] in
+  if braced then expect s RBRACE;
+  Filter.Int_set.of_list items
+
+let parse_pred s : Filter.singleton =
+  let field = expect_field s in
+  let value = parse_value s in
+  let mask = if eat_kw s "MASK" then Some (parse_mask s) else None in
+  (match (value, mask) with
+  | Filter.V_int _, Some _ ->
+    raise (Parse_error "MASK only applies to IP-valued fields")
+  | _ -> ());
+  Filter.Pred { field; value; mask }
+
+let parse_action s : Filter.singleton =
+  if eat_kw s "DROP" then Filter.Action_f Filter.A_drop
+  else if eat_kw s "FORWARD" then Filter.Action_f Filter.A_forward
+  else if eat_kw s "MODIFY" then Filter.Action_f (Filter.A_modify (expect_field s))
+  else fail_at s "expected DROP, FORWARD or MODIFY"
+
+let parse_virt_topo s : Filter.singleton =
+  if eat_kw s "SINGLE_BIG_SWITCH" then begin
+    expect_kw s "LINK";
+    expect_kw s "EXTERNAL_LINKS";
+    Filter.Virt_topo Filter.Single_big_switch
+  end
+  else begin
+    (* VIRTUAL { 1, 2 } AS 100, { 3 } AS 101 *)
+    let rec groups acc =
+      let set = parse_int_list s in
+      expect_kw s "AS";
+      let vid = expect_int s in
+      let acc = (set, vid) :: acc in
+      if peek s = COMMA && peek2 s = LBRACE then begin
+        advance s;
+        groups acc
+      end
+      else List.rev acc
+    in
+    Filter.Virt_topo (Filter.Switch_groups (groups []))
+  end
+
+let parse_singleton s : Filter.singleton =
+  if eat_kw s "WILDCARD" then begin
+    let field = expect_field s in
+    let mask = parse_mask s in
+    Filter.Wildcard { field; mask }
+  end
+  else if eat_kw s "ACTION" then parse_action s
+  else if at_kw s "DROP" || at_kw s "FORWARD" || at_kw s "MODIFY" then
+    parse_action s (* ACTION prefix is optional, per the appendix grammar *)
+  else if eat_kw s "OWN_FLOWS" then Filter.Owner Filter.Own_flows
+  else if eat_kw s "ALL_FLOWS" then Filter.Owner Filter.All_flows
+  else if eat_kw s "MAX_PRIORITY" then Filter.Max_priority (expect_int s)
+  else if eat_kw s "MIN_PRIORITY" then Filter.Min_priority (expect_int s)
+  else if eat_kw s "MAX_RULE_COUNT" then Filter.Max_rule_count (expect_int s)
+  else if eat_kw s "FROM_PKT_IN" then Filter.Pkt_out Filter.From_pkt_in
+  else if eat_kw s "ARBITRARY" then Filter.Pkt_out Filter.Arbitrary
+  else if eat_kw s "SWITCH" then begin
+    let switches = parse_int_list s in
+    let links =
+      if eat_kw s "LINK" then parse_int_list s else Filter.Int_set.empty
+    in
+    Filter.Phys_topo { switches; links }
+  end
+  else if eat_kw s "VIRTUAL" then parse_virt_topo s
+  else if eat_kw s "EVENT_INTERCEPTION" then
+    Filter.Callback Filter.Event_interception
+  else if eat_kw s "MODIFY_EVENT_ORDER" then
+    Filter.Callback Filter.Modify_event_order
+  else if eat_kw s "FLOW_LEVEL" then
+    Filter.Stats_level Shield_openflow.Stats.Flow_level
+  else if eat_kw s "PORT_LEVEL" then
+    Filter.Stats_level Shield_openflow.Stats.Port_level
+  else if eat_kw s "SWITCH_LEVEL" then
+    Filter.Stats_level Shield_openflow.Stats.Switch_level
+  else
+    match peek s with
+    | IDENT id when Filter.field_of_string id <> None -> parse_pred s
+    | IDENT id when not (is_keyword id) ->
+      advance s;
+      Filter.Macro id
+    | _ -> fail_at s "expected a filter"
+
+let rec parse_filter_expr s : Filter.expr =
+  let rec or_loop lhs =
+    if eat_kw s "OR" then or_loop (Filter.disj lhs (parse_and s))
+    else lhs
+  in
+  or_loop (parse_and s)
+
+and parse_and s =
+  let rec and_loop lhs =
+    if eat_kw s "AND" then and_loop (Filter.conj lhs (parse_unary s))
+    else lhs
+  in
+  and_loop (parse_unary s)
+
+and parse_unary s =
+  if eat_kw s "NOT" then Filter.neg (parse_unary s)
+  else if peek s = LPAREN then begin
+    advance s;
+    let e = parse_filter_expr s in
+    expect s RPAREN;
+    e
+  end
+  else if eat_kw s "TRUE" then Filter.True
+  else if eat_kw s "FALSE" then Filter.False
+  else Filter.Atom (parse_singleton s)
+
+let parse_perm s : Perm.t =
+  expect_kw s "PERM";
+  let name = expect_ident s in
+  match Token.of_string name with
+  | None -> raise (Parse_error (Printf.sprintf "unknown permission token %s" name))
+  | Some token ->
+    let filter =
+      if eat_kw s "LIMITING" then parse_filter_expr s else Filter.True
+    in
+    { Perm.token; filter }
+
+(** Parse a sequence of PERM statements up to [stop] (EOF or RBRACE). *)
+let parse_perm_list s : Perm.t list =
+  let rec go acc =
+    if at_kw s "PERM" then go (parse_perm s :: acc) else List.rev acc
+  in
+  go []
+
+(** Parse a full permission manifest from source text. *)
+let manifest_of_string src : (Perm.manifest, string) result =
+  try
+    let s = of_string src in
+    let perms = parse_perm_list s in
+    match peek s with
+    | EOF -> Ok (Perm.normalize perms)
+    | t -> Error (Fmt.str "trailing input at %a" pp_token t)
+  with
+  | Parse_error msg -> Error msg
+  | Lex_error msg -> Error msg
+
+(** Parse a bare filter expression (used for filter macros in policies
+    and in tests). *)
+let filter_of_string src : (Filter.expr, string) result =
+  try
+    let s = of_string src in
+    let e = parse_filter_expr s in
+    match peek s with
+    | EOF -> Ok e
+    | t -> Error (Fmt.str "trailing input at %a" pp_token t)
+  with
+  | Parse_error msg -> Error msg
+  | Lex_error msg -> Error msg
+
+let manifest_exn src =
+  match manifest_of_string src with
+  | Ok m -> m
+  | Error e -> invalid_arg ("manifest_exn: " ^ e)

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the SDNShield permission language
+    (paper Appendix A).  Identifiers that are not keywords parse as
+    macro stubs, so manifests like
+    [PERM network_access LIMITING AdminRange] round-trip. *)
+
+val keywords : string list
+val is_keyword : string -> bool
+
+val manifest_of_string : string -> (Perm.manifest, string) result
+(** Parse a full manifest (a sequence of [PERM] statements). *)
+
+val filter_of_string : string -> (Filter.expr, string) result
+(** Parse a bare filter expression (filter macros, tests). *)
+
+val manifest_exn : string -> Perm.manifest
+(** @raise Invalid_argument on parse errors. *)
+
+(** {1 Stream-level entry points} — used by {!Policy_parser} to embed
+    permission syntax inside policy files. *)
+
+val parse_perm : Lexer.stream -> Perm.t
+val parse_perm_list : Lexer.stream -> Perm.t list
+val parse_filter_expr : Lexer.stream -> Filter.expr

@@ -1,0 +1,78 @@
+(* Security-policy language AST (paper Appendix B).
+
+   A policy is a sequence of bindings and constraints.  Bindings name
+   permission sets ([LET v = { PERM … }]), reference app manifests
+   ([LET v = APP name]), or define filter macros that expand developer
+   stubs ([LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }]).
+   Constraints are mutual exclusions ([ASSERT EITHER p OR q], §V-A) and
+   permission-boundary assertions over the permission lattice
+   ([ASSERT appPerm <= templatePerm]). *)
+
+type perm_expr =
+  | P_var of string
+  | P_block of Perm.manifest
+  | P_meet of perm_expr * perm_expr
+  | P_join of perm_expr * perm_expr
+
+type cmp = C_le | C_lt | C_ge | C_gt | C_eq
+
+type assert_expr =
+  | A_cmp of perm_expr * cmp * perm_expr
+  | A_and of assert_expr * assert_expr
+  | A_or of assert_expr * assert_expr
+  | A_not of assert_expr
+
+type binding_rhs =
+  | B_perm of perm_expr
+  | B_filter of Filter.expr  (** Filter macro: expands developer stubs. *)
+  | B_app of string  (** Reference to a named app's manifest. *)
+
+type stmt =
+  | Let of string * binding_rhs
+  | Assert_exclusive of perm_expr * perm_expr
+  | Assert of assert_expr
+
+type t = stmt list
+
+let cmp_to_string = function
+  | C_le -> "<="
+  | C_lt -> "<"
+  | C_ge -> ">="
+  | C_gt -> ">"
+  | C_eq -> "="
+
+(* Variables referenced anywhere in a perm_expr. *)
+let rec perm_expr_vars = function
+  | P_var v -> [ v ]
+  | P_block _ -> []
+  | P_meet (a, b) | P_join (a, b) -> perm_expr_vars a @ perm_expr_vars b
+
+let rec assert_expr_vars = function
+  | A_cmp (a, _, b) -> perm_expr_vars a @ perm_expr_vars b
+  | A_and (a, b) | A_or (a, b) -> assert_expr_vars a @ assert_expr_vars b
+  | A_not a -> assert_expr_vars a
+
+(* Pretty-printing --------------------------------------------------------- *)
+
+let rec pp_perm_expr ppf = function
+  | P_var v -> Fmt.string ppf v
+  | P_block m -> Fmt.pf ppf "{ @[<v>%a@] }" Perm.pp m
+  | P_meet (a, b) -> Fmt.pf ppf "(%a MEET %a)" pp_perm_expr a pp_perm_expr b
+  | P_join (a, b) -> Fmt.pf ppf "(%a JOIN %a)" pp_perm_expr a pp_perm_expr b
+
+let rec pp_assert_expr ppf = function
+  | A_cmp (a, c, b) ->
+    Fmt.pf ppf "%a %s %a" pp_perm_expr a (cmp_to_string c) pp_perm_expr b
+  | A_and (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_assert_expr a pp_assert_expr b
+  | A_or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_assert_expr a pp_assert_expr b
+  | A_not a -> Fmt.pf ppf "NOT %a" pp_assert_expr a
+
+let pp_stmt ppf = function
+  | Let (v, B_perm pe) -> Fmt.pf ppf "LET %s = %a" v pp_perm_expr pe
+  | Let (v, B_filter f) -> Fmt.pf ppf "LET %s = { %a }" v Filter.pp f
+  | Let (v, B_app a) -> Fmt.pf ppf "LET %s = APP %S" v a
+  | Assert_exclusive (a, b) ->
+    Fmt.pf ppf "ASSERT EITHER %a OR %a" pp_perm_expr a pp_perm_expr b
+  | Assert a -> Fmt.pf ppf "ASSERT %a" pp_assert_expr a
+
+let pp ppf (t : t) = Fmt.(vbox (list pp_stmt)) ppf t

@@ -1,0 +1,41 @@
+(** Security-policy language AST (paper Appendix B).
+
+    A policy is a sequence of bindings and constraints: [LET] names
+    permission sets, references app manifests or defines filter macros
+    that expand developer stubs; [ASSERT EITHER … OR …] declares mutual
+    exclusions (§V-A) and [ASSERT a <= b] permission boundaries over
+    the manifest lattice. *)
+
+type perm_expr =
+  | P_var of string
+  | P_block of Perm.manifest
+  | P_meet of perm_expr * perm_expr
+  | P_join of perm_expr * perm_expr
+
+type cmp = C_le | C_lt | C_ge | C_gt | C_eq
+
+type assert_expr =
+  | A_cmp of perm_expr * cmp * perm_expr
+  | A_and of assert_expr * assert_expr
+  | A_or of assert_expr * assert_expr
+  | A_not of assert_expr
+
+type binding_rhs =
+  | B_perm of perm_expr
+  | B_filter of Filter.expr  (** Filter macro: expands developer stubs. *)
+  | B_app of string  (** Reference to a named app's manifest. *)
+
+type stmt =
+  | Let of string * binding_rhs
+  | Assert_exclusive of perm_expr * perm_expr
+  | Assert of assert_expr
+
+type t = stmt list
+
+val cmp_to_string : cmp -> string
+val perm_expr_vars : perm_expr -> string list
+val assert_expr_vars : assert_expr -> string list
+val pp_perm_expr : Format.formatter -> perm_expr -> unit
+val pp_assert_expr : Format.formatter -> assert_expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp : Format.formatter -> t -> unit

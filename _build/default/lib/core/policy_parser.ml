@@ -1,0 +1,146 @@
+(* Recursive-descent parser for the security-policy language
+   (paper Appendix B).
+
+     expr        := binding | constraint
+     binding     := LET var = { perm_expr } | LET var = APP app_name
+                  | LET var = perm_expr
+     constraint  := ASSERT EITHER perm_expr OR perm_expr
+                  | ASSERT assert_expr
+     perm_expr   := perm_expr MEET/JOIN perm_expr | ( perm_expr )
+                  | var | { perm* }
+     assert_expr := assert_expr AND/OR boolean_expr | NOT assert_expr
+                  | ( assert_expr ) | boolean_expr
+     boolean_expr:= perm_expr cmp_op perm_expr
+
+   A braced block whose first token is PERM is a permission block; any
+   other braced block on a LET right-hand side parses as a filter
+   expression — the form used to bind developer stub macros
+   (LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }). *)
+
+open Lexer
+
+let rec parse_perm_atom s : Policy.perm_expr =
+  match peek s with
+  | LPAREN ->
+    advance s;
+    let e = parse_perm_expr s in
+    expect s RPAREN;
+    e
+  | LBRACE ->
+    advance s;
+    let perms = Perm_parser.parse_perm_list s in
+    expect s RBRACE;
+    Policy.P_block (Perm.normalize perms)
+  | IDENT id when not (Perm_parser.is_keyword id) ->
+    advance s;
+    Policy.P_var id
+  | _ -> fail_at s "expected permission expression"
+
+and parse_perm_expr s : Policy.perm_expr =
+  let rec loop lhs =
+    if eat_kw s "MEET" then loop (Policy.P_meet (lhs, parse_perm_atom s))
+    else if eat_kw s "JOIN" then loop (Policy.P_join (lhs, parse_perm_atom s))
+    else lhs
+  in
+  loop (parse_perm_atom s)
+
+let parse_cmp s : Policy.cmp =
+  match next s with
+  | LE -> Policy.C_le
+  | LT -> Policy.C_lt
+  | GE -> Policy.C_ge
+  | GT -> Policy.C_gt
+  | EQ -> Policy.C_eq
+  | t -> raise (Parse_error (Fmt.str "expected comparison, got %a" pp_token t))
+
+let rec parse_assert_expr s : Policy.assert_expr =
+  let rec or_loop lhs =
+    if eat_kw s "OR" then or_loop (Policy.A_or (lhs, parse_assert_and s))
+    else lhs
+  in
+  or_loop (parse_assert_and s)
+
+and parse_assert_and s =
+  let rec and_loop lhs =
+    if eat_kw s "AND" then and_loop (Policy.A_and (lhs, parse_assert_unary s))
+    else lhs
+  in
+  and_loop (parse_assert_unary s)
+
+and parse_assert_unary s =
+  if eat_kw s "NOT" then Policy.A_not (parse_assert_unary s)
+  else if peek s = LPAREN then begin
+    (* "(" is ambiguous: it may open a parenthesised assert expression
+       or a parenthesised perm expression that starts a comparison.
+       Try the assert reading first and backtrack on failure (the token
+       stream is a plain list, so a snapshot is cheap). *)
+    let snapshot = s.toks in
+    try
+      advance s;
+      let e = parse_assert_expr s in
+      expect s RPAREN;
+      e
+    with Parse_error _ ->
+      s.toks <- snapshot;
+      parse_cmp_expr s
+  end
+  else parse_cmp_expr s
+
+and parse_cmp_expr s =
+  let lhs = parse_perm_expr s in
+  let op = parse_cmp s in
+  let rhs = parse_perm_expr s in
+  Policy.A_cmp (lhs, op, rhs)
+
+let parse_binding_rhs s : Policy.binding_rhs =
+  if eat_kw s "APP" then
+    match next s with
+    | STRING name | IDENT name -> Policy.B_app name
+    | t -> raise (Parse_error (Fmt.str "expected app name, got %a" pp_token t))
+  else if peek s = LBRACE then begin
+    match peek2 s with
+    | IDENT id when String.uppercase_ascii id = "PERM" ->
+      (* A permission block; parse as a full perm expression so
+         trailing MEET/JOIN operators compose. *)
+      Policy.B_perm (parse_perm_expr s)
+    | _ ->
+      advance s;
+      let f = Perm_parser.parse_filter_expr s in
+      expect s RBRACE;
+      Policy.B_filter f
+  end
+  else Policy.B_perm (parse_perm_expr s)
+
+let parse_stmt s : Policy.stmt =
+  if eat_kw s "LET" then begin
+    let var = expect_ident s in
+    expect s EQ;
+    Policy.Let (var, parse_binding_rhs s)
+  end
+  else if eat_kw s "ASSERT" then
+    if eat_kw s "EITHER" then begin
+      let a = parse_perm_expr s in
+      expect_kw s "OR";
+      let b = parse_perm_expr s in
+      Policy.Assert_exclusive (a, b)
+    end
+    else Policy.Assert (parse_assert_expr s)
+  else fail_at s "expected LET or ASSERT"
+
+let of_string src : (Policy.t, string) result =
+  try
+    let s = of_string src in
+    let rec go acc =
+      match peek s with
+      | EOF -> List.rev acc
+      | _ -> go (parse_stmt s :: acc)
+    in
+    Ok (go [])
+  with
+  | Parse_error msg -> Error msg
+  | Lex_error msg -> Error msg
+
+let of_string_exn src =
+  match of_string src with
+  | Ok p -> p
+  | Error e -> invalid_arg ("policy: " ^ e)

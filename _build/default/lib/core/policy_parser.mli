@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the security-policy language
+    (paper Appendix B).
+
+    A braced block whose first token is [PERM] is a permission block;
+    any other braced block on a [LET] right-hand side parses as a
+    filter expression — the form that binds developer stub macros
+    ([LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }]). *)
+
+val of_string : string -> (Policy.t, string) result
+
+val of_string_exn : string -> Policy.t
+(** @raise Invalid_argument on parse errors. *)

@@ -1,0 +1,228 @@
+(* The reconciliation engine (§V-B2).
+
+   Inputs: the apps' requested permission manifests and the
+   administrator's security policy.  The engine
+     1. expands developer stub macros with the administrator's LET
+        bindings (permission customization),
+     2. verifies every ASSERT against the (current) manifests,
+     3. repairs violations — boundary violations by intersecting the
+        manifest with the boundary, mutual-exclusion violations by
+        truncating the second exclusive permission set (the behaviour
+        shown in the paper's Scenario 1, where insert_flow is
+        truncated),
+   and reports every violation with the before/after permissions so the
+   administrator can review the reconciled result. *)
+
+type action =
+  | Truncated_to_boundary
+  | Truncated_exclusive
+  | Alert_only  (** No automatic repair applicable. *)
+
+type violation = {
+  stmt : Policy.stmt;
+  app : string option;
+  message : string;
+  action : action;
+  before : Perm.manifest;
+  after : Perm.manifest;
+}
+
+type report = {
+  manifests : (string * Perm.manifest) list;  (** Reconciled results. *)
+  violations : violation list;
+  unresolved_macros : (string * string list) list;  (** app, stubs. *)
+}
+
+let ok report = report.violations = [] && report.unresolved_macros = []
+
+(* Evaluation environment. *)
+type env = {
+  mutable filter_macros : (string * Filter.expr) list;
+  mutable perm_vars : (string * Policy.perm_expr) list;
+  mutable app_vars : (string * string) list;  (** var -> app name. *)
+  mutable apps : (string * Perm.manifest) list;  (** live manifests. *)
+}
+
+let lookup_macro env name = List.assoc_opt name env.filter_macros
+
+let app_manifest env name =
+  match List.assoc_opt name env.apps with
+  | Some m -> m
+  | None -> []
+
+let set_app_manifest env name m =
+  env.apps <- (name, m) :: List.remove_assoc name env.apps
+
+let expand env (m : Perm.manifest) =
+  Perm.expand_macros (lookup_macro env) m
+
+(** Evaluate a permission expression to a manifest under [env].  App
+    references resolve to the app's *current* (possibly already
+    repaired) manifest.  Returns the manifest and, when the expression
+    is a direct reference to a single app, that app's name (the repair
+    target for boundary assertions). *)
+let rec eval_perm_expr env (pe : Policy.perm_expr) :
+    Perm.manifest * string option =
+  match pe with
+  | Policy.P_block m -> (expand env m, None)
+  | Policy.P_meet (a, b) ->
+    let ma, _ = eval_perm_expr env a and mb, _ = eval_perm_expr env b in
+    (Perm_ops.meet ma mb, None)
+  | Policy.P_join (a, b) ->
+    let ma, _ = eval_perm_expr env a and mb, _ = eval_perm_expr env b in
+    (Perm_ops.join ma mb, None)
+  | Policy.P_var v -> (
+    match List.assoc_opt v env.app_vars with
+    | Some app -> (app_manifest env app, Some app)
+    | None -> (
+      match List.assoc_opt v env.perm_vars with
+      | Some pe' -> eval_perm_expr env pe'
+      | None -> (
+        match lookup_macro env v with
+        | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "policy: %s is a filter macro, not a permission set" v)
+        | None -> invalid_arg (Printf.sprintf "policy: unbound variable %s" v))))
+
+let eval_cmp env lhs op rhs : bool =
+  let ml, _ = eval_perm_expr env lhs and mr, _ = eval_perm_expr env rhs in
+  match op with
+  | Policy.C_le -> Inclusion.manifest_includes mr ml
+  | Policy.C_ge -> Inclusion.manifest_includes ml mr
+  | Policy.C_eq -> Inclusion.manifest_equal ml mr
+  | Policy.C_lt ->
+    Inclusion.manifest_includes mr ml && not (Inclusion.manifest_includes ml mr)
+  | Policy.C_gt ->
+    Inclusion.manifest_includes ml mr && not (Inclusion.manifest_includes mr ml)
+
+let rec eval_assert env = function
+  | Policy.A_cmp (l, op, r) -> eval_cmp env l op r
+  | Policy.A_and (a, b) -> eval_assert env a && eval_assert env b
+  | Policy.A_or (a, b) -> eval_assert env a || eval_assert env b
+  | Policy.A_not a -> not (eval_assert env a)
+
+(* Constraint handling ------------------------------------------------------ *)
+
+let handle_exclusive env stmt p1 p2 acc =
+  let m1, _ = eval_perm_expr env p1 and m2, _ = eval_perm_expr env p2 in
+  List.fold_left
+    (fun acc (name, manifest) ->
+      if
+        Inclusion.manifests_overlap manifest m1
+        && Inclusion.manifests_overlap manifest m2
+      then begin
+        (* Repair: truncate the second exclusive permission set, as the
+           paper does for Scenario 1. *)
+        let repaired = Perm_ops.simplify (Perm_ops.subtract manifest m2) in
+        set_app_manifest env name repaired;
+        { stmt; app = Some name;
+          message =
+            Fmt.str "app %s possesses mutually exclusive permissions %a / %a"
+              name Policy.pp_perm_expr p1 Policy.pp_perm_expr p2;
+          action = Truncated_exclusive; before = manifest; after = repaired }
+        :: acc
+      end
+      else acc)
+    acc env.apps
+
+let handle_boundary env stmt lhs op rhs acc =
+  if eval_cmp env lhs op rhs then acc
+  else
+    let ml, target = eval_perm_expr env lhs in
+    match (op, target) with
+    | (Policy.C_le | Policy.C_lt), Some app ->
+      let bound, _ = eval_perm_expr env rhs in
+      let repaired = Perm_ops.simplify (Perm_ops.meet ml bound) in
+      set_app_manifest env app repaired;
+      { stmt; app = Some app;
+        message =
+          Fmt.str "app %s exceeds permission boundary %a" app
+            Policy.pp_perm_expr rhs;
+        action = Truncated_to_boundary; before = ml; after = repaired }
+      :: acc
+    | _ ->
+      { stmt; app = None;
+        message = Fmt.str "assertion failed: %a" Policy.pp_stmt stmt;
+        action = Alert_only; before = ml; after = ml }
+      :: acc
+
+let handle_assert env stmt ae acc =
+  match ae with
+  | Policy.A_cmp (lhs, op, rhs) -> handle_boundary env stmt lhs op rhs acc
+  | _ ->
+    if eval_assert env ae then acc
+    else
+      { stmt; app = None;
+        message = Fmt.str "assertion failed: %a" Policy.pp_stmt stmt;
+        action = Alert_only; before = []; after = [] }
+      :: acc
+
+(** Reconcile [apps]' manifests against [policy]. *)
+let run ~(apps : (string * Perm.manifest) list) (policy : Policy.t) : report =
+  let env = { filter_macros = []; perm_vars = []; app_vars = []; apps } in
+  (* Pass 1: collect bindings (they may appear anywhere in the file). *)
+  List.iter
+    (function
+      | Policy.Let (v, Policy.B_filter f) ->
+        env.filter_macros <- (v, f) :: env.filter_macros
+      | Policy.Let (v, Policy.B_app name) ->
+        env.app_vars <- (v, name) :: env.app_vars
+      | Policy.Let (v, Policy.B_perm pe) ->
+        env.perm_vars <- (v, pe) :: env.perm_vars
+      | Policy.Assert_exclusive _ | Policy.Assert _ -> ())
+    policy;
+  (* Pass 2: expand developer stubs in every manifest. *)
+  env.apps <- List.map (fun (name, m) -> (name, expand env m)) env.apps;
+  let unresolved_macros =
+    List.filter_map
+      (fun (name, m) ->
+        match Perm.macros m with [] -> None | ms -> Some (name, ms))
+      env.apps
+  in
+  (* Pass 3: verify and repair constraints in order. *)
+  let violations =
+    List.fold_left
+      (fun acc stmt ->
+        match stmt with
+        | Policy.Let _ -> acc
+        | Policy.Assert_exclusive (p1, p2) ->
+          handle_exclusive env stmt p1 p2 acc
+        | Policy.Assert ae -> handle_assert env stmt ae acc)
+      [] policy
+    |> List.rev
+  in
+  { manifests = env.apps; violations; unresolved_macros }
+
+(** Convenience: reconcile one app's manifest source against a policy
+    source; returns the reconciled manifest and report. *)
+let run_strings ~app_name ~manifest_src ~policy_src :
+    (Perm.manifest * report, string) result =
+  match Perm_parser.manifest_of_string manifest_src with
+  | Error e -> Error ("manifest: " ^ e)
+  | Ok manifest -> (
+    match Policy_parser.of_string policy_src with
+    | Error e -> Error ("policy: " ^ e)
+    | Ok policy ->
+      let report = run ~apps:[ (app_name, manifest) ] policy in
+      Ok (List.assoc app_name report.manifests, report))
+
+let pp_action ppf = function
+  | Truncated_to_boundary -> Fmt.string ppf "truncated-to-boundary"
+  | Truncated_exclusive -> Fmt.string ppf "truncated-exclusive"
+  | Alert_only -> Fmt.string ppf "alert-only"
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v2>[%a] %s%a@]" pp_action v.action v.message
+    Fmt.(
+      option (fun ppf app -> pf ppf " (app %s)" app))
+    v.app
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    Fmt.(list pp_violation)
+    r.violations
+    Fmt.(
+      list (fun ppf (name, m) ->
+          pf ppf "@[<v2>reconciled %s:@,%a@]" name Perm.pp m))
+    r.manifests

@@ -1,0 +1,45 @@
+(** The reconciliation engine (§V-B2): verifies the administrator's
+    security policy against the apps' requested manifests, expands
+    developer stubs, repairs violations — boundary violations by
+    intersection with the boundary, mutual exclusions by truncating the
+    second exclusive set (the paper's Scenario-1 behaviour) — and
+    reports everything for the administrator's review. *)
+
+type action =
+  | Truncated_to_boundary
+  | Truncated_exclusive
+  | Alert_only  (** No automatic repair applicable. *)
+
+type violation = {
+  stmt : Policy.stmt;
+  app : string option;
+  message : string;
+  action : action;
+  before : Perm.manifest;
+  after : Perm.manifest;
+}
+
+type report = {
+  manifests : (string * Perm.manifest) list;  (** Reconciled results. *)
+  violations : violation list;
+  unresolved_macros : (string * string list) list;  (** (app, stubs). *)
+}
+
+val ok : report -> bool
+(** No violations and no unresolved stubs. *)
+
+val run : apps:(string * Perm.manifest) list -> Policy.t -> report
+(** Reconcile the apps' manifests against the policy.  Constraints are
+    processed in order; app references in boundary assertions resolve
+    to the current (possibly already repaired) manifests. *)
+
+val run_strings :
+  app_name:string ->
+  manifest_src:string ->
+  policy_src:string ->
+  (Perm.manifest * report, string) result
+(** Parse-and-reconcile convenience for a single app. *)
+
+val pp_action : Format.formatter -> action -> unit
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

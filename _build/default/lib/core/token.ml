@@ -1,0 +1,89 @@
+(* Permission tokens (§IV-A, Table II).
+
+   Tokens are the coarse-grained privileges, organised along two
+   dimensions — SDN resource × action — plus the host-system tokens
+   that bound an app's syscall surface.  They are designed orthogonal:
+   no token implies another. *)
+
+type t =
+  (* Flow table *)
+  | Read_flow_table
+  | Insert_flow  (** Includes rule modification, per Table II. *)
+  | Delete_flow
+  | Flow_event
+  (* Topology *)
+  | Visible_topology
+  | Modify_topology
+  | Topology_event
+  (* Statistics & errors *)
+  | Read_statistics
+  | Error_event
+  (* Packet-in / packet-out *)
+  | Read_payload
+  | Send_pkt_out
+  | Pkt_in_event
+  (* Host system *)
+  | Host_network
+  | File_system
+  | Process_runtime
+
+let all =
+  [ Read_flow_table; Insert_flow; Delete_flow; Flow_event; Visible_topology;
+    Modify_topology; Topology_event; Read_statistics; Error_event;
+    Read_payload; Send_pkt_out; Pkt_in_event; Host_network; File_system;
+    Process_runtime ]
+
+let to_string = function
+  | Read_flow_table -> "read_flow_table"
+  | Insert_flow -> "insert_flow"
+  | Delete_flow -> "delete_flow"
+  | Flow_event -> "flow_event"
+  | Visible_topology -> "visible_topology"
+  | Modify_topology -> "modify_topology"
+  | Topology_event -> "topology_event"
+  | Read_statistics -> "read_statistics"
+  | Error_event -> "error_event"
+  | Read_payload -> "read_payload"
+  | Send_pkt_out -> "send_pkt_out"
+  | Pkt_in_event -> "pkt_in_event"
+  | Host_network -> "host_network"
+  | File_system -> "file_system"
+  | Process_runtime -> "process_runtime"
+
+(** Parse a token name.  The paper's prose and examples use a few
+    synonyms ([network_access], [read_topology], [send_packet_out]);
+    they are accepted here so the paper's policies parse verbatim. *)
+let of_string s =
+  match String.lowercase_ascii s with
+  | "read_flow_table" -> Some Read_flow_table
+  | "insert_flow" -> Some Insert_flow
+  | "delete_flow" -> Some Delete_flow
+  | "flow_event" -> Some Flow_event
+  | "visible_topology" | "read_topology" -> Some Visible_topology
+  | "modify_topology" -> Some Modify_topology
+  | "topology_event" -> Some Topology_event
+  | "read_statistics" -> Some Read_statistics
+  | "error_event" -> Some Error_event
+  | "read_payload" -> Some Read_payload
+  | "send_pkt_out" | "send_packet_out" -> Some Send_pkt_out
+  | "pkt_in_event" -> Some Pkt_in_event
+  | "host_network" | "network_access" -> Some Host_network
+  | "file_system" -> Some File_system
+  | "process_runtime" -> Some Process_runtime
+  | _ -> None
+
+let compare = Stdlib.compare
+let equal = ( = )
+let pp ppf t = Fmt.string ppf (to_string t)
+
+module Set = Stdlib.Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Stdlib.Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,42 @@
+(** Permission tokens — the coarse-grained privileges of §IV-A
+    (Table II).
+
+    Tokens are organised along two dimensions, SDN resource × action
+    (read / write / event notification), plus three host-system tokens
+    bounding the app's syscall surface.  Tokens are orthogonal: no
+    token implies another. *)
+
+type t =
+  | Read_flow_table
+  | Insert_flow  (** Rule insertion, including modification (Table II). *)
+  | Delete_flow
+  | Flow_event  (** Flow-removal callback notifications. *)
+  | Visible_topology  (** Topology reads, possibly partial or virtual. *)
+  | Modify_topology  (** Change the controller's view of the topology. *)
+  | Topology_event
+  | Read_statistics
+  | Error_event
+  | Read_payload  (** Payload bytes of packet-in messages. *)
+  | Send_pkt_out
+  | Pkt_in_event
+  | Host_network  (** Network access outside the control channel. *)
+  | File_system
+  | Process_runtime
+
+val all : t list
+(** Every token, in declaration order. *)
+
+val to_string : t -> string
+(** Canonical (paper) spelling, e.g. ["insert_flow"]. *)
+
+val of_string : string -> t option
+(** Parse a token name.  Accepts the paper's synonyms
+    ([network_access], [read_topology], [send_packet_out]) so its
+    policy listings parse verbatim.  Case-insensitive. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

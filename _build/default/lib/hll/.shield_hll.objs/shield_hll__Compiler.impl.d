@@ -1,0 +1,1 @@
+lib/hll/compiler.ml: Action Flow_mod Fmt Int32 List Match_fields Option Shield_openflow Syntax

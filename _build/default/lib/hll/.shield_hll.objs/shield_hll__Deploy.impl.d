@@ -1,0 +1,1 @@
+lib/hll/deploy.ml: Api Compiler Either Engine Fmt List Sdnshield Shield_controller Shield_openflow Syntax

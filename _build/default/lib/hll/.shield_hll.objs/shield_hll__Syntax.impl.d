@@ -1,0 +1,1 @@
+lib/hll/syntax.ml: Action Fmt Shield_openflow

@@ -1,0 +1,166 @@
+(* Compilation of the high-level language to prioritized OpenFlow rules
+   with ownership tracking (§VI-C).
+
+   Decision-tree compilation in the Maple style: the tree is walked
+   with a match-context; [If] emits the then-branch under ctx∧pred at
+   higher priority and the else-branch under plain ctx below it, so the
+   complement of the predicate is realised by rule ordering rather than
+   negated matches.  Or-predicates expand into one context per
+   disjunct; provable contradictions prune the branch.
+
+   Every emitted rule carries the set of owner apps collected from
+   enclosing [Tag]s — the "finer granularity" ownership the paper asks
+   the compiler to expose, consumed by {!Deploy}. *)
+
+open Shield_openflow
+open Shield_openflow.Types
+open Syntax
+
+type rule = {
+  dpid : dpid option;  (** [None] = install on every switch. *)
+  match_ : Match_fields.t;
+  priority : int;
+  actions : Action.t list;
+  owners : string list;  (** Apps whose policy produced this rule. *)
+}
+
+exception Unsupported of string
+
+(* Match-context refinement: add one test to a match, failing to [None]
+   when the conjunction is unsatisfiable. *)
+let refine (m : Match_fields.t) (t : test) : Match_fields.t option =
+  let set_opt current v = match current with
+    | None -> Some (Some v)
+    | Some v' when v' = v -> Some (Some v)
+    | Some _ -> None
+  in
+  match t with
+  | Dl_src v ->
+    Option.map (fun x -> { m with Match_fields.dl_src = x }) (set_opt m.Match_fields.dl_src v)
+  | Dl_dst v ->
+    Option.map (fun x -> { m with Match_fields.dl_dst = x }) (set_opt m.Match_fields.dl_dst v)
+  | Eth_type_is v ->
+    Option.map (fun x -> { m with Match_fields.dl_type = x }) (set_opt m.Match_fields.dl_type v)
+  | Ip_proto_is v ->
+    Option.map (fun x -> { m with Match_fields.nw_proto = x }) (set_opt m.Match_fields.nw_proto v)
+  | Tcp_src v ->
+    Option.map (fun x -> { m with Match_fields.tp_src = x }) (set_opt m.Match_fields.tp_src v)
+  | Tcp_dst v ->
+    Option.map (fun x -> { m with Match_fields.tp_dst = x }) (set_opt m.Match_fields.tp_dst v)
+  | In_port v ->
+    Option.map (fun x -> { m with Match_fields.in_port = x }) (set_opt m.Match_fields.in_port v)
+  | Ip_src (a, mk) -> (
+    let range = { Match_fields.addr = Int32.logand a mk; mask = mk } in
+    match m.Match_fields.nw_src with
+    | None -> Some { m with Match_fields.nw_src = Some range }
+    | Some existing ->
+      if Match_fields.ip_compatible existing range then
+        (* Keep the narrower of the two compatible ranges. *)
+        let narrower =
+          if Int32.logand existing.Match_fields.mask mk = mk then existing
+          else range
+        in
+        Some { m with Match_fields.nw_src = Some narrower }
+      else None)
+  | Ip_dst (a, mk) -> (
+    let range = { Match_fields.addr = Int32.logand a mk; mask = mk } in
+    match m.Match_fields.nw_dst with
+    | None -> Some { m with Match_fields.nw_dst = Some range }
+    | Some existing ->
+      if Match_fields.ip_compatible existing range then
+        let narrower =
+          if Int32.logand existing.Match_fields.mask mk = mk then existing
+          else range
+        in
+        Some { m with Match_fields.nw_dst = Some narrower }
+      else None)
+
+(** Expand a predicate into disjunctive-normal-form contexts over a
+    base match.  Negation is only supported where rule ordering
+    realises it (the [If] else-branch); an explicit [Not] in a
+    condition raises. *)
+let rec contexts (base : Match_fields.t) (p : pred) : Match_fields.t list =
+  match p with
+  | Any -> [ base ]
+  | Nothing -> []
+  | Test t -> Option.to_list (refine base t)
+  | And (a, b) ->
+    List.concat_map (fun m -> contexts m b) (contexts base a)
+  | Or (a, b) -> contexts base a @ contexts base b
+  | Not _ ->
+    raise
+      (Unsupported
+         "negated predicates: express the complement with if/else ordering")
+
+(* The compiler state threads a decreasing priority counter so that
+   earlier-emitted (more specific) rules shadow later ones. *)
+type state = { mutable next_priority : int }
+
+let emit st ~dpid ~match_ ~actions ~owners =
+  let priority = st.next_priority in
+  st.next_priority <- st.next_priority - 1;
+  { dpid; match_; priority; actions; owners }
+
+let rec compile_policy st ~dpid ~ctx ~owners ~sets (p : policy) : rule list =
+  let leaf actions =
+    [ emit st ~dpid ~match_:ctx ~actions:(List.rev_append sets actions) ~owners ]
+  in
+  match p with
+  | Drop -> [ emit st ~dpid ~match_:ctx ~actions:[] ~owners ]
+  | Forward port -> leaf [ Action.Output port ]
+  | Flood -> leaf [ Action.Flood ]
+  | To_controller -> leaf [ Action.To_controller ]
+  | Modify (f, k) ->
+    compile_policy st ~dpid ~ctx ~owners ~sets:(Action.Set f :: sets) k
+  | If (pred, then_, else_) ->
+    let then_rules =
+      List.concat_map
+        (fun ctx' -> compile_policy st ~dpid ~ctx:ctx' ~owners ~sets then_)
+        (contexts ctx pred)
+    in
+    (* The else branch sits below every then-rule: rule order realises
+       the negation. *)
+    let else_rules = compile_policy st ~dpid ~ctx ~owners ~sets else_ in
+    then_rules @ else_rules
+  | Union (a, b) ->
+    (* Left-biased on overlap, by priority order.  The two compilations
+       share the mutable priority counter, so the evaluation order must
+       be explicit (OCaml evaluates [x @ y] right-to-left). *)
+    let left = compile_policy st ~dpid ~ctx ~owners ~sets a in
+    let right = compile_policy st ~dpid ~ctx ~owners ~sets b in
+    left @ right
+  | On_switch (d, k) -> (
+    match dpid with
+    | Some existing when existing <> d -> []
+    | _ -> compile_policy st ~dpid:(Some d) ~ctx ~owners ~sets k)
+  | Tag (name, k) ->
+    let owners = if List.mem name owners then owners else name :: owners in
+    compile_policy st ~dpid ~ctx ~owners ~sets k
+
+(** Compile a policy to prioritized rules, highest priority first.
+    [base_priority] is the ceiling the generated band starts under. *)
+let compile ?(base_priority = 60_000) (p : policy) : rule list =
+  let st = { next_priority = base_priority } in
+  compile_policy st ~dpid:None ~ctx:Match_fields.wildcard_all ~owners:[] ~sets:[]
+    p
+
+(** Flow-mods realising the compiled rules on [switches] (rules with a
+    [None] dpid fan out to all). *)
+let to_flow_mods ~switches (rules : rule list) : (dpid * Flow_mod.t) list =
+  List.concat_map
+    (fun r ->
+      let targets = match r.dpid with Some d -> [ d ] | None -> switches in
+      List.map
+        (fun d ->
+          ( d,
+            Flow_mod.add ~priority:r.priority ~match_:r.match_
+              ~actions:r.actions () ))
+        targets)
+    rules
+
+let pp_rule ppf r =
+  Fmt.pf ppf "@[<h>%a prio=%d [%a] -> %a owners={%a}@]"
+    Fmt.(option ~none:(any "all") (fmt "s%d"))
+    r.dpid r.priority Match_fields.pp r.match_ Action.pp_list r.actions
+    Fmt.(list ~sep:comma string)
+    r.owners

@@ -1,0 +1,101 @@
+(* Deployment of compiled high-level policies through the permission
+   engine (§VI-C).
+
+   "Once SDNShield obtains the ownership information, it can split the
+   rule and feed them to the permission engine respectively" — each
+   compiled rule is checked against the engine of *every* owner app
+   that contributed to it.  Two modes:
+
+   - [Strict]: a rule installs only if every owner is authorised
+     (conservative conjunction);
+   - [Partial]: the paper's envisioned extension — "allow an API access
+     to be partially denied when some of the owner apps lack certain
+     permissions": the rule installs when at least one owner is
+     authorised, and the unauthorised owners are reported. *)
+
+open Shield_openflow.Types
+open Shield_controller
+open Sdnshield
+
+type mode = Strict | Partial
+
+type verdict = {
+  rule : Compiler.rule;
+  authorized : string list;
+  denied : (string * string) list;  (** (owner, reason). *)
+  installed : bool;
+}
+
+type report = {
+  verdicts : verdict list;
+  installed_rules : int;
+  rejected_rules : int;
+}
+
+(** Check one rule against each owner's engine.  Rules with no [Tag]
+    owner are controller-internal and pass unchecked. *)
+let check_rule ~mode ~(engines : (string * Engine.t) list) ~switches
+    (rule : Compiler.rule) : verdict =
+  let targets = match rule.Compiler.dpid with Some d -> [ d ] | None -> switches in
+  let call_for d =
+    Api.Install_flow
+      ( d,
+        Shield_openflow.Flow_mod.add ~priority:rule.Compiler.priority
+          ~match_:rule.Compiler.match_ ~actions:rule.Compiler.actions () )
+  in
+  let per_owner owner : (string, string * string) Either.t =
+    match List.assoc_opt owner engines with
+    | None -> Either.Right (owner, "no engine registered for owner")
+    | Some engine -> (
+      let denial =
+        List.find_map
+          (fun d ->
+            match Engine.check engine (call_for d) with
+            | Api.Allow -> None
+            | Api.Deny why -> Some why)
+          targets
+      in
+      match denial with
+      | None -> Either.Left owner
+      | Some why -> Either.Right (owner, why))
+  in
+  let oks, errs = List.partition_map per_owner rule.Compiler.owners in
+  let installed =
+    match (mode, rule.Compiler.owners) with
+    | _, [] -> true
+    | Strict, _ -> errs = []
+    | Partial, _ -> oks <> []
+  in
+  { rule; authorized = oks; denied = errs; installed }
+
+(** Compile-check-install a policy: rules pass per-owner permission
+    checking and the survivors land on the data plane via [install]
+    (typically [Kernel.exec] or a context's call). *)
+let deploy ~mode ~engines ~switches
+    ~(install : dpid -> Shield_openflow.Flow_mod.t -> unit)
+    (policy : Syntax.policy) : report =
+  let rules = Compiler.compile policy in
+  let verdicts =
+    List.map (check_rule ~mode ~engines ~switches) rules
+  in
+  let installed_rules = ref 0 and rejected_rules = ref 0 in
+  List.iter
+    (fun v ->
+      if v.installed then begin
+        incr installed_rules;
+        List.iter
+          (fun (d, fm) -> install d fm)
+          (Compiler.to_flow_mods ~switches [ v.rule ])
+      end
+      else incr rejected_rules)
+    verdicts;
+  { verdicts; installed_rules = !installed_rules;
+    rejected_rules = !rejected_rules }
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "@[<h>%s %a%a@]"
+    (if v.installed then "INSTALL" else "REJECT ")
+    Compiler.pp_rule v.rule
+    Fmt.(
+      list (fun ppf (o, why) -> pf ppf " [%s denied: %s]" o why))
+    v.denied

@@ -1,0 +1,106 @@
+(* A small high-level network programming language (§VI-C).
+
+   The paper argues SDNShield extends to emerging northbound APIs —
+   functional-reactive languages, Maple's decision trees, declarative
+   policy languages — because they all compile down to OpenFlow
+   instructions where access control applies, provided the compiler
+   "tracks the ownership information at a finer granularity during the
+   policy composition process".
+
+   This is such a language, in Maple's decision-tree style:
+
+     policy := drop | forward PORT | flood
+             | modify FIELD := V ; policy
+             | if PRED then policy else policy
+             | policy | policy                (union, order-resolved)
+             | on SWITCH policy
+             | tag APP policy                 (ownership annotation)
+
+   Predicates are boolean combinations of header tests.  [Tag] is the
+   ownership-tracking primitive: every compiled rule remembers which
+   app(s) contributed it, which is what lets the permission engine
+   check composed rules per owner (see {!Deploy}). *)
+
+open Shield_openflow
+open Shield_openflow.Types
+
+type test =
+  | Dl_src of mac
+  | Dl_dst of mac
+  | Eth_type_is of eth_type
+  | Ip_src of ipv4 * ipv4  (** (addr, mask) *)
+  | Ip_dst of ipv4 * ipv4
+  | Ip_proto_is of ip_proto
+  | Tcp_src of tp_port
+  | Tcp_dst of tp_port
+  | In_port of port_no
+
+type pred =
+  | Any
+  | Nothing
+  | Test of test
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type policy =
+  | Drop
+  | Forward of port_no
+  | Flood
+  | To_controller
+  | Modify of Action.set_field * policy
+      (** Rewrite a header field, then continue with the policy. *)
+  | If of pred * policy * policy
+  | Union of policy * policy
+      (** Both sub-policies apply; on overlapping traffic the left one
+          wins (OpenFlow priority resolution). *)
+  | On_switch of dpid * policy
+      (** Restrict the sub-policy to one switch. *)
+  | Tag of string * policy
+      (** Attribute the sub-policy's rules to an app. *)
+
+(* Combinator sugar ----------------------------------------------------------- *)
+
+let ( &&. ) a b = And (a, b)
+let ( ||. ) a b = Or (a, b)
+let ( ||| ) a b = Union (a, b)
+let if_ pred ~then_ ~else_ = If (pred, then_, else_)
+let tag name p = Tag (name, p)
+let on dpid p = On_switch (dpid, p)
+
+let ip_dst_subnet addr mask = Test (Ip_dst (addr, mask))
+let tcp_dst port = Test (Tcp_dst port)
+
+(* Pretty-printing -------------------------------------------------------------- *)
+
+let pp_test ppf = function
+  | Dl_src m -> Fmt.pf ppf "dl_src=%a" pp_mac m
+  | Dl_dst m -> Fmt.pf ppf "dl_dst=%a" pp_mac m
+  | Eth_type_is t -> Fmt.pf ppf "eth=%a" pp_eth_type t
+  | Ip_src (a, m) -> Fmt.pf ppf "ip_src=%a/%a" pp_ipv4 a pp_ipv4 m
+  | Ip_dst (a, m) -> Fmt.pf ppf "ip_dst=%a/%a" pp_ipv4 a pp_ipv4 m
+  | Ip_proto_is p -> Fmt.pf ppf "proto=%a" pp_ip_proto p
+  | Tcp_src p -> Fmt.pf ppf "tcp_src=%d" p
+  | Tcp_dst p -> Fmt.pf ppf "tcp_dst=%d" p
+  | In_port p -> Fmt.pf ppf "in_port=%d" p
+
+let rec pp_pred ppf = function
+  | Any -> Fmt.string ppf "any"
+  | Nothing -> Fmt.string ppf "none"
+  | Test t -> pp_test ppf t
+  | And (a, b) -> Fmt.pf ppf "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Fmt.pf ppf "(%a or %a)" pp_pred a pp_pred b
+  | Not p -> Fmt.pf ppf "not %a" pp_pred p
+
+let rec pp_policy ppf = function
+  | Drop -> Fmt.string ppf "drop"
+  | Forward p -> Fmt.pf ppf "fwd %d" p
+  | Flood -> Fmt.string ppf "flood"
+  | To_controller -> Fmt.string ppf "controller"
+  | Modify (f, k) -> Fmt.pf ppf "%a; %a" Action.pp_set f pp_policy k
+  | If (p, a, b) ->
+    Fmt.pf ppf "@[<v2>if %a then@,%a@;<1 -2>else@,%a@]" pp_pred p pp_policy a
+      pp_policy b
+  | Union (a, b) -> Fmt.pf ppf "(%a | %a)" pp_policy a pp_policy b
+  | On_switch (d, k) -> Fmt.pf ppf "on s%d: %a" d pp_policy k
+  | Tag (name, k) -> Fmt.pf ppf "[%s] %a" name pp_policy k

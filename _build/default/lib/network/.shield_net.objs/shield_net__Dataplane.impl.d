@@ -1,0 +1,1 @@
+lib/network/dataplane.ml: Flow_table Hashtbl List Packet Printf Shield_openflow Stats Switch Topology

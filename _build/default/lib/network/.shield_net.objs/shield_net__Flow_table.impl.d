@@ -1,0 +1,1 @@
+lib/network/flow_table.ml: Action Flow_mod Fmt Int64 List Match_fields Packet Shield_openflow Stats

@@ -1,0 +1,1 @@
+lib/network/switch.ml: Action Flow_table Hashtbl Int64 List Packet Shield_openflow Stats

@@ -1,0 +1,1 @@
+lib/network/topology.ml: Fmt Hashtbl List Option Printf Queue Shield_openflow

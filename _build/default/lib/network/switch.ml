@@ -1,0 +1,128 @@
+(* A simulated OpenFlow switch: a flow table plus port counters.
+
+   [process] implements the ingress pipeline: look up the table, apply
+   actions, emit per-port outputs and/or a packet-in.  Port counters
+   feed the port-level statistics replies. *)
+
+open Shield_openflow
+open Shield_openflow.Types
+
+type port_counters = {
+  mutable rx_packets : int64;
+  mutable tx_packets : int64;
+  mutable rx_bytes : int64;
+  mutable tx_bytes : int64;
+  mutable rx_dropped : int64;
+  mutable tx_dropped : int64;
+}
+
+type t = {
+  dpid : dpid;
+  table : Flow_table.t;
+  ports : (port_no, port_counters) Hashtbl.t;
+  mutable ports_up : port_no list;
+}
+
+type output =
+  | Forward of port_no * Packet.t
+  | To_controller of Packet.t
+  | Dropped
+
+let create ~dpid ~ports =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace tbl p
+        { rx_packets = 0L; tx_packets = 0L; rx_bytes = 0L; tx_bytes = 0L;
+          rx_dropped = 0L; tx_dropped = 0L })
+    ports;
+  { dpid; table = Flow_table.create (); ports = tbl; ports_up = ports }
+
+let counters t port =
+  match Hashtbl.find_opt t.ports port with
+  | Some c -> c
+  | None ->
+    let c =
+      { rx_packets = 0L; tx_packets = 0L; rx_bytes = 0L; tx_bytes = 0L;
+        rx_dropped = 0L; tx_dropped = 0L }
+    in
+    Hashtbl.replace t.ports port c;
+    if not (List.mem port t.ports_up) then t.ports_up <- port :: t.ports_up;
+    c
+
+let apply_flow_mod t fm = Flow_table.apply t.table fm
+
+let note_rx t ~port pkt =
+  let c = counters t port in
+  c.rx_packets <- Int64.add c.rx_packets 1L;
+  c.rx_bytes <- Int64.add c.rx_bytes (Int64.of_int (Packet.size pkt))
+
+let note_tx t ~port pkt =
+  let c = counters t port in
+  c.tx_packets <- Int64.add c.tx_packets 1L;
+  c.tx_bytes <- Int64.add c.tx_bytes (Int64.of_int (Packet.size pkt))
+
+(** Run [pkt] arriving on [in_port] through the table.  A table miss
+    yields [To_controller]; an empty action list yields [Dropped]. *)
+let process t ~in_port (pkt : Packet.t) : output list =
+  note_rx t ~port:in_port pkt;
+  match Flow_table.lookup t.table ~in_port pkt with
+  | None ->
+    (* Table miss: OpenFlow 1.0 default is send-to-controller. *)
+    [ To_controller pkt ]
+  | Some entry ->
+    if Action.is_drop entry.actions then begin
+      (counters t in_port).rx_dropped <-
+        Int64.add (counters t in_port).rx_dropped 1L;
+      [ Dropped ]
+    end
+    else begin
+      let eff = Action.apply entry.actions pkt in
+      let flood_ports =
+        if eff.flood then List.filter (( <> ) in_port) t.ports_up else []
+      in
+      let outs =
+        List.map
+          (fun p ->
+            note_tx t ~port:p eff.packet;
+            Forward (p, eff.packet))
+          (eff.out_ports @ flood_ports)
+      in
+      if eff.to_controller then To_controller eff.packet :: outs else outs
+    end
+
+(** Emit [pkt] on [port] without a table lookup — the packet-out path. *)
+let packet_out t ~port pkt : output list =
+  if port = -1 then
+    (* Port -1 encodes FLOOD in our packet-out API. *)
+    List.map
+      (fun p ->
+        note_tx t ~port:p pkt;
+        Forward (p, pkt))
+      t.ports_up
+  else begin
+    note_tx t ~port pkt;
+    [ Forward (port, pkt) ]
+  end
+
+let flow_stats t pattern = Flow_table.flow_stats t.table pattern
+
+let port_stats t : Stats.port_stat list =
+  Hashtbl.fold
+    (fun port_no c acc ->
+      { Stats.port_no; rx_packets = c.rx_packets; tx_packets = c.tx_packets;
+        rx_bytes = c.rx_bytes; tx_bytes = c.tx_bytes;
+        rx_dropped = c.rx_dropped; tx_dropped = c.tx_dropped }
+      :: acc)
+    t.ports []
+  |> List.sort (fun (a : Stats.port_stat) b -> compare a.port_no b.port_no)
+
+let switch_stat t : Stats.switch_stat =
+  let total_packets, total_bytes =
+    List.fold_left
+      (fun (p, b) (e : Flow_table.entry) ->
+        (Int64.add p e.packet_count, Int64.add b e.byte_count))
+      (0L, 0L) (Flow_table.entries t.table)
+  in
+  { Stats.dpid = t.dpid; flow_count = Flow_table.size t.table; total_packets;
+    total_bytes }

@@ -1,0 +1,208 @@
+(* Network topology: switches, inter-switch links and attached hosts.
+
+   The graph is undirected at the link level but stored as directed port
+   pairs so that "which port leads towards X" queries are direct.  All
+   mutation goes through functions that keep the port maps consistent,
+   and shortest paths are computed by BFS (unit link weights). *)
+
+open Shield_openflow.Types
+
+type endpoint = { dpid : dpid; port : port_no }
+
+type link = { src : endpoint; dst : endpoint }
+
+type host = {
+  name : string;
+  mac : mac;
+  ip : ipv4;
+  attachment : endpoint;
+}
+
+type t = {
+  mutable switches : dpid list;
+  mutable links : link list;  (** Directed: both directions stored. *)
+  mutable hosts : host list;
+}
+
+let create () = { switches = []; links = []; hosts = [] }
+
+let switches t = t.switches
+let hosts t = t.hosts
+
+(** Unique undirected links (src dpid < dst dpid). *)
+let undirected_links t =
+  List.filter (fun l -> l.src.dpid < l.dst.dpid) t.links
+
+let add_switch t dpid =
+  if not (List.mem dpid t.switches) then t.switches <- dpid :: t.switches
+
+let remove_switch t dpid =
+  t.switches <- List.filter (( <> ) dpid) t.switches;
+  t.links <-
+    List.filter (fun l -> l.src.dpid <> dpid && l.dst.dpid <> dpid) t.links;
+  t.hosts <- List.filter (fun h -> h.attachment.dpid <> dpid) t.hosts
+
+let add_link t ~src ~dst =
+  add_switch t src.dpid;
+  add_switch t dst.dpid;
+  let exists =
+    List.exists (fun l -> l.src = src && l.dst = dst) t.links
+  in
+  if not exists then
+    t.links <- { src; dst } :: { src = dst; dst = src } :: t.links
+
+let remove_link t ~src ~dst =
+  t.links <-
+    List.filter
+      (fun l -> not ((l.src = src && l.dst = dst) || (l.src = dst && l.dst = src)))
+      t.links
+
+let add_host t ~name ~mac ~ip ~attachment =
+  add_switch t attachment.dpid;
+  t.hosts <- { name; mac; ip; attachment } :: t.hosts
+
+let host_by_name t name = List.find_opt (fun h -> h.name = name) t.hosts
+let host_by_mac t mac = List.find_opt (fun h -> h.mac = mac) t.hosts
+let host_by_ip t ip = List.find_opt (fun h -> h.ip = ip) t.hosts
+
+let host_at t (ep : endpoint) =
+  List.find_opt (fun h -> h.attachment = ep) t.hosts
+
+(** The switch/port on the far side of [ep], if [ep] is an inter-switch
+    port. *)
+let peer_of t (ep : endpoint) =
+  List.find_map (fun l -> if l.src = ep then Some l.dst else None) t.links
+
+let neighbors t dpid =
+  List.filter_map
+    (fun l -> if l.src.dpid = dpid then Some (l.src.port, l.dst) else None)
+    t.links
+
+(** Ports of [dpid] in use: inter-switch ports and host attachments. *)
+let ports_of t dpid =
+  let link_ports =
+    List.filter_map
+      (fun l -> if l.src.dpid = dpid then Some l.src.port else None)
+      t.links
+  in
+  let host_ports =
+    List.filter_map
+      (fun h -> if h.attachment.dpid = dpid then Some h.attachment.port else None)
+      t.hosts
+  in
+  List.sort_uniq compare (link_ports @ host_ports)
+
+(** BFS shortest path between two switches as a dpid list (inclusive).
+    [None] when disconnected. *)
+let shortest_path t ~src ~dst =
+  if src = dst then Some [ src ]
+  else if not (List.mem src t.switches && List.mem dst t.switches) then None
+  else begin
+    let prev = Hashtbl.create 16 in
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited src ();
+    let q = Queue.create () in
+    Queue.push src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (_, peer) ->
+          if not (Hashtbl.mem visited peer.dpid) then begin
+            Hashtbl.replace visited peer.dpid ();
+            Hashtbl.replace prev peer.dpid u;
+            if peer.dpid = dst then found := true else Queue.push peer.dpid q
+          end)
+        (neighbors t u)
+    done;
+    if not !found then None
+    else begin
+      let rec build acc node =
+        if node = src then src :: acc
+        else build (node :: acc) (Hashtbl.find prev node)
+      in
+      Some (build [ dst ] (Hashtbl.find prev dst))
+    end
+  end
+
+(** For consecutive switches [a; b] on a path, the (out-port of a,
+    in-port of b) pair. *)
+let link_ports_between t ~src ~dst =
+  List.find_map
+    (fun l ->
+      if l.src.dpid = src && l.dst.dpid = dst then Some (l.src.port, l.dst.port)
+      else None)
+    t.links
+
+(** Hop-by-hop port walk along a switch path: for each switch the
+    (in_port option, dpid, out_port option); [None] in-port on the first
+    hop and [None] out-port on the last are filled by the caller from
+    host attachments. *)
+let path_hops t (path : dpid list) =
+  let rec go acc in_port = function
+    | [] -> List.rev acc
+    | [ last ] -> List.rev ((in_port, last, None) :: acc)
+    | a :: (b :: _ as rest) -> (
+      match link_ports_between t ~src:a ~dst:b with
+      | Some (out_p, next_in) -> go ((in_port, a, Some out_p) :: acc) (Some next_in) rest
+      | None -> invalid_arg "path_hops: consecutive switches not linked")
+  in
+  go [] None path
+
+let connected t ~src ~dst = Option.is_some (shortest_path t ~src ~dst)
+
+(* Canned topologies ------------------------------------------------------ *)
+
+(** Linear chain of [n] switches (port 1 towards lower dpid, port 2
+    towards higher), with one host per switch on port 3. *)
+let linear ?(hosts_per_switch = 1) n =
+  let t = create () in
+  for i = 1 to n do
+    add_switch t i
+  done;
+  for i = 1 to n - 1 do
+    add_link t
+      ~src:{ dpid = i; port = 2 }
+      ~dst:{ dpid = i + 1; port = 1 }
+  done;
+  for i = 1 to n do
+    for h = 1 to hosts_per_switch do
+      let idx = ((i - 1) * hosts_per_switch) + h in
+      add_host t
+        ~name:(Printf.sprintf "h%d" idx)
+        ~mac:(mac_of_int (0x0A0000000000 lor idx))
+        ~ip:(ipv4_of_octets 10 0 (idx lsr 8) (idx land 0xFF))
+        ~attachment:{ dpid = i; port = 2 + h }
+    done
+  done;
+  t
+
+(** Two-level tree: one root, [fanout] leaves, [hosts_per_leaf] hosts per
+    leaf switch. *)
+let tree ~fanout ~hosts_per_leaf =
+  let t = create () in
+  add_switch t 1;
+  for leaf = 1 to fanout do
+    let dpid = 1 + leaf in
+    add_link t ~src:{ dpid = 1; port = leaf } ~dst:{ dpid; port = 1 };
+    for h = 1 to hosts_per_leaf do
+      let idx = ((leaf - 1) * hosts_per_leaf) + h in
+      add_host t
+        ~name:(Printf.sprintf "h%d" idx)
+        ~mac:(mac_of_int (0x0A0000000000 lor idx))
+        ~ip:(ipv4_of_octets 10 0 (idx lsr 8) (idx land 0xFF))
+        ~attachment:{ dpid; port = 1 + h }
+    done
+  done;
+  t
+
+let pp_endpoint ppf ep = Fmt.pf ppf "s%d:p%d" ep.dpid ep.port
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>switches: %a@,links: %a@,hosts: %a@]"
+    Fmt.(list ~sep:sp int)
+    (List.sort compare t.switches)
+    Fmt.(list ~sep:sp (fun ppf l -> Fmt.pf ppf "%a-%a" pp_endpoint l.src pp_endpoint l.dst))
+    (undirected_links t)
+    Fmt.(list ~sep:sp (fun ppf h -> Fmt.pf ppf "%s@%a" h.name pp_endpoint h.attachment))
+    t.hosts

@@ -1,0 +1,1 @@
+lib/openflow/action.ml: Fmt List Packet Types

@@ -1,0 +1,1 @@
+lib/openflow/flow_mod.ml: Action Fmt Match_fields

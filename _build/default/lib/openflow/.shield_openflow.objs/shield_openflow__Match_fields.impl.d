@@ -1,0 +1,1 @@
+lib/openflow/match_fields.ml: Fmt Int Int32 Option Packet Types

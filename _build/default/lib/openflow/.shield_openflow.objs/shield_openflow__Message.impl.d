@@ -1,0 +1,1 @@
+lib/openflow/message.ml: Flow_mod Fmt Match_fields Packet Stats Types

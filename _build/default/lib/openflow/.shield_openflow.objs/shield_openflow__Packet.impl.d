@@ -1,0 +1,1 @@
+lib/openflow/packet.ml: Fmt String Types

@@ -1,0 +1,1 @@
+lib/openflow/stats.ml: Fmt Int64 List Match_fields Types

@@ -1,0 +1,1 @@
+lib/openflow/types.ml: Fmt Int32 List Printf String

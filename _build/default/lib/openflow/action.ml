@@ -1,0 +1,87 @@
+(* Flow actions, OpenFlow 1.0 subset plus the classification helpers the
+   permission action-filters rely on (DROP / FORWARD / MODIFY field). *)
+
+open Types
+
+type set_field =
+  | Set_dl_src of mac
+  | Set_dl_dst of mac
+  | Set_nw_src of ipv4
+  | Set_nw_dst of ipv4
+  | Set_tp_src of tp_port
+  | Set_tp_dst of tp_port
+
+type t =
+  | Output of port_no
+  | Flood  (** All ports except ingress. *)
+  | To_controller
+  | Set of set_field
+
+(** An empty action list drops the packet in OpenFlow 1.0 semantics. *)
+let is_drop actions = actions = []
+
+let forwards actions =
+  List.exists (function Output _ | Flood -> true | _ -> false) actions
+
+let modifies actions = List.exists (function Set _ -> true | _ -> false) actions
+
+let modified_fields actions =
+  List.filter_map (function Set f -> Some f | _ -> None) actions
+
+let set_field_name = function
+  | Set_dl_src _ -> "dl_src"
+  | Set_dl_dst _ -> "dl_dst"
+  | Set_nw_src _ -> "nw_src"
+  | Set_nw_dst _ -> "nw_dst"
+  | Set_tp_src _ -> "tp_src"
+  | Set_tp_dst _ -> "tp_dst"
+
+let apply_set field pkt =
+  match field with
+  | Set_dl_src v -> Packet.with_dl_src v pkt
+  | Set_dl_dst v -> Packet.with_dl_dst v pkt
+  | Set_nw_src v -> Packet.with_nw_src v pkt
+  | Set_nw_dst v -> Packet.with_nw_dst v pkt
+  | Set_tp_src v -> Packet.with_tp_src v pkt
+  | Set_tp_dst v -> Packet.with_tp_dst v pkt
+
+type effect_ = {
+  out_ports : port_no list;
+  flood : bool;
+  to_controller : bool;
+  packet : Packet.t;
+}
+
+(** Interpret [actions] over [pkt]: rewrites apply in order and affect
+    every subsequent output, matching switch pipeline semantics. *)
+let apply actions (pkt : Packet.t) : effect_ =
+  let step eff = function
+    | Output p -> { eff with out_ports = p :: eff.out_ports }
+    | Flood -> { eff with flood = true }
+    | To_controller -> { eff with to_controller = true }
+    | Set f -> { eff with packet = apply_set f eff.packet }
+  in
+  let eff =
+    List.fold_left step
+      { out_ports = []; flood = false; to_controller = false; packet = pkt }
+      actions
+  in
+  { eff with out_ports = List.rev eff.out_ports }
+
+let pp_set ppf = function
+  | Set_dl_src v -> Fmt.pf ppf "set dl_src=%a" pp_mac v
+  | Set_dl_dst v -> Fmt.pf ppf "set dl_dst=%a" pp_mac v
+  | Set_nw_src v -> Fmt.pf ppf "set nw_src=%a" pp_ipv4 v
+  | Set_nw_dst v -> Fmt.pf ppf "set nw_dst=%a" pp_ipv4 v
+  | Set_tp_src v -> Fmt.pf ppf "set tp_src=%d" v
+  | Set_tp_dst v -> Fmt.pf ppf "set tp_dst=%d" v
+
+let pp ppf = function
+  | Output p -> Fmt.pf ppf "output:%d" p
+  | Flood -> Fmt.string ppf "flood"
+  | To_controller -> Fmt.string ppf "controller"
+  | Set f -> pp_set ppf f
+
+let pp_list ppf = function
+  | [] -> Fmt.string ppf "drop"
+  | actions -> Fmt.(list ~sep:comma pp) ppf actions

@@ -1,0 +1,41 @@
+(* Flow-table modification messages.
+
+   The [cookie] carries the issuing app's identity through the stack;
+   SDNShield's ownership filter keys on it, exactly as the paper's
+   ownership tracking keys on the rule issuer. *)
+
+type command = Add | Modify | Delete
+
+type t = {
+  command : command;
+  match_ : Match_fields.t;
+  priority : int;
+  actions : Action.t list;
+  idle_timeout : int;  (** 0 = permanent. *)
+  hard_timeout : int;  (** 0 = permanent. *)
+  cookie : int;  (** Issuer tag; 0 = unowned/controller. *)
+}
+
+let default_priority = 100
+
+let add ?(priority = default_priority) ?(idle_timeout = 0) ?(hard_timeout = 0)
+    ?(cookie = 0) ~match_ ~actions () =
+  { command = Add; match_; priority; actions; idle_timeout; hard_timeout;
+    cookie }
+
+let modify ?(priority = default_priority) ?(cookie = 0) ~match_ ~actions () =
+  { command = Modify; match_; priority; actions; idle_timeout = 0;
+    hard_timeout = 0; cookie }
+
+let delete ?(priority = default_priority) ?(cookie = 0) ~match_ () =
+  { command = Delete; match_; priority; actions = []; idle_timeout = 0;
+    hard_timeout = 0; cookie }
+
+let pp_command ppf = function
+  | Add -> Fmt.string ppf "add"
+  | Modify -> Fmt.string ppf "mod"
+  | Delete -> Fmt.string ppf "del"
+
+let pp ppf fm =
+  Fmt.pf ppf "@[<h>%a prio=%d [%a] -> %a (cookie=%d)@]" pp_command fm.command
+    fm.priority Match_fields.pp fm.match_ Action.pp_list fm.actions fm.cookie

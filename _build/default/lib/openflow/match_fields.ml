@@ -1,0 +1,170 @@
+(* OpenFlow 1.0-style match structure.
+
+   A match constrains the 12-tuple of header fields.  [None] in an
+   optional field means the field is wildcarded.  IPv4 source and
+   destination carry an explicit bit mask so both exact and subnet
+   matches are expressible — the same shape the permission predicate
+   filters use, which keeps filter/rule comparisons uniform. *)
+
+open Types
+
+type ip_match = { addr : ipv4; mask : ipv4 }
+
+type t = {
+  in_port : port_no option;
+  dl_src : mac option;
+  dl_dst : mac option;
+  dl_type : eth_type option;
+  dl_vlan : vlan option;
+  nw_src : ip_match option;
+  nw_dst : ip_match option;
+  nw_proto : ip_proto option;
+  tp_src : tp_port option;
+  tp_dst : tp_port option;
+}
+
+let wildcard_all =
+  { in_port = None; dl_src = None; dl_dst = None; dl_type = None;
+    dl_vlan = None; nw_src = None; nw_dst = None; nw_proto = None;
+    tp_src = None; tp_dst = None }
+
+let exact_ip addr = { addr; mask = 0xFFFFFFFFl }
+let subnet addr mask = { addr = Int32.logand addr mask; mask }
+
+let make ?in_port ?dl_src ?dl_dst ?dl_type ?dl_vlan ?nw_src ?nw_dst ?nw_proto
+    ?tp_src ?tp_dst () =
+  { in_port; dl_src; dl_dst; dl_type; dl_vlan; nw_src; nw_dst; nw_proto;
+    tp_src; tp_dst }
+
+(** The exact match induced by [pkt] arriving on [in_port] — what a
+    reactive app would install after a packet-in. *)
+let of_packet ?in_port (pkt : Packet.t) =
+  let ip_part =
+    match pkt.ip with
+    | Some iph ->
+      (Some (exact_ip iph.nw_src), Some (exact_ip iph.nw_dst),
+       Some iph.nw_proto)
+    | None -> (None, None, None)
+  in
+  let nw_src, nw_dst, nw_proto = ip_part in
+  let tp_src, tp_dst =
+    match pkt.tp with
+    | Some tph -> (Some tph.tp_src, Some tph.tp_dst)
+    | None -> (None, None)
+  in
+  { in_port; dl_src = Some pkt.dl_src; dl_dst = Some pkt.dl_dst;
+    dl_type = Some pkt.dl_type; dl_vlan = pkt.dl_vlan; nw_src; nw_dst;
+    nw_proto; tp_src; tp_dst }
+
+(* Packet matching -------------------------------------------------------- *)
+
+let field_matches : 'p 'a. 'p option -> 'a option -> ('p -> 'a -> bool) -> bool
+    =
+ fun pattern actual eq ->
+  match pattern with
+  | None -> true
+  | Some p -> ( match actual with Some a -> eq p a | None -> false)
+
+let ip_matches pattern addr =
+  ipv4_in_subnet ~addr ~subnet:pattern.addr ~mask:pattern.mask
+
+(** [matches m ~in_port pkt] — does [pkt] arriving on [in_port] satisfy
+    match [m]? *)
+let matches (m : t) ~in_port (pkt : Packet.t) =
+  let ip_field f = Option.map f pkt.ip in
+  let tp_field f = Option.map f pkt.tp in
+  field_matches m.in_port (Some in_port) Int.equal
+  && field_matches m.dl_src (Some pkt.dl_src) Int.equal
+  && field_matches m.dl_dst (Some pkt.dl_dst) Int.equal
+  && field_matches m.dl_type (Some pkt.dl_type) equal_eth_type
+  && field_matches m.dl_vlan pkt.dl_vlan Int.equal
+  && field_matches m.nw_src (ip_field (fun i -> i.Packet.nw_src)) ip_matches
+  && field_matches m.nw_dst (ip_field (fun i -> i.Packet.nw_dst)) ip_matches
+  && field_matches m.nw_proto
+       (ip_field (fun i -> i.Packet.nw_proto))
+       equal_ip_proto
+  && field_matches m.tp_src (tp_field (fun t -> t.Packet.tp_src)) Int.equal
+  && field_matches m.tp_dst (tp_field (fun t -> t.Packet.tp_dst)) Int.equal
+
+(* Structural relations ---------------------------------------------------- *)
+
+let equal (a : t) (b : t) = a = b
+
+let ip_subsumes ~outer ~inner =
+  (* [outer] covers every address [inner] covers: outer's mask bits are a
+     subset of inner's and the masked prefixes agree. *)
+  Int32.logand outer.mask inner.mask = outer.mask
+  && Int32.logand outer.addr outer.mask = Int32.logand inner.addr outer.mask
+
+let opt_subsumes outer inner eq =
+  match (outer, inner) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some o, Some i -> eq o i
+
+(** [subsumes ~outer ~inner] — every packet matching [inner] also matches
+    [outer]. *)
+let subsumes ~(outer : t) ~(inner : t) =
+  opt_subsumes outer.in_port inner.in_port Int.equal
+  && opt_subsumes outer.dl_src inner.dl_src Int.equal
+  && opt_subsumes outer.dl_dst inner.dl_dst Int.equal
+  && opt_subsumes outer.dl_type inner.dl_type equal_eth_type
+  && opt_subsumes outer.dl_vlan inner.dl_vlan Int.equal
+  && opt_subsumes outer.nw_src inner.nw_src (fun o i ->
+         ip_subsumes ~outer:o ~inner:i)
+  && opt_subsumes outer.nw_dst inner.nw_dst (fun o i ->
+         ip_subsumes ~outer:o ~inner:i)
+  && opt_subsumes outer.nw_proto inner.nw_proto equal_ip_proto
+  && opt_subsumes outer.tp_src inner.tp_src Int.equal
+  && opt_subsumes outer.tp_dst inner.tp_dst Int.equal
+
+let ip_compatible a b =
+  (* Two masked ranges intersect iff they agree on the common mask bits. *)
+  let common = Int32.logand a.mask b.mask in
+  Int32.logand a.addr common = Int32.logand b.addr common
+
+let opt_compatible a b eq =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some x, Some y -> eq x y
+
+(** [compatible a b] — some packet can match both [a] and [b] (their
+    match spaces overlap).  Used by the ownership filter: an app that
+    may only touch its own flows must not install rules overlapping
+    other apps' rules. *)
+let compatible (a : t) (b : t) =
+  opt_compatible a.in_port b.in_port Int.equal
+  && opt_compatible a.dl_src b.dl_src Int.equal
+  && opt_compatible a.dl_dst b.dl_dst Int.equal
+  && opt_compatible a.dl_type b.dl_type equal_eth_type
+  && opt_compatible a.dl_vlan b.dl_vlan Int.equal
+  && opt_compatible a.nw_src b.nw_src ip_compatible
+  && opt_compatible a.nw_dst b.nw_dst ip_compatible
+  && opt_compatible a.nw_proto b.nw_proto equal_ip_proto
+  && opt_compatible a.tp_src b.tp_src Int.equal
+  && opt_compatible a.tp_dst b.tp_dst Int.equal
+
+(** Fields that are *not* wildcarded, as (name, rendered value) pairs. *)
+let bound_fields (m : t) =
+  let add name pp v acc =
+    match v with None -> acc | Some x -> (name, Fmt.to_to_string pp x) :: acc
+  in
+  []
+  |> add "tp_dst" Fmt.int m.tp_dst
+  |> add "tp_src" Fmt.int m.tp_src
+  |> add "nw_proto" pp_ip_proto m.nw_proto
+  |> add "nw_dst" (fun ppf i -> Fmt.pf ppf "%a/%a" pp_ipv4 i.addr pp_ipv4 i.mask) m.nw_dst
+  |> add "nw_src" (fun ppf i -> Fmt.pf ppf "%a/%a" pp_ipv4 i.addr pp_ipv4 i.mask) m.nw_src
+  |> add "dl_vlan" Fmt.int m.dl_vlan
+  |> add "dl_type" pp_eth_type m.dl_type
+  |> add "dl_dst" pp_mac m.dl_dst
+  |> add "dl_src" pp_mac m.dl_src
+  |> add "in_port" Fmt.int m.in_port
+
+let pp ppf (m : t) =
+  match bound_fields m with
+  | [] -> Fmt.string ppf "*"
+  | fields ->
+    Fmt.pf ppf "@[<h>%a@]"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+      fields

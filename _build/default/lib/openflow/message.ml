@@ -1,0 +1,61 @@
+(* Control-channel messages between switches and the controller. *)
+
+open Types
+
+type packet_in_reason = No_match | Send_to_controller
+
+type packet_in = {
+  dpid : dpid;
+  in_port : port_no;
+  packet : Packet.t;
+  reason : packet_in_reason;
+  buffer_id : int option;
+}
+
+type packet_out = {
+  dpid : dpid;
+  port : port_no;
+  packet : Packet.t;
+  in_port : port_no option;  (** Set when replaying a buffered packet-in. *)
+}
+
+type error_kind =
+  | Bad_request
+  | Bad_action
+  | Flow_mod_failed of string
+  | Permission_denied of string
+
+type t =
+  | Hello
+  | Echo_request of int
+  | Echo_reply of int
+  | Packet_in of packet_in
+  | Packet_out of packet_out
+  | Flow_mod of dpid * Flow_mod.t
+  | Stats_request of Stats.request
+  | Stats_reply of Stats.reply
+  | Port_status of dpid * port_no * [ `Up | `Down ]
+  | Flow_removed of dpid * Match_fields.t * int (* cookie *)
+  | Error of error_kind
+
+let pp_error ppf = function
+  | Bad_request -> Fmt.string ppf "bad-request"
+  | Bad_action -> Fmt.string ppf "bad-action"
+  | Flow_mod_failed s -> Fmt.pf ppf "flow-mod-failed:%s" s
+  | Permission_denied s -> Fmt.pf ppf "permission-denied:%s" s
+
+let pp ppf = function
+  | Hello -> Fmt.string ppf "hello"
+  | Echo_request n -> Fmt.pf ppf "echo-req %d" n
+  | Echo_reply n -> Fmt.pf ppf "echo-rep %d" n
+  | Packet_in pi ->
+    Fmt.pf ppf "packet-in s%d p%d %a" pi.dpid pi.in_port Packet.pp pi.packet
+  | Packet_out po -> Fmt.pf ppf "packet-out s%d p%d" po.dpid po.port
+  | Flow_mod (d, fm) -> Fmt.pf ppf "flow-mod s%d %a" d Flow_mod.pp fm
+  | Stats_request r -> Fmt.pf ppf "stats-req %a" Stats.pp_level r.level
+  | Stats_reply r -> Fmt.pf ppf "stats-rep %a" Stats.pp_reply r
+  | Port_status (d, p, `Up) -> Fmt.pf ppf "port-up s%d p%d" d p
+  | Port_status (d, p, `Down) -> Fmt.pf ppf "port-down s%d p%d" d p
+  | Flow_removed (d, m, c) ->
+    Fmt.pf ppf "flow-removed s%d [%a] cookie=%d" d Match_fields.pp m c
+  | Error e -> Fmt.pf ppf "error %a" pp_error e

@@ -1,0 +1,85 @@
+(* Statistics requests and replies, at the three granularities the paper's
+   statistics filter distinguishes: flow level, port level, switch level. *)
+
+open Types
+
+type level = Flow_level | Port_level | Switch_level
+
+let level_to_string = function
+  | Flow_level -> "FLOW_LEVEL"
+  | Port_level -> "PORT_LEVEL"
+  | Switch_level -> "SWITCH_LEVEL"
+
+type flow_stat = {
+  match_ : Match_fields.t;
+  priority : int;
+  cookie : int;
+  packet_count : int64;
+  byte_count : int64;
+  duration_sec : int;
+}
+
+type port_stat = {
+  port_no : port_no;
+  rx_packets : int64;
+  tx_packets : int64;
+  rx_bytes : int64;
+  tx_bytes : int64;
+  rx_dropped : int64;
+  tx_dropped : int64;
+}
+
+type switch_stat = {
+  dpid : dpid;
+  flow_count : int;
+  total_packets : int64;
+  total_bytes : int64;
+}
+
+type request = {
+  level : level;
+  dpid_filter : dpid option;  (** [None] = all switches. *)
+  match_filter : Match_fields.t option;  (** Flow-level narrowing. *)
+}
+
+type reply =
+  | Flow_stats of (dpid * flow_stat list) list
+  | Port_stats of (dpid * port_stat list) list
+  | Switch_stats of switch_stat list
+
+let request ?dpid ?match_filter level =
+  { level; dpid_filter = dpid; match_filter }
+
+let empty_port_stat port_no =
+  { port_no; rx_packets = 0L; tx_packets = 0L; rx_bytes = 0L; tx_bytes = 0L;
+    rx_dropped = 0L; tx_dropped = 0L }
+
+(** Sum two port-stat records, used when aggregating a virtual big switch
+    out of several physical ones. *)
+let merge_port_stat a b =
+  { port_no = a.port_no;
+    rx_packets = Int64.add a.rx_packets b.rx_packets;
+    tx_packets = Int64.add a.tx_packets b.tx_packets;
+    rx_bytes = Int64.add a.rx_bytes b.rx_bytes;
+    tx_bytes = Int64.add a.tx_bytes b.tx_bytes;
+    rx_dropped = Int64.add a.rx_dropped b.rx_dropped;
+    tx_dropped = Int64.add a.tx_dropped b.tx_dropped }
+
+let merge_switch_stat ~dpid (stats : switch_stat list) =
+  List.fold_left
+    (fun acc s ->
+      { dpid;
+        flow_count = acc.flow_count + s.flow_count;
+        total_packets = Int64.add acc.total_packets s.total_packets;
+        total_bytes = Int64.add acc.total_bytes s.total_bytes })
+    { dpid; flow_count = 0; total_packets = 0L; total_bytes = 0L }
+    stats
+
+let pp_level ppf l = Fmt.string ppf (level_to_string l)
+
+let pp_reply ppf = function
+  | Flow_stats l ->
+    Fmt.pf ppf "flow-stats(%d switches)" (List.length l)
+  | Port_stats l ->
+    Fmt.pf ppf "port-stats(%d switches)" (List.length l)
+  | Switch_stats l -> Fmt.pf ppf "switch-stats(%d)" (List.length l)

@@ -1,0 +1,1 @@
+lib/workload/api_trace.ml: Action Api Array Flow_mod Match_fields Prng Shield_controller Shield_openflow Stats

@@ -1,0 +1,1 @@
+lib/workload/cbench.ml: Events List Message Metrics Packet Prng Runtime Shield_controller Shield_openflow Types Unix

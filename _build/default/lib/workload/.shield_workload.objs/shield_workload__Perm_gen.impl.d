@@ -1,0 +1,1 @@
+lib/workload/perm_gen.ml: List Prng Sdnshield Shield_openflow

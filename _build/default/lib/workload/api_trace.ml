@@ -1,0 +1,90 @@
+(* App behaviour traces for the permission-engine microbenchmark.
+
+   "The app behavior trace is a sequence of flow insertions and
+   statistics requests that guarantees 5% of the API calls violate the
+   permissions" (§IX-B2).  Conforming calls stay inside the
+   [Perm_gen] core (flow inserts within 10.0.0.0/8 at priority
+   ≤ 60000; flow/port-level statistics reads); violating calls step
+   outside it (inserts into 192.168.0.0/16 or over-priority; switch-
+   level statistics reads). *)
+
+open Shield_openflow
+open Shield_openflow.Types
+open Shield_controller
+
+type expected = Should_allow | Should_deny
+
+let conforming_insert rng : Api.call =
+  let dpid = 1 + Prng.int rng 16 in
+  let dst =
+    ipv4_of_octets 10 (Prng.int rng 255) (Prng.int rng 255) (1 + Prng.int rng 250)
+  in
+  let match_ =
+    Match_fields.make ~dl_type:Eth_ip ~nw_dst:(Match_fields.exact_ip dst) ()
+  in
+  let fm =
+    Flow_mod.add
+      ~priority:(100 + Prng.int rng 1000)
+      ~match_
+      ~actions:[ Action.Output (1 + Prng.int rng 8) ]
+      ()
+  in
+  Api.Install_flow (dpid, fm)
+
+let violating_insert rng : Api.call =
+  let dpid = 1 + Prng.int rng 16 in
+  let dst = ipv4_of_octets 192 168 (Prng.int rng 255) (1 + Prng.int rng 250) in
+  let match_ =
+    Match_fields.make ~dl_type:Eth_ip ~nw_dst:(Match_fields.exact_ip dst) ()
+  in
+  let fm =
+    Flow_mod.add
+      ~priority:(100 + Prng.int rng 1000)
+      ~match_
+      ~actions:[ Action.Output (1 + Prng.int rng 8) ]
+      ()
+  in
+  Api.Install_flow (dpid, fm)
+
+let conforming_stats rng : Api.call =
+  let level = Prng.pick rng Stats.[ Flow_level; Port_level ] in
+  Api.Read_stats (Stats.request ~dpid:(1 + Prng.int rng 16) level)
+
+let violating_stats rng : Api.call =
+  Api.Read_stats (Stats.request ~dpid:(1 + Prng.int rng 16) Stats.Switch_level)
+
+type focus = [ `Insert | `Stats ]
+
+(** [generate ~focus ~n ()] — [n] calls of the focused type with
+    exactly [violation_rate] (default 5 %) violating calls, evenly
+    interleaved.  Returns each call with its expected decision. *)
+let generate ?(seed = 11) ?(violation_rate = 0.05) ~(focus : focus) ~n () :
+    (Api.call * expected) array =
+  let rng = Prng.of_int seed in
+  let period =
+    if violation_rate <= 0. then max_int
+    else max 1 (int_of_float (1. /. violation_rate))
+  in
+  Array.init n (fun i ->
+      let violating = (i + 1) mod period = 0 in
+      match (focus, violating) with
+      | `Insert, false -> (conforming_insert rng, Should_allow)
+      | `Insert, true -> (violating_insert rng, Should_deny)
+      | `Stats, false -> (conforming_stats rng, Should_allow)
+      | `Stats, true -> (violating_stats rng, Should_deny))
+
+(** A mixed insert/stats trace (used by the scalability experiment). *)
+let generate_mixed ?(seed = 13) ?(violation_rate = 0.05) ~n () :
+    (Api.call * expected) array =
+  let rng = Prng.of_int seed in
+  let period =
+    if violation_rate <= 0. then max_int
+    else max 1 (int_of_float (1. /. violation_rate))
+  in
+  Array.init n (fun i ->
+      let violating = (i + 1) mod period = 0 in
+      match (i mod 2 = 0, violating) with
+      | true, false -> (conforming_insert rng, Should_allow)
+      | true, true -> (violating_insert rng, Should_deny)
+      | false, false -> (conforming_stats rng, Should_allow)
+      | false, true -> (violating_stats rng, Should_deny))

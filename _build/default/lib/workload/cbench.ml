@@ -1,0 +1,67 @@
+(* CBench-style OpenFlow message generator.
+
+   The paper's end-to-end experiments drive the controller with a
+   customized CBench: a synthetic load generator that emulates [n]
+   switches, each emitting packet-ins (ARP-carrying, for the l2switch
+   scenario) with churned source MACs so the learning switch keeps
+   learning and keeps issuing flow-mods.  This module reproduces that
+   workload shape:
+
+   - [latency_run]: one outstanding packet-in at a time per round,
+     measuring the response time of each (CBench latency mode);
+   - [throughput_run]: flood a batch and measure completions/second
+     (CBench throughput mode). *)
+
+open Shield_openflow
+open Shield_controller
+
+type t = {
+  switches : int;
+  rng : Prng.t;
+  mutable seq : int;
+}
+
+let create ?(seed = 42) ~switches () =
+  { switches; rng = Prng.of_int seed; seq = 0 }
+
+(** The next packet-in event: round-robin over switches, fresh source
+    MAC, occasionally re-using a destination MAC already seen so
+    learning-switch lookups sometimes hit. *)
+let next_packet_in t : Events.t =
+  t.seq <- t.seq + 1;
+  let dpid = 1 + (t.seq mod t.switches) in
+  let src = Types.mac_of_int (0x020000000000 lor t.seq) in
+  let dst =
+    if t.seq > 4 && Prng.bool t.rng then
+      (* A MAC generated a few rounds ago: may be learned by now. *)
+      Types.mac_of_int (0x020000000000 lor (t.seq - 1 - Prng.int t.rng 4))
+    else Types.broadcast_mac
+  in
+  let packet = Packet.arp ~src ~dst () in
+  Events.Packet_in
+    { Message.dpid; in_port = 1 + Prng.int t.rng 4; packet;
+      reason = Message.No_match; buffer_id = None }
+
+let packet_ins t n = List.init n (fun _ -> next_packet_in t)
+
+(** Latency mode: feed [rounds] packet-ins synchronously, recording the
+    wall-clock time from injection to full handling (all apps done,
+    cascaded events processed). *)
+let latency_run t runtime ~rounds : Metrics.summary =
+  let m = Metrics.create () in
+  for _ = 1 to rounds do
+    let ev = next_packet_in t in
+    Metrics.time m (fun () -> Runtime.feed_sync runtime ev)
+  done;
+  Metrics.summarize m
+
+(** Throughput mode: feed [total] packet-ins as fast as possible, then
+    drain; returns events/second. *)
+let throughput_run t runtime ~total : float =
+  let start = Unix.gettimeofday () in
+  for _ = 1 to total do
+    Runtime.feed runtime (next_packet_in t)
+  done;
+  Runtime.drain runtime;
+  let elapsed = Unix.gettimeofday () -. start in
+  float_of_int total /. elapsed

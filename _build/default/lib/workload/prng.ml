@@ -1,0 +1,29 @@
+(* Small deterministic PRNG (xorshift64) so workloads are reproducible
+   across runs and independent of the global Random state. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 0x9E3779B97F4A7C15L) () =
+  { state = (if seed = 0L then 1L else seed) }
+
+let of_int seed = create ~seed:(Int64.of_int (seed + 1)) ()
+
+let next t =
+  let open Int64 in
+  let x = t.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.state <- x;
+  x
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))

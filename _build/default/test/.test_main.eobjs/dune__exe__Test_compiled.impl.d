@@ -1,0 +1,1 @@
+test/test_compiled.ml: Alcotest Api Compiled Engine Fmt List Ownership QCheck QCheck_alcotest Sdnshield Shield_controller Shield_openflow Test_filters Test_perm_ops Test_util

@@ -1,0 +1,1 @@
+test/test_inclusion.ml: Alcotest Attrs Filter Filter_eval Inclusion List Nf Printf QCheck QCheck_alcotest Sdnshield Test_filters Test_util

@@ -1,0 +1,1 @@
+test/test_network.ml: Action Alcotest Dataplane Flow_mod Flow_table List Match_fields Option Packet Shield_net Shield_openflow Stats Switch Topology Types

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Action Alcotest Flow_mod List Match_fields Option Packet Printf Shield_openflow Stats Types

@@ -1,0 +1,1 @@
+test/test_parsers.ml: Alcotest Filter Fmt List Perm Perm_parser Policy Policy_parser Printf Sdnshield Shield_openflow Test_util Token

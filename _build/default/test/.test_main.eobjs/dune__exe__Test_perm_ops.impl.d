@@ -1,0 +1,1 @@
+test/test_perm_ops.ml: Alcotest Attrs Filter Filter_eval Inclusion List Perm Perm_ops QCheck QCheck_alcotest Sdnshield Test_filters Test_util Token

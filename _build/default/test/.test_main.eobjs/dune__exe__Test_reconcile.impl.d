@@ -1,0 +1,1 @@
+test/test_reconcile.ml: Alcotest Filter Inclusion List Perm Reconcile Sdnshield Test_util Token

@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: Alcotest Attrs Engine Filter Filter_eval Inclusion List Option Perm Perm_parser QCheck QCheck_alcotest Sdnshield Test_filters Test_perm_ops Token

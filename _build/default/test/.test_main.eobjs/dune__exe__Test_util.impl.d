@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Api Dataplane Kernel Printf Runtime Sdnshield Shield_controller Shield_net Shield_openflow String Topology Types

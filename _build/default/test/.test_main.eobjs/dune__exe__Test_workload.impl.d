@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Api Api_trace Array Cbench Engine Events Filter List Ownership Perm Perm_gen Printf Prng Sdnshield Shield_controller Shield_openflow Shield_workload Token

@@ -1,0 +1,62 @@
+(* The closure-compiled checker must agree exactly with the
+   interpreting engine on stateless decisions (unit cases plus a
+   property over random manifests × calls). *)
+
+open Shield_controller
+open Sdnshield
+
+let manifest = Test_util.manifest_exn
+
+let decisions_agree manifest call =
+  let engine =
+    Engine.create ~record_state:false
+      ~ownership:(Ownership.create ())
+      ~app_name:"cmp" ~cookie:1 manifest
+  in
+  let compiled = Compiled.of_manifest manifest in
+  let d1 = Engine.check engine call and d2 = Compiled.check compiled call in
+  match (d1, d2) with
+  | Api.Allow, Api.Allow | Api.Deny _, Api.Deny _ -> true
+  | _ -> false
+
+let test_compiled_matches_engine_basic () =
+  let m =
+    manifest
+      "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0 AND ACTION FORWARD\n\
+       PERM read_statistics LIMITING PORT_LEVEL"
+  in
+  let calls =
+    [ Api.Read_topology;
+      Api.Read_stats (Shield_openflow.Stats.request Shield_openflow.Stats.Port_level);
+      Api.Read_stats (Shield_openflow.Stats.request Shield_openflow.Stats.Switch_level);
+      Api.Syscall (Api.Spawn_process "sh") ]
+  in
+  List.iter
+    (fun call ->
+      Alcotest.(check bool)
+        (Fmt.str "%a" Api.pp_call call)
+        true (decisions_agree m call))
+    calls
+
+let test_compiled_allow_and_deny () =
+  let m = manifest "PERM read_statistics LIMITING FLOW_LEVEL" in
+  let compiled = Compiled.of_manifest m in
+  (match Compiled.check compiled (Api.Read_stats (Shield_openflow.Stats.request Shield_openflow.Stats.Flow_level)) with
+  | Api.Allow -> ()
+  | Api.Deny _ -> Alcotest.fail "flow-level should pass");
+  (match Compiled.check compiled (Api.Read_stats (Shield_openflow.Stats.request Shield_openflow.Stats.Port_level)) with
+  | Api.Deny _ -> ()
+  | Api.Allow -> Alcotest.fail "port-level should fail");
+  match Compiled.check compiled Api.Read_topology with
+  | Api.Deny _ -> ()
+  | Api.Allow -> Alcotest.fail "missing token should fail"
+
+let qsuite =
+  [ QCheck.Test.make ~count:500 ~name:"compiled = interpreted (stateless)"
+      (QCheck.pair Test_perm_ops.manifest_arb Test_filters.call_arb)
+      (fun (m, call) -> decisions_agree m call) ]
+
+let suite =
+  [ Alcotest.test_case "compiled matches engine" `Quick test_compiled_matches_engine_basic;
+    Alcotest.test_case "compiled allow/deny" `Quick test_compiled_allow_and_deny ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

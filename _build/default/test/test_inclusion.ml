@@ -1,0 +1,232 @@
+(* Tests for Algorithm 1 — permission/filter inclusion (§V-B1) — and
+   the normal forms it runs on.  The qcheck properties verify
+   *soundness* against the evaluation semantics: whenever the algorithm
+   claims A ⊇ B, every sampled call B admits must be admitted by A.
+   (The algorithm is deliberately incomplete, so no completeness
+   property is asserted.) *)
+
+open Sdnshield
+
+let filter = Test_util.filter_exn
+let manifest = Test_util.manifest_exn
+let includes = Inclusion.filter_includes
+
+(* Singleton inclusion --------------------------------------------------------- *)
+
+let test_pred_inclusion () =
+  let wide = filter "IP_DST 10.0.0.0 MASK 255.0.0.0" in
+  let narrow = filter "IP_DST 10.13.0.0 MASK 255.255.0.0" in
+  let exact = filter "IP_DST 10.13.1.2" in
+  Alcotest.(check bool) "/8 ⊇ /16" true (includes wide narrow);
+  Alcotest.(check bool) "/16 ⊉ /8" false (includes narrow wide);
+  Alcotest.(check bool) "/16 ⊇ exact" true (includes narrow exact);
+  Alcotest.(check bool) "disjoint subnets" false
+    (includes narrow (filter "IP_DST 10.14.0.0 MASK 255.255.0.0"));
+  (* The paper's example: /24 permission includes the same /24. *)
+  let p = filter "IP_DST 192.168.1.0 MASK 255.255.255.0" in
+  Alcotest.(check bool) "reflexive" true (includes p p)
+
+let test_cross_dimension_incomparable () =
+  Alcotest.(check bool) "ip_dst vs ip_src" false
+    (includes (filter "IP_DST 10.0.0.0 MASK 255.0.0.0")
+       (filter "IP_SRC 10.0.0.0 MASK 255.0.0.0"));
+  Alcotest.(check bool) "pred vs priority" false
+    (includes (filter "MAX_PRIORITY 10") (filter "IP_DST 10.0.0.1"))
+
+let test_scalar_inclusions () =
+  Alcotest.(check bool) "max_priority" true
+    (includes (filter "MAX_PRIORITY 100") (filter "MAX_PRIORITY 50"));
+  Alcotest.(check bool) "max_priority rev" false
+    (includes (filter "MAX_PRIORITY 50") (filter "MAX_PRIORITY 100"));
+  Alcotest.(check bool) "min_priority" true
+    (includes (filter "MIN_PRIORITY 10") (filter "MIN_PRIORITY 20"));
+  Alcotest.(check bool) "rule_count" true
+    (includes (filter "MAX_RULE_COUNT 100") (filter "MAX_RULE_COUNT 10"));
+  Alcotest.(check bool) "all ⊇ own" true (includes (filter "ALL_FLOWS") (filter "OWN_FLOWS"));
+  Alcotest.(check bool) "own ⊉ all" false (includes (filter "OWN_FLOWS") (filter "ALL_FLOWS"));
+  Alcotest.(check bool) "arbitrary ⊇ from_pkt_in" true
+    (includes (filter "ARBITRARY") (filter "FROM_PKT_IN"));
+  Alcotest.(check bool) "modify ⊇ forward" true
+    (includes (filter "ACTION MODIFY TCP_DST") (filter "ACTION FORWARD"));
+  Alcotest.(check bool) "forward ⊉ drop" false
+    (includes (filter "ACTION FORWARD") (filter "ACTION DROP"))
+
+let test_wildcard_inclusion () =
+  (* Fewer forced-wildcard bits = more permissive. *)
+  Alcotest.(check bool) "/24-forced ⊇ /16-forced... no" false
+    (includes (filter "WILDCARD IP_DST 255.255.255.0") (filter "WILDCARD IP_DST 255.255.0.0"));
+  Alcotest.(check bool) "/16-forced ⊇ /24-forced" true
+    (includes (filter "WILDCARD IP_DST 255.255.0.0") (filter "WILDCARD IP_DST 255.255.255.0"))
+
+let test_topo_inclusion () =
+  Alcotest.(check bool) "superset switches" true
+    (includes (filter "SWITCH 1,2,3") (filter "SWITCH 1,2"));
+  Alcotest.(check bool) "subset switches" false
+    (includes (filter "SWITCH 1,2") (filter "SWITCH 1,2,3"));
+  Alcotest.(check bool) "links constrain" true
+    (includes (filter "SWITCH 1,2 LINK 1,2,3") (filter "SWITCH 1 LINK 2"))
+
+(* Compound expressions -------------------------------------------------------- *)
+
+let test_compound_inclusion () =
+  let a = filter "OWN_FLOWS OR IP_DST 10.13.0.0 MASK 255.255.0.0" in
+  let b = filter "IP_DST 10.13.7.0 MASK 255.255.255.0" in
+  Alcotest.(check bool) "disjunct absorbs" true (includes a b);
+  Alcotest.(check bool) "conjunction narrows" true
+    (includes b (Filter.conj b (filter "MAX_PRIORITY 10")));
+  Alcotest.(check bool) "conjunction not wider" false
+    (includes (Filter.conj b (filter "MAX_PRIORITY 10")) b);
+  Alcotest.(check bool) "true includes anything" true (includes Filter.True a);
+  Alcotest.(check bool) "anything includes false" true (includes a Filter.False)
+
+let test_negation_conservative () =
+  (* Mixed-polarity inclusion is never claimed: a dimension-less call
+     (e.g. a topology read) satisfies both 10.13/16 and ¬(10.14/16)'s
+     operand vacuously, so range disjointness does not imply semantic
+     inclusion.  The algorithm answers the conservative [false]. *)
+  let not_14 = Filter.neg (filter "IP_DST 10.14.0.0 MASK 255.255.0.0") in
+  Alcotest.(check bool) "neg/pos conservative" false
+    (includes not_14 (filter "IP_DST 10.13.0.0 MASK 255.255.0.0"));
+  let not_10 = Filter.neg (filter "IP_DST 10.0.0.0 MASK 255.0.0.0") in
+  Alcotest.(check bool) "neg overlap rejected" false
+    (includes not_10 (filter "IP_DST 10.13.0.0 MASK 255.255.0.0"));
+  (* Negation pairs flip soundly: ¬(/16) ⊇ ¬(/8). *)
+  Alcotest.(check bool) "neg/neg flips" true
+    (includes
+       (Filter.neg (filter "IP_DST 10.13.0.0 MASK 255.255.0.0"))
+       (Filter.neg (filter "IP_DST 10.0.0.0 MASK 255.0.0.0")))
+
+(* Manifest-level --------------------------------------------------------------- *)
+
+let test_manifest_inclusion () =
+  let big =
+    manifest
+      "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0\n\
+       PERM read_statistics\nPERM visible_topology"
+  in
+  let small =
+    manifest "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0" in
+  Alcotest.(check bool) "big ⊇ small" true (Inclusion.manifest_includes big small);
+  Alcotest.(check bool) "small ⊉ big" false (Inclusion.manifest_includes small big);
+  Alcotest.(check bool) "missing token" false
+    (Inclusion.manifest_includes small (manifest "PERM read_statistics"));
+  Alcotest.(check bool) "empty included in all" true
+    (Inclusion.manifest_includes small []);
+  match Inclusion.compare_manifests big small with
+  | `Superset -> ()
+  | _ -> Alcotest.fail "compare_manifests"
+
+let test_manifest_overlap () =
+  let m = manifest "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0" in
+  Alcotest.(check bool) "same token overlapping filters" true
+    (Inclusion.manifests_overlap m
+       (manifest "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0"));
+  (* Range-disjoint filters on the same token still count as overlap:
+     satisfiability is conservative (dimension-less calls satisfy
+     both), which errs toward reporting mutual-exclusion violations. *)
+  Alcotest.(check bool) "same token disjoint filters (conservative)" true
+    (Inclusion.manifests_overlap m
+       (manifest "PERM insert_flow LIMITING IP_DST 10.14.0.0 MASK 255.255.0.0"));
+  Alcotest.(check bool) "different tokens" false
+    (Inclusion.manifests_overlap m (manifest "PERM read_statistics"))
+
+let test_satisfiability () =
+  Alcotest.(check bool) "plain filter sat" true
+    (Inclusion.filter_satisfiable (filter "OWN_FLOWS"));
+  (* Range-disjoint conjunction is conservatively *satisfiable*: calls
+     without the IP_DST dimension pass both conjuncts vacuously. *)
+  Alcotest.(check bool) "range-disjoint conj conservative" true
+    (Inclusion.filter_satisfiable
+       (Filter.conj (filter "IP_DST 10.13.0.0 MASK 255.255.0.0")
+          (filter "IP_DST 10.14.0.0 MASK 255.255.0.0")));
+  Alcotest.(check bool) "x and not x unsat" false
+    (Inclusion.filter_satisfiable
+       (Filter.conj (filter "OWN_FLOWS") (Filter.neg (filter "OWN_FLOWS"))));
+  Alcotest.(check bool) "false unsat" false (Inclusion.filter_satisfiable Filter.False)
+
+(* Normal forms ------------------------------------------------------------------ *)
+
+let test_nf_shapes () =
+  let a = filter "OWN_FLOWS" and b = filter "ACTION DROP" in
+  Alcotest.(check int) "cnf of and = 2 clauses" 2
+    (List.length (Nf.cnf (Filter.And (a, b))));
+  Alcotest.(check int) "cnf of or = 1 clause" 1
+    (List.length (Nf.cnf (Filter.Or (a, b))));
+  Alcotest.(check int) "dnf of or = 2 clauses" 2
+    (List.length (Nf.dnf (Filter.Or (a, b))));
+  Alcotest.(check int) "cnf of true = no clauses" 0 (List.length (Nf.cnf Filter.True));
+  Alcotest.(check (list (list bool))) "cnf of false = empty clause"
+    [ [] ]
+    (List.map (List.map (fun (l : Nf.literal) -> l.Nf.positive)) (Nf.cnf Filter.False))
+
+let test_nf_too_large () =
+  (* (a1∨b1)∧(a2∨b2)∧… explodes in DNF; the guard must trip rather
+     than hang. *)
+  let clause i =
+    Filter.Or
+      ( filter (Printf.sprintf "MAX_PRIORITY %d" i),
+        filter (Printf.sprintf "MIN_PRIORITY %d" i) )
+  in
+  let big =
+    List.fold_left
+      (fun acc i -> Filter.And (acc, clause i))
+      (clause 0)
+      (List.init 20 (fun i -> i + 1))
+  in
+  (try
+     ignore (Nf.dnf ~max_clauses:1024 big);
+     Alcotest.fail "expected Too_large"
+   with Nf.Too_large -> ());
+  (* And inclusion degrades to a conservative false instead of raising
+     (syntactically different operands, so the fast equality path does
+     not short-circuit). *)
+  Alcotest.(check bool) "conservative fallback" false
+    (Inclusion.filter_includes ~max_clauses:64 big (Filter.And (big, big)))
+
+(* Soundness properties (qcheck) --------------------------------------------------- *)
+
+let env = Filter_eval.pure_env
+
+let qsuite =
+  let count = 300 in
+  [ QCheck.Test.make ~count ~name:"inclusion sound wrt evaluation"
+      (QCheck.triple Test_filters.expr_arb Test_filters.expr_arb Test_filters.call_arb)
+      (fun (a, b, call) ->
+        QCheck.assume (Inclusion.filter_includes a b);
+        let attrs = Attrs.of_call call in
+        (* b admits the call => a must admit it. *)
+        (not (Filter_eval.eval env b attrs)) || Filter_eval.eval env a attrs);
+    QCheck.Test.make ~count ~name:"inclusion reflexive"
+      Test_filters.expr_arb
+      (fun e -> Inclusion.filter_includes e e);
+    QCheck.Test.make ~count:200 ~name:"inclusion transitive when claimed"
+      (QCheck.triple Test_filters.expr_arb Test_filters.expr_arb Test_filters.expr_arb)
+      (fun (a, b, c) ->
+        QCheck.assume (Inclusion.filter_includes a b && Inclusion.filter_includes b c);
+        (* Transitivity of the underlying semantics: spot-check via
+           evaluation on random calls is covered above; here check the
+           algorithm itself doesn't contradict itself on (a, c) by
+           claiming strict disjointness.  A ⊇ B ⊇ C ⇒ meet(A,C)
+           satisfiable unless C empty. *)
+        (not (Inclusion.filter_satisfiable c))
+        || Inclusion.filter_satisfiable (Filter.conj a c));
+    QCheck.Test.make ~count ~name:"unsat filters admit nothing"
+      (QCheck.pair Test_filters.expr_arb Test_filters.call_arb)
+      (fun (e, call) ->
+        QCheck.assume (not (Inclusion.filter_satisfiable e));
+        not (Filter_eval.eval env e (Attrs.of_call call))) ]
+
+let suite =
+  [ Alcotest.test_case "pred inclusion" `Quick test_pred_inclusion;
+    Alcotest.test_case "cross-dimension incomparable" `Quick test_cross_dimension_incomparable;
+    Alcotest.test_case "scalar inclusions" `Quick test_scalar_inclusions;
+    Alcotest.test_case "wildcard inclusion" `Quick test_wildcard_inclusion;
+    Alcotest.test_case "topology inclusion" `Quick test_topo_inclusion;
+    Alcotest.test_case "compound inclusion" `Quick test_compound_inclusion;
+    Alcotest.test_case "negation conservative" `Quick test_negation_conservative;
+    Alcotest.test_case "manifest inclusion" `Quick test_manifest_inclusion;
+    Alcotest.test_case "manifest overlap" `Quick test_manifest_overlap;
+    Alcotest.test_case "satisfiability" `Quick test_satisfiability;
+    Alcotest.test_case "normal-form shapes" `Quick test_nf_shapes;
+    Alcotest.test_case "normal-form size guard" `Quick test_nf_too_large ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

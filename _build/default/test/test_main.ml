@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "sdnshield"
+    [ ("openflow", Test_openflow.suite);
+      ("network", Test_network.suite);
+      ("controller", Test_controller.suite);
+      ("filters", Test_filters.suite);
+      ("parsers", Test_parsers.suite);
+      ("inclusion", Test_inclusion.suite);
+      ("perm-ops", Test_perm_ops.suite);
+      ("reconcile", Test_reconcile.suite);
+      ("engine", Test_engine.suite);
+      ("apps", Test_apps.suite);
+      ("attacks", Test_attacks.suite);
+      ("workload", Test_workload.suite);
+      ("compiled", Test_compiled.suite);
+      ("infer", Test_infer.suite);
+      ("hll", Test_hll.suite);
+      ("runtime-ext", Test_runtime_ext.suite);
+      ("metrics", Test_metrics.suite);
+      ("roundtrip", Test_roundtrip.suite);
+      ("forensics", Test_forensics.suite) ]

@@ -1,0 +1,62 @@
+(* Percentile/summary math used by the Figure 6-8 harnesses. *)
+
+open Shield_controller
+
+let test_percentile_exact () =
+  let sorted = [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ] in
+  Alcotest.(check (float 1e-9)) "median" 5.5 (Metrics.percentile 50. sorted);
+  Alcotest.(check (float 1e-9)) "min" 1. (Metrics.percentile 0. sorted);
+  Alcotest.(check (float 1e-9)) "max" 10. (Metrics.percentile 100. sorted);
+  Alcotest.(check (float 1e-9)) "p10" 1.9 (Metrics.percentile 10. sorted);
+  Alcotest.(check (float 1e-9)) "p90" 9.1 (Metrics.percentile 90. sorted)
+
+let test_percentile_singleton () =
+  Alcotest.(check (float 1e-9)) "single sample" 7. (Metrics.percentile 50. [ 7. ]);
+  Alcotest.(check bool) "empty gives nan" true
+    (Float.is_nan (Metrics.percentile 50. []))
+
+let test_summary () =
+  let t = Metrics.create () in
+  List.iter (Metrics.record t) [ 3.; 1.; 2. ];
+  let s = Metrics.summarize t in
+  Alcotest.(check int) "n" 3 s.Metrics.n;
+  Alcotest.(check (float 1e-9)) "median" 2. s.Metrics.median;
+  Alcotest.(check (float 1e-9)) "mean" 2. s.Metrics.mean;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 3. s.Metrics.max
+
+let test_summary_empty () =
+  let s = Metrics.summarize (Metrics.create ()) in
+  Alcotest.(check int) "n" 0 s.Metrics.n;
+  Alcotest.(check bool) "median nan" true (Float.is_nan s.Metrics.median)
+
+let test_time_records () =
+  let t = Metrics.create () in
+  let r = Metrics.time t (fun () -> 42) in
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check int) "recorded" 1 (Metrics.count t);
+  Alcotest.(check bool) "non-negative" true ((Metrics.summarize t).Metrics.min >= 0.)
+
+let test_summarize_list () =
+  let s = Metrics.summarize_list [ 5.; 1. ] in
+  Alcotest.(check (float 1e-9)) "median" 3. s.Metrics.median
+
+let qsuite =
+  [ QCheck.Test.make ~count:200 ~name:"percentiles are monotone and bounded"
+      QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0. 1000.))
+      (fun samples ->
+        let sorted = List.sort compare samples in
+        let p10 = Shield_controller.Metrics.percentile 10. sorted in
+        let p50 = Shield_controller.Metrics.percentile 50. sorted in
+        let p90 = Shield_controller.Metrics.percentile 90. sorted in
+        let lo = List.hd sorted and hi = List.nth sorted (List.length sorted - 1) in
+        p10 <= p50 && p50 <= p90 && lo <= p10 && p90 <= hi) ]
+
+let suite =
+  [ Alcotest.test_case "percentile exact" `Quick test_percentile_exact;
+    Alcotest.test_case "percentile singleton" `Quick test_percentile_singleton;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "time records" `Quick test_time_records;
+    Alcotest.test_case "summarize list" `Quick test_summarize_list ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

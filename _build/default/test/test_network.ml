@@ -1,0 +1,351 @@
+(* Unit tests for the network simulator: flow tables, topology, switch
+   pipeline, data-plane packet walk. *)
+
+open Shield_openflow
+open Shield_openflow.Types
+open Shield_net
+
+let ip = ipv4_of_string
+
+let pkt ?(nw_src = "10.0.0.1") ?(nw_dst = "10.0.0.2") ?(tp_dst = 80)
+    ?(src = 11) ?(dst = 22) () =
+  Packet.tcp ~src ~dst ~nw_src:(ip nw_src) ~nw_dst:(ip nw_dst) ~tp_src:4321
+    ~tp_dst ()
+
+(* Flow table ---------------------------------------------------------------- *)
+
+let test_table_priority_order () =
+  let t = Flow_table.create () in
+  let lo =
+    Flow_mod.add ~priority:10 ~match_:Match_fields.wildcard_all ~actions:[] ()
+  in
+  let hi =
+    Flow_mod.add ~priority:200
+      ~match_:(Match_fields.make ~tp_dst:80 ())
+      ~actions:[ Action.Output 3 ] ()
+  in
+  ignore (Flow_table.apply t lo);
+  ignore (Flow_table.apply t hi);
+  (match Flow_table.lookup t ~in_port:1 (pkt ()) with
+  | Some e -> Alcotest.(check int) "high wins" 200 e.Flow_table.priority
+  | None -> Alcotest.fail "expected a hit");
+  match Flow_table.lookup t ~in_port:1 (pkt ~tp_dst:443 ()) with
+  | Some e -> Alcotest.(check int) "falls to low" 10 e.Flow_table.priority
+  | None -> Alcotest.fail "expected the catch-all"
+
+let test_table_add_replaces () =
+  let t = Flow_table.create () in
+  let m = Match_fields.make ~tp_dst:80 () in
+  ignore
+    (Flow_table.apply t (Flow_mod.add ~priority:5 ~match_:m ~actions:[ Action.Output 1 ] ()));
+  let removed =
+    Flow_table.apply t
+      (Flow_mod.add ~priority:5 ~match_:m ~actions:[ Action.Output 2 ] ())
+  in
+  Alcotest.(check int) "replaced one" 1 (List.length removed);
+  Alcotest.(check int) "size 1" 1 (Flow_table.size t);
+  match Flow_table.lookup t ~in_port:1 (pkt ()) with
+  | Some e ->
+    Alcotest.(check bool) "new actions" true (e.Flow_table.actions = [ Action.Output 2 ])
+  | None -> Alcotest.fail "expected hit"
+
+let test_table_modify () =
+  let t = Flow_table.create () in
+  let m = Match_fields.make ~tp_dst:80 () in
+  ignore (Flow_table.apply t (Flow_mod.add ~priority:5 ~match_:m ~actions:[] ()));
+  ignore
+    (Flow_table.apply t
+       (Flow_mod.modify ~match_:Match_fields.wildcard_all
+          ~actions:[ Action.Output 9 ] ()));
+  (match Flow_table.lookup t ~in_port:1 (pkt ()) with
+  | Some e ->
+    Alcotest.(check bool) "modified" true (e.Flow_table.actions = [ Action.Output 9 ])
+  | None -> Alcotest.fail "expected hit");
+  (* Modify with no match behaves as add (OF 1.0). *)
+  let t2 = Flow_table.create () in
+  ignore
+    (Flow_table.apply t2 (Flow_mod.modify ~match_:m ~actions:[ Action.Output 1 ] ()));
+  Alcotest.(check int) "modify-as-add" 1 (Flow_table.size t2)
+
+let test_table_delete_subsumed () =
+  let t = Flow_table.create () in
+  ignore
+    (Flow_table.apply t
+       (Flow_mod.add ~priority:5
+          ~match_:(Match_fields.make ~tp_dst:80 ~nw_dst:(Match_fields.exact_ip (ip "10.0.0.2")) ())
+          ~actions:[] ()));
+  ignore
+    (Flow_table.apply t
+       (Flow_mod.add ~priority:9
+          ~match_:(Match_fields.make ~tp_dst:443 ())
+          ~actions:[] ()));
+  let removed =
+    Flow_table.apply t
+      (Flow_mod.delete ~match_:(Match_fields.make ~tp_dst:80 ()) ())
+  in
+  Alcotest.(check int) "one removed" 1 (List.length removed);
+  Alcotest.(check int) "one left" 1 (Flow_table.size t)
+
+let test_table_counters_and_stats () =
+  let t = Flow_table.create () in
+  ignore
+    (Flow_table.apply t
+       (Flow_mod.add ~priority:5 ~cookie:42 ~match_:Match_fields.wildcard_all
+          ~actions:[ Action.Output 1 ] ()));
+  ignore (Flow_table.lookup t ~in_port:1 (pkt ()));
+  ignore (Flow_table.lookup t ~in_port:1 (pkt ()));
+  match Flow_table.flow_stats t None with
+  | [ fs ] ->
+    Alcotest.(check int64) "2 packets" 2L fs.Stats.packet_count;
+    Alcotest.(check int) "cookie" 42 fs.Stats.cookie;
+    Alcotest.(check bool) "bytes counted" true (fs.Stats.byte_count > 0L)
+  | l -> Alcotest.failf "expected 1 stat, got %d" (List.length l)
+
+let test_table_count_by_cookie () =
+  let t = Flow_table.create () in
+  let add cookie tp =
+    ignore
+      (Flow_table.apply t
+         (Flow_mod.add ~cookie ~match_:(Match_fields.make ~tp_dst:tp ()) ~actions:[] ()))
+  in
+  add 1 80;
+  add 1 81;
+  add 2 82;
+  Alcotest.(check int) "cookie 1" 2 (Flow_table.count_by_cookie t 1);
+  Alcotest.(check int) "cookie 2" 1 (Flow_table.count_by_cookie t 2);
+  Alcotest.(check int) "cookie 3" 0 (Flow_table.count_by_cookie t 3)
+
+let test_table_hard_timeout () =
+  let t = Flow_table.create () in
+  ignore
+    (Flow_table.apply t
+       (Flow_mod.add ~hard_timeout:2 ~match_:Match_fields.wildcard_all ~actions:[] ()));
+  Flow_table.tick t;
+  Alcotest.(check int) "not yet" 0 (List.length (Flow_table.expire t));
+  Flow_table.tick t;
+  Alcotest.(check int) "expired" 1 (List.length (Flow_table.expire t));
+  Alcotest.(check int) "gone" 0 (Flow_table.size t)
+
+(* Topology ------------------------------------------------------------------ *)
+
+let test_topology_linear () =
+  let t = Topology.linear 4 in
+  Alcotest.(check int) "switches" 4 (List.length (Topology.switches t));
+  Alcotest.(check int) "undirected links" 3 (List.length (Topology.undirected_links t));
+  Alcotest.(check int) "hosts" 4 (List.length (Topology.hosts t));
+  match Topology.shortest_path t ~src:1 ~dst:4 with
+  | Some path -> Alcotest.(check (list int)) "path" [ 1; 2; 3; 4 ] path
+  | None -> Alcotest.fail "expected a path"
+
+let test_topology_tree () =
+  let t = Topology.tree ~fanout:3 ~hosts_per_leaf:2 in
+  Alcotest.(check int) "switches" 4 (List.length (Topology.switches t));
+  Alcotest.(check int) "hosts" 6 (List.length (Topology.hosts t));
+  match Topology.shortest_path t ~src:2 ~dst:4 with
+  | Some path -> Alcotest.(check (list int)) "via root" [ 2; 1; 4 ] path
+  | None -> Alcotest.fail "expected a path"
+
+let test_topology_disconnect () =
+  let t = Topology.linear 3 in
+  Topology.remove_link t ~src:{ Topology.dpid = 1; port = 2 }
+    ~dst:{ Topology.dpid = 2; port = 1 };
+  Alcotest.(check bool) "disconnected" false (Topology.connected t ~src:1 ~dst:3);
+  Alcotest.(check bool) "rest connected" true (Topology.connected t ~src:2 ~dst:3)
+
+let test_topology_remove_switch () =
+  let t = Topology.linear 3 in
+  Topology.remove_switch t 2;
+  Alcotest.(check int) "two left" 2 (List.length (Topology.switches t));
+  Alcotest.(check bool) "split" false (Topology.connected t ~src:1 ~dst:3);
+  Alcotest.(check int) "host gone too" 2 (List.length (Topology.hosts t))
+
+let test_topology_lookups () =
+  let t = Topology.linear 3 in
+  (match Topology.host_by_name t "h2" with
+  | Some h ->
+    Alcotest.(check int) "attached to s2" 2 h.Topology.attachment.Topology.dpid;
+    Alcotest.(check bool) "by mac" true (Topology.host_by_mac t h.Topology.mac <> None);
+    Alcotest.(check bool) "by ip" true (Topology.host_by_ip t h.Topology.ip <> None)
+  | None -> Alcotest.fail "h2 missing");
+  Alcotest.(check bool) "no h9" true (Topology.host_by_name t "h9" = None)
+
+let test_topology_path_hops () =
+  let t = Topology.linear 3 in
+  let hops = Topology.path_hops t [ 1; 2; 3 ] in
+  Alcotest.(check int) "3 hops" 3 (List.length hops);
+  (match hops with
+  | [ (None, 1, Some 2); (Some 1, 2, Some 2); (Some 1, 3, None) ] -> ()
+  | _ -> Alcotest.fail "unexpected hop structure");
+  Alcotest.(check bool) "peer" true
+    (Topology.peer_of t { Topology.dpid = 1; port = 2 }
+    = Some { Topology.dpid = 2; port = 1 })
+
+(* Switch -------------------------------------------------------------------- *)
+
+let test_switch_table_miss_punts () =
+  let sw = Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  match Switch.process sw ~in_port:1 (pkt ()) with
+  | [ Switch.To_controller _ ] -> ()
+  | _ -> Alcotest.fail "miss should punt to controller"
+
+let test_switch_forward_and_flood () =
+  let sw = Switch.create ~dpid:1 ~ports:[ 1; 2; 3 ] in
+  ignore
+    (Switch.apply_flow_mod sw
+       (Flow_mod.add ~match_:(Match_fields.make ~tp_dst:80 ())
+          ~actions:[ Action.Output 3 ] ()));
+  (match Switch.process sw ~in_port:1 (pkt ()) with
+  | [ Switch.Forward (3, _) ] -> ()
+  | _ -> Alcotest.fail "expected forward to 3");
+  ignore
+    (Switch.apply_flow_mod sw
+       (Flow_mod.add ~priority:300 ~match_:(Match_fields.make ~tp_dst:81 ())
+          ~actions:[ Action.Flood ] ()));
+  match Switch.process sw ~in_port:1 (pkt ~tp_dst:81 ()) with
+  | outs ->
+    let ports =
+      List.filter_map (function Switch.Forward (p, _) -> Some p | _ -> None) outs
+      |> List.sort compare
+    in
+    Alcotest.(check (list int)) "flood skips ingress" [ 2; 3 ] ports
+
+let test_switch_drop_and_counters () =
+  let sw = Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  ignore
+    (Switch.apply_flow_mod sw
+       (Flow_mod.add ~match_:Match_fields.wildcard_all ~actions:[] ()));
+  (match Switch.process sw ~in_port:1 (pkt ()) with
+  | [ Switch.Dropped ] -> ()
+  | _ -> Alcotest.fail "expected drop");
+  let stats = Switch.port_stats sw in
+  let p1 = List.find (fun (s : Stats.port_stat) -> s.port_no = 1) stats in
+  Alcotest.(check int64) "rx counted" 1L p1.Stats.rx_packets;
+  Alcotest.(check int64) "drop counted" 1L p1.Stats.rx_dropped
+
+let test_switch_rewrite_pipeline () =
+  let sw = Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  ignore
+    (Switch.apply_flow_mod sw
+       (Flow_mod.add ~match_:(Match_fields.make ~tp_dst:23 ())
+          ~actions:[ Action.Set (Action.Set_tp_dst 80); Action.Output 2 ] ()));
+  match Switch.process sw ~in_port:1 (pkt ~tp_dst:23 ()) with
+  | [ Switch.Forward (2, p) ] ->
+    Alcotest.(check int) "rewritten on the wire" 80
+      (Option.get p.Packet.tp).Packet.tp_dst
+  | _ -> Alcotest.fail "expected rewritten forward"
+
+(* Dataplane ------------------------------------------------------------------ *)
+
+let linear_dp n =
+  let topo = Topology.linear n in
+  (topo, Dataplane.create topo)
+
+let host topo name = Option.get (Topology.host_by_name topo name)
+
+let test_dataplane_miss_punts_at_ingress () =
+  let topo, dp = linear_dp 3 in
+  let h1 = host topo "h1" and h3 = host topo "h3" in
+  let p =
+    Packet.tcp ~src:h1.Topology.mac ~dst:h3.Topology.mac ~nw_src:h1.Topology.ip
+      ~nw_dst:h3.Topology.ip ~tp_src:1 ~tp_dst:80 ()
+  in
+  let r = Dataplane.inject_from_host dp h1 p in
+  Alcotest.(check int) "one punt" 1 (List.length r.Dataplane.punted);
+  let punt = List.hd r.Dataplane.punted in
+  Alcotest.(check int) "at s1" 1 punt.Dataplane.dpid;
+  Alcotest.(check int) "ingress port" 3 punt.Dataplane.in_port
+
+let install_path dp topo ~(dst : Topology.host) =
+  (* Minimal routing: for every switch, forward dst's IP towards it. *)
+  List.iter
+    (fun sw ->
+      let dst_sw = dst.Topology.attachment.Topology.dpid in
+      let port =
+        if sw = dst_sw then Some dst.Topology.attachment.Topology.port
+        else
+          match Topology.shortest_path topo ~src:sw ~dst:dst_sw with
+          | Some (_ :: next :: _) ->
+            Option.map fst (Topology.link_ports_between topo ~src:sw ~dst:next)
+          | _ -> None
+      in
+      match port with
+      | Some p ->
+        ignore
+          (Dataplane.apply_flow_mod dp sw
+             (Flow_mod.add
+                ~match_:(Match_fields.make ~nw_dst:(Match_fields.exact_ip dst.Topology.ip) ())
+                ~actions:[ Action.Output p ] ()))
+      | None -> ())
+    (Topology.switches topo)
+
+let test_dataplane_end_to_end_delivery () =
+  let topo, dp = linear_dp 4 in
+  let h1 = host topo "h1" and h4 = host topo "h4" in
+  install_path dp topo ~dst:h4;
+  match Dataplane.probe dp ~src:h1 ~dst:h4 () with
+  | Dataplane.Delivered_to (name, path) ->
+    Alcotest.(check string) "to h4" "h4" name;
+    Alcotest.(check (list int)) "via all switches" [ 1; 2; 3; 4 ] path
+  | _ -> Alcotest.fail "expected delivery"
+
+let test_dataplane_loop_detection () =
+  let topo, dp = linear_dp 2 in
+  (* s1 sends port-80 traffic to s2 and s2 sends it straight back. *)
+  let m = Match_fields.make ~tp_dst:80 () in
+  ignore (Dataplane.apply_flow_mod dp 1 (Flow_mod.add ~match_:m ~actions:[ Action.Output 2 ] ()));
+  ignore (Dataplane.apply_flow_mod dp 2 (Flow_mod.add ~match_:m ~actions:[ Action.Output 1 ] ()));
+  let h1 = host topo "h1" in
+  let p = pkt ~src:h1.Topology.mac () in
+  let r = Dataplane.inject_at dp ~dpid:1 ~in_port:3 p in
+  Alcotest.(check bool) "looped" true r.Dataplane.looped
+
+let test_dataplane_packet_out_flood () =
+  let topo, dp = linear_dp 2 in
+  ignore topo;
+  let p = Packet.arp ~src:1 ~dst:Types.broadcast_mac () in
+  let r = Dataplane.packet_out dp ~dpid:1 ~port:(-1) p in
+  (* Flood from s1 reaches h1 directly and s2 (which punts on miss). *)
+  Alcotest.(check int) "delivered to h1" 1 (List.length r.Dataplane.delivered);
+  Alcotest.(check int) "punted at s2" 1 (List.length r.Dataplane.punted)
+
+let test_dataplane_stats_fanout () =
+  let _topo, dp = linear_dp 3 in
+  (match Dataplane.stats dp (Stats.request Stats.Switch_level) with
+  | Stats.Switch_stats l -> Alcotest.(check int) "3 switches" 3 (List.length l)
+  | _ -> Alcotest.fail "wrong reply");
+  match Dataplane.stats dp (Stats.request ~dpid:2 Stats.Port_level) with
+  | Stats.Port_stats [ (2, _) ] -> ()
+  | _ -> Alcotest.fail "expected port stats for s2 only"
+
+let test_dataplane_tick_expiry () =
+  let _topo, dp = linear_dp 1 in
+  ignore
+    (Dataplane.apply_flow_mod dp 1
+       (Flow_mod.add ~hard_timeout:1 ~match_:Match_fields.wildcard_all ~actions:[] ()));
+  let expired = Dataplane.tick dp in
+  Alcotest.(check int) "expired after tick" 1 (List.length expired)
+
+let suite =
+  [ Alcotest.test_case "table priority order" `Quick test_table_priority_order;
+    Alcotest.test_case "table add replaces" `Quick test_table_add_replaces;
+    Alcotest.test_case "table modify" `Quick test_table_modify;
+    Alcotest.test_case "table delete subsumed" `Quick test_table_delete_subsumed;
+    Alcotest.test_case "table counters/stats" `Quick test_table_counters_and_stats;
+    Alcotest.test_case "table count by cookie" `Quick test_table_count_by_cookie;
+    Alcotest.test_case "table hard timeout" `Quick test_table_hard_timeout;
+    Alcotest.test_case "topology linear" `Quick test_topology_linear;
+    Alcotest.test_case "topology tree" `Quick test_topology_tree;
+    Alcotest.test_case "topology disconnect" `Quick test_topology_disconnect;
+    Alcotest.test_case "topology remove switch" `Quick test_topology_remove_switch;
+    Alcotest.test_case "topology lookups" `Quick test_topology_lookups;
+    Alcotest.test_case "topology path hops" `Quick test_topology_path_hops;
+    Alcotest.test_case "switch miss punts" `Quick test_switch_table_miss_punts;
+    Alcotest.test_case "switch forward/flood" `Quick test_switch_forward_and_flood;
+    Alcotest.test_case "switch drop/counters" `Quick test_switch_drop_and_counters;
+    Alcotest.test_case "switch rewrite pipeline" `Quick test_switch_rewrite_pipeline;
+    Alcotest.test_case "dataplane miss punts" `Quick test_dataplane_miss_punts_at_ingress;
+    Alcotest.test_case "dataplane delivery" `Quick test_dataplane_end_to_end_delivery;
+    Alcotest.test_case "dataplane loop detection" `Quick test_dataplane_loop_detection;
+    Alcotest.test_case "dataplane packet-out flood" `Quick test_dataplane_packet_out_flood;
+    Alcotest.test_case "dataplane stats fanout" `Quick test_dataplane_stats_fanout;
+    Alcotest.test_case "dataplane tick expiry" `Quick test_dataplane_tick_expiry ]

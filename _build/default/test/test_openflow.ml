@@ -1,0 +1,296 @@
+(* Unit tests for the OpenFlow message-model substrate. *)
+
+open Shield_openflow
+open Shield_openflow.Types
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (ipv4_to_string (ipv4_of_string s)))
+    [ "0.0.0.0"; "10.13.0.0"; "192.168.1.255"; "255.255.255.255" ]
+
+let test_ipv4_of_octets () =
+  Alcotest.(check int32)
+    "10.0.0.1" (ipv4_of_string "10.0.0.1") (ipv4_of_octets 10 0 0 1)
+
+let test_ipv4_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises ("reject " ^ s)
+        (Invalid_argument (Printf.sprintf "ipv4_of_string: %S" s))
+        (fun () -> ignore (ipv4_of_string s)))
+    [ "10.0.0"; "10.0.0.0.1"; "256.0.0.1"; "a.b.c.d"; "" ]
+
+let test_prefix_mask () =
+  Alcotest.(check string) "/0" "0.0.0.0" (ipv4_to_string (prefix_mask 0));
+  Alcotest.(check string) "/8" "255.0.0.0" (ipv4_to_string (prefix_mask 8));
+  Alcotest.(check string) "/16" "255.255.0.0" (ipv4_to_string (prefix_mask 16));
+  Alcotest.(check string) "/24" "255.255.255.0" (ipv4_to_string (prefix_mask 24));
+  Alcotest.(check string) "/32" "255.255.255.255" (ipv4_to_string (prefix_mask 32))
+
+let test_mask_prefix_len () =
+  List.iter
+    (fun len ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "/%d" len)
+        (Some len)
+        (mask_prefix_len (prefix_mask len)))
+    [ 0; 1; 8; 16; 24; 31; 32 ];
+  Alcotest.(check (option int))
+    "non-contiguous" None
+    (mask_prefix_len (ipv4_of_string "255.0.255.0"))
+
+let test_subnet_membership () =
+  let subnet = ipv4_of_string "10.13.0.0" and mask = prefix_mask 16 in
+  Alcotest.(check bool) "inside" true
+    (ipv4_in_subnet ~addr:(ipv4_of_string "10.13.200.7") ~subnet ~mask);
+  Alcotest.(check bool) "outside" false
+    (ipv4_in_subnet ~addr:(ipv4_of_string "10.14.0.1") ~subnet ~mask)
+
+let test_mac_roundtrip () =
+  let m = mac_of_string "0a:1b:2c:3d:4e:5f" in
+  Alcotest.(check string) "roundtrip" "0a:1b:2c:3d:4e:5f" (mac_to_string m);
+  Alcotest.(check string) "broadcast" "ff:ff:ff:ff:ff:ff"
+    (mac_to_string broadcast_mac)
+
+let test_eth_ip_proto_codes () =
+  Alcotest.(check int) "ip" 0x0800 (eth_type_code Eth_ip);
+  Alcotest.(check int) "arp" 0x0806 (eth_type_code Eth_arp);
+  Alcotest.(check bool) "eth roundtrip" true
+    (equal_eth_type Eth_arp (eth_type_of_code 0x0806));
+  Alcotest.(check int) "tcp" 6 (ip_proto_code Proto_tcp);
+  Alcotest.(check bool) "proto roundtrip" true
+    (equal_ip_proto Proto_udp (ip_proto_of_code 17))
+
+(* Packets ------------------------------------------------------------------ *)
+
+let test_packet_constructors () =
+  let p =
+    Packet.tcp ~src:1 ~dst:2 ~nw_src:(ipv4_of_string "10.0.0.1")
+      ~nw_dst:(ipv4_of_string "10.0.0.2") ~tp_src:1234 ~tp_dst:80 ()
+  in
+  Alcotest.(check bool) "has ip" true (p.Packet.ip <> None);
+  Alcotest.(check bool) "has tp" true (p.Packet.tp <> None);
+  let a = Packet.arp ~src:1 ~dst:Types.broadcast_mac () in
+  Alcotest.(check bool) "arp is broadcast" true (Packet.is_broadcast a);
+  Alcotest.(check bool) "arp no ip" true (a.Packet.ip = None)
+
+let test_rst_for () =
+  let http =
+    Packet.http_request ~src:1 ~dst:2 ~nw_src:(ipv4_of_string "10.0.0.1")
+      ~nw_dst:(ipv4_of_string "10.0.0.2") ~tp_src:5555 ()
+  in
+  match Packet.rst_for http with
+  | None -> Alcotest.fail "expected an RST"
+  | Some rst ->
+    Alcotest.(check bool) "is rst" true (Packet.is_rst rst);
+    let iph = Option.get rst.Packet.ip and tph = Option.get rst.Packet.tp in
+    Alcotest.(check string) "reversed src ip" "10.0.0.2"
+      (ipv4_to_string iph.Packet.nw_src);
+    Alcotest.(check int) "reversed dst port" 5555 tph.Packet.tp_dst;
+    Alcotest.(check bool) "no rst for arp" true
+      (Packet.rst_for (Packet.arp ~src:1 ~dst:2 ()) = None)
+
+let test_packet_rewrites () =
+  let p =
+    Packet.tcp ~src:1 ~dst:2 ~nw_src:(ipv4_of_string "10.0.0.1")
+      ~nw_dst:(ipv4_of_string "10.0.0.2") ~tp_src:1 ~tp_dst:23 ()
+  in
+  let p' = Packet.with_tp_dst 80 p in
+  Alcotest.(check int) "tp_dst rewritten" 80 (Option.get p'.Packet.tp).Packet.tp_dst;
+  Alcotest.(check int) "original intact" 23 (Option.get p.Packet.tp).Packet.tp_dst;
+  let p'' = Packet.with_nw_dst (ipv4_of_string "10.9.9.9") p' in
+  Alcotest.(check string) "nw_dst rewritten" "10.9.9.9"
+    (ipv4_to_string (Option.get p''.Packet.ip).Packet.nw_dst);
+  (* Rewrites on packets without the header are no-ops, not errors. *)
+  let a = Packet.arp ~src:1 ~dst:2 () in
+  Alcotest.(check bool) "tp rewrite on arp is noop" true
+    (Packet.with_tp_dst 80 a = a)
+
+let test_decr_ttl () =
+  let p =
+    Packet.ip ~src:1 ~dst:2 ~nw_src:(ipv4_of_string "1.1.1.1")
+      ~nw_dst:(ipv4_of_string "2.2.2.2") ~ttl:1 ()
+  in
+  (match Packet.decr_ttl p with
+  | Some p' -> Alcotest.(check int) "ttl 0" 0 (Option.get p'.Packet.ip).Packet.ttl
+  | None -> Alcotest.fail "ttl 1 should decrement");
+  let p0 =
+    Packet.ip ~src:1 ~dst:2 ~nw_src:(ipv4_of_string "1.1.1.1")
+      ~nw_dst:(ipv4_of_string "2.2.2.2") ~ttl:0 ()
+  in
+  Alcotest.(check bool) "ttl 0 expires" true (Packet.decr_ttl p0 = None)
+
+(* Matches ------------------------------------------------------------------ *)
+
+let pkt_http ?(nw_src = "10.0.0.1") ?(nw_dst = "10.0.0.2") ?(tp_dst = 80) () =
+  Packet.tcp ~src:11 ~dst:22 ~nw_src:(ipv4_of_string nw_src)
+    ~nw_dst:(ipv4_of_string nw_dst) ~tp_src:4321 ~tp_dst ()
+
+let test_match_wildcard_all () =
+  Alcotest.(check bool) "matches anything" true
+    (Match_fields.matches Match_fields.wildcard_all ~in_port:7 (pkt_http ()))
+
+let test_match_exact_fields () =
+  let m =
+    Match_fields.make ~dl_type:Eth_ip ~nw_dst:(Match_fields.exact_ip (ipv4_of_string "10.0.0.2"))
+      ~tp_dst:80 ()
+  in
+  Alcotest.(check bool) "exact hit" true
+    (Match_fields.matches m ~in_port:1 (pkt_http ()));
+  Alcotest.(check bool) "wrong port" false
+    (Match_fields.matches m ~in_port:1 (pkt_http ~tp_dst:443 ()));
+  Alcotest.(check bool) "wrong dst" false
+    (Match_fields.matches m ~in_port:1 (pkt_http ~nw_dst:"10.0.0.3" ()))
+
+let test_match_subnet () =
+  let m =
+    Match_fields.make
+      ~nw_dst:(Match_fields.subnet (ipv4_of_string "10.13.0.0") (prefix_mask 16))
+      ()
+  in
+  Alcotest.(check bool) "in subnet" true
+    (Match_fields.matches m ~in_port:1 (pkt_http ~nw_dst:"10.13.4.5" ()));
+  Alcotest.(check bool) "out of subnet" false
+    (Match_fields.matches m ~in_port:1 (pkt_http ~nw_dst:"10.14.4.5" ()))
+
+let test_match_requires_header () =
+  (* An IP-field match never matches a packet without an IP header. *)
+  let m =
+    Match_fields.make ~nw_dst:(Match_fields.exact_ip (ipv4_of_string "10.0.0.2")) ()
+  in
+  let arp = Packet.arp ~src:1 ~dst:2 () in
+  Alcotest.(check bool) "arp misses ip match" false
+    (Match_fields.matches m ~in_port:1 arp)
+
+let test_match_in_port () =
+  let m = Match_fields.make ~in_port:3 () in
+  Alcotest.(check bool) "right port" true
+    (Match_fields.matches m ~in_port:3 (pkt_http ()));
+  Alcotest.(check bool) "wrong port" false
+    (Match_fields.matches m ~in_port:4 (pkt_http ()))
+
+let test_subsumes () =
+  let wide =
+    Match_fields.make
+      ~nw_dst:(Match_fields.subnet (ipv4_of_string "10.0.0.0") (prefix_mask 8))
+      ()
+  in
+  let narrow =
+    Match_fields.make ~dl_type:Eth_ip
+      ~nw_dst:(Match_fields.exact_ip (ipv4_of_string "10.1.2.3"))
+      ~tp_dst:80 ()
+  in
+  Alcotest.(check bool) "wide ⊇ narrow" true
+    (Match_fields.subsumes ~outer:wide ~inner:narrow);
+  Alcotest.(check bool) "narrow ⊉ wide" false
+    (Match_fields.subsumes ~outer:narrow ~inner:wide);
+  Alcotest.(check bool) "wildcard ⊇ all" true
+    (Match_fields.subsumes ~outer:Match_fields.wildcard_all ~inner:narrow);
+  Alcotest.(check bool) "reflexive" true
+    (Match_fields.subsumes ~outer:narrow ~inner:narrow)
+
+let test_compatible () =
+  let a =
+    Match_fields.make
+      ~nw_dst:(Match_fields.subnet (ipv4_of_string "10.13.0.0") (prefix_mask 16))
+      ()
+  in
+  let b = Match_fields.make ~tp_dst:80 () in
+  let c =
+    Match_fields.make
+      ~nw_dst:(Match_fields.subnet (ipv4_of_string "10.14.0.0") (prefix_mask 16))
+      ()
+  in
+  Alcotest.(check bool) "different dims overlap" true (Match_fields.compatible a b);
+  Alcotest.(check bool) "disjoint subnets" false (Match_fields.compatible a c);
+  Alcotest.(check bool) "wildcard compatible with all" true
+    (Match_fields.compatible Match_fields.wildcard_all a)
+
+let test_of_packet () =
+  let pkt = pkt_http () in
+  let m = Match_fields.of_packet ~in_port:2 pkt in
+  Alcotest.(check bool) "matches itself" true
+    (Match_fields.matches m ~in_port:2 pkt);
+  Alcotest.(check bool) "not on other port" false
+    (Match_fields.matches m ~in_port:3 pkt)
+
+(* Actions ------------------------------------------------------------------ *)
+
+let test_action_classify () =
+  Alcotest.(check bool) "empty is drop" true (Action.is_drop []);
+  Alcotest.(check bool) "output forwards" true (Action.forwards [ Action.Output 1 ]);
+  Alcotest.(check bool) "flood forwards" true (Action.forwards [ Action.Flood ]);
+  Alcotest.(check bool) "set modifies" true
+    (Action.modifies [ Action.Set (Action.Set_tp_dst 80) ]);
+  Alcotest.(check bool) "output doesn't modify" false
+    (Action.modifies [ Action.Output 1 ])
+
+let test_action_apply_order () =
+  (* A rewrite applies to outputs after it, not before. *)
+  let pkt = pkt_http ~tp_dst:23 () in
+  let eff =
+    Action.apply
+      [ Action.Output 1; Action.Set (Action.Set_tp_dst 80); Action.Output 2 ]
+      pkt
+  in
+  Alcotest.(check (list int)) "both outputs" [ 1; 2 ] eff.Action.out_ports;
+  (* Final packet carries the rewrite (our simulator applies rewrites to
+     the packet state; per-output divergence is approximated). *)
+  Alcotest.(check int) "rewritten" 80
+    (Option.get eff.Action.packet.Packet.tp).Packet.tp_dst
+
+let test_action_apply_controller () =
+  let eff = Action.apply [ Action.To_controller ] (pkt_http ()) in
+  Alcotest.(check bool) "to controller" true eff.Action.to_controller;
+  Alcotest.(check (list int)) "no ports" [] eff.Action.out_ports
+
+(* Flow mods / stats -------------------------------------------------------- *)
+
+let test_flow_mod_constructors () =
+  let m = Match_fields.make ~tp_dst:80 () in
+  let fm = Flow_mod.add ~priority:7 ~match_:m ~actions:[ Action.Output 1 ] () in
+  Alcotest.(check bool) "add" true (fm.Flow_mod.command = Flow_mod.Add);
+  Alcotest.(check int) "priority" 7 fm.Flow_mod.priority;
+  let d = Flow_mod.delete ~match_:m () in
+  Alcotest.(check bool) "delete has no actions" true (d.Flow_mod.actions = [])
+
+let test_stats_merge () =
+  let a = { (Stats.empty_port_stat 1) with Stats.rx_packets = 3L; tx_bytes = 10L } in
+  let b = { (Stats.empty_port_stat 1) with Stats.rx_packets = 4L; tx_bytes = 5L } in
+  let m = Stats.merge_port_stat a b in
+  Alcotest.(check int64) "rx" 7L m.Stats.rx_packets;
+  Alcotest.(check int64) "tx bytes" 15L m.Stats.tx_bytes;
+  let s1 = { Stats.dpid = 1; flow_count = 2; total_packets = 5L; total_bytes = 100L } in
+  let s2 = { Stats.dpid = 2; flow_count = 3; total_packets = 6L; total_bytes = 200L } in
+  let merged = Stats.merge_switch_stat ~dpid:99 [ s1; s2 ] in
+  Alcotest.(check int) "vdpid" 99 merged.Stats.dpid;
+  Alcotest.(check int) "flows" 5 merged.Stats.flow_count;
+  Alcotest.(check int64) "bytes" 300L merged.Stats.total_bytes
+
+let suite =
+  [ Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
+    Alcotest.test_case "ipv4 of octets" `Quick test_ipv4_of_octets;
+    Alcotest.test_case "ipv4 invalid" `Quick test_ipv4_invalid;
+    Alcotest.test_case "prefix mask" `Quick test_prefix_mask;
+    Alcotest.test_case "mask prefix len" `Quick test_mask_prefix_len;
+    Alcotest.test_case "subnet membership" `Quick test_subnet_membership;
+    Alcotest.test_case "mac roundtrip" `Quick test_mac_roundtrip;
+    Alcotest.test_case "eth/ip proto codes" `Quick test_eth_ip_proto_codes;
+    Alcotest.test_case "packet constructors" `Quick test_packet_constructors;
+    Alcotest.test_case "rst crafting" `Quick test_rst_for;
+    Alcotest.test_case "packet rewrites" `Quick test_packet_rewrites;
+    Alcotest.test_case "ttl decrement" `Quick test_decr_ttl;
+    Alcotest.test_case "match wildcard-all" `Quick test_match_wildcard_all;
+    Alcotest.test_case "match exact fields" `Quick test_match_exact_fields;
+    Alcotest.test_case "match subnet" `Quick test_match_subnet;
+    Alcotest.test_case "match requires header" `Quick test_match_requires_header;
+    Alcotest.test_case "match in-port" `Quick test_match_in_port;
+    Alcotest.test_case "match subsumption" `Quick test_subsumes;
+    Alcotest.test_case "match compatibility" `Quick test_compatible;
+    Alcotest.test_case "match of packet" `Quick test_of_packet;
+    Alcotest.test_case "action classification" `Quick test_action_classify;
+    Alcotest.test_case "action apply order" `Quick test_action_apply_order;
+    Alcotest.test_case "action to-controller" `Quick test_action_apply_controller;
+    Alcotest.test_case "flow-mod constructors" `Quick test_flow_mod_constructors;
+    Alcotest.test_case "stats merging" `Quick test_stats_merge ]

@@ -1,0 +1,270 @@
+(* Parser tests: permission language (Appendix A) and security-policy
+   language (Appendix B), including the paper's own listings verbatim
+   and print→parse round-trips. *)
+
+open Sdnshield
+open Shield_openflow.Types
+
+let manifest = Test_util.manifest_exn
+let filter = Test_util.filter_exn
+
+(* Permission language ----------------------------------------------------- *)
+
+let test_parse_bare_token () =
+  match manifest "PERM read_statistics" with
+  | [ { Perm.token = Token.Read_statistics; filter = Filter.True } ] -> ()
+  | m -> Alcotest.failf "unexpected manifest: %s" (Perm.to_string m)
+
+let test_parse_paper_subnet_example () =
+  (* Verbatim §IV-B (with the full mask; the paper's listing has a
+     typographic truncation "255.255.0"). *)
+  let m =
+    manifest
+      "PERM read_flow_table LIMITING \\\n IP_DST 10.13.0.0 MASK 255.255.0.0"
+  in
+  match m with
+  | [ { Perm.token = Token.Read_flow_table;
+        filter =
+          Filter.Atom
+            (Filter.Pred
+               { field = Filter.F_ip_dst; value = Filter.V_ip a; mask = Some mk }) } ] ->
+    Alcotest.(check string) "addr" "10.13.0.0" (ipv4_to_string a);
+    Alcotest.(check string) "mask" "255.255.0.0" (ipv4_to_string mk)
+  | m -> Alcotest.failf "unexpected: %s" (Perm.to_string m)
+
+let test_parse_paper_wildcard_example () =
+  let m = manifest "PERM insert_flow LIMITING \\\n WILDCARD IP_DST 255.255.255.0" in
+  match m with
+  | [ { Perm.filter = Filter.Atom (Filter.Wildcard { field = Filter.F_ip_dst; mask }); _ } ] ->
+    Alcotest.(check string) "mask" "255.255.255.0" (ipv4_to_string mask)
+  | m -> Alcotest.failf "unexpected: %s" (Perm.to_string m)
+
+let test_parse_paper_composition_example () =
+  (* The read_flow_table OWN_FLOWS OR subnets example of §IV-B. *)
+  let m =
+    manifest
+      "PERM read_flow_table LIMITING OWN_FLOWS OR \\\n\
+       IP_SRC 10.13.0.0 MASK 255.255.0.0 OR \\\n\
+       IP_DST 10.13.0.0 MASK 255.255.0.0"
+  in
+  match m with
+  | [ { Perm.filter = Filter.Or (Filter.Or (Filter.Atom (Filter.Owner Filter.Own_flows), _), _); _ } ] -> ()
+  | m -> Alcotest.failf "unexpected: %s" (Perm.to_string m)
+
+let test_parse_paper_virtual_topology () =
+  let m =
+    manifest
+      "PERM visible_topology LIMITING \\\n VIRTUAL SINGLE_BIG_SWITCH LINK EXTERNAL_LINKS"
+  in
+  match m with
+  | [ { Perm.filter = Filter.Atom (Filter.Virt_topo Filter.Single_big_switch); _ } ] -> ()
+  | m -> Alcotest.failf "unexpected: %s" (Perm.to_string m)
+
+let test_parse_switch_groups () =
+  match filter "VIRTUAL { 1, 2 } AS 100, { 3 } AS 101" with
+  | Filter.Atom (Filter.Virt_topo (Filter.Switch_groups [ (s1, 100); (s2, 101) ])) ->
+    Alcotest.(check (list int)) "g1" [ 1; 2 ] (Filter.Int_set.elements s1);
+    Alcotest.(check (list int)) "g2" [ 3 ] (Filter.Int_set.elements s2)
+  | f -> Alcotest.failf "unexpected: %s" (Filter.to_string f)
+
+let test_parse_scenario2_manifest () =
+  (* Scenario 2's manifest, verbatim from §VII. *)
+  let m =
+    manifest
+      "PERM visible_topology\n\
+       PERM flow_event\n\
+       PERM send_pkt_out\n\
+       PERM insert_flow LIMITING \\\n ACTION FORWARD AND OWN_FLOWS"
+  in
+  Alcotest.(check int) "4 permissions" 4 (List.length m);
+  match Perm.find m Token.Insert_flow with
+  | Some { Perm.filter = Filter.And (Filter.Atom (Filter.Action_f Filter.A_forward), Filter.Atom (Filter.Owner Filter.Own_flows)); _ } -> ()
+  | _ -> Alcotest.fail "insert_flow filter wrong"
+
+let test_parse_token_synonyms () =
+  let m = manifest "PERM network_access\nPERM read_topology\nPERM send_packet_out" in
+  Alcotest.(check bool) "host_network" true (Perm.grants_token m Token.Host_network);
+  Alcotest.(check bool) "visible_topology" true (Perm.grants_token m Token.Visible_topology);
+  Alcotest.(check bool) "send_pkt_out" true (Perm.grants_token m Token.Send_pkt_out)
+
+let test_parse_operators_precedence () =
+  (* AND binds tighter than OR. *)
+  match filter "OWN_FLOWS OR ACTION DROP AND MAX_PRIORITY 5" with
+  | Filter.Or (Filter.Atom (Filter.Owner Filter.Own_flows), Filter.And (_, _)) -> ()
+  | f -> Alcotest.failf "precedence wrong: %s" (Filter.to_string f)
+
+let test_parse_not_and_parens () =
+  match filter "NOT (OWN_FLOWS OR ACTION DROP)" with
+  | Filter.Not (Filter.Or (_, _)) -> ()
+  | f -> Alcotest.failf "unexpected: %s" (Filter.to_string f)
+
+let test_parse_duplicate_tokens_merge () =
+  let m = manifest "PERM insert_flow LIMITING ACTION DROP\nPERM insert_flow LIMITING ACTION FORWARD" in
+  Alcotest.(check int) "merged" 1 (List.length m);
+  match m with
+  | [ { Perm.filter = Filter.Or (_, _); _ } ] -> ()
+  | _ -> Alcotest.fail "expected disjunction after merge"
+
+let test_parse_macro_stub () =
+  let m = manifest "PERM visible_topology LIMITING LocalTopo" in
+  Alcotest.(check (list string)) "stub" [ "LocalTopo" ] (Perm.macros m)
+
+let test_parse_comments_and_continuations () =
+  let m =
+    manifest
+      "# a comment line\nPERM insert_flow \\\n  LIMITING MAX_PRIORITY 7 # trailing"
+  in
+  match m with
+  | [ { Perm.filter = Filter.Atom (Filter.Max_priority 7); _ } ] -> ()
+  | _ -> Alcotest.fail "comment handling broken"
+
+let test_parse_errors () =
+  let expect_error src =
+    match Perm_parser.manifest_of_string src with
+    | Error _ -> ()
+    | Ok m -> Alcotest.failf "should not parse %S -> %s" src (Perm.to_string m)
+  in
+  expect_error "PERM bogus_token";
+  expect_error "PERM insert_flow LIMITING";
+  expect_error "PERM insert_flow LIMITING IP_DST";
+  expect_error "PERM insert_flow LIMITING MAX_PRIORITY high";
+  expect_error "PERM insert_flow LIMITING TCP_DST 80 MASK 255.0.0.0";
+  expect_error "PERM insert_flow trailing_garbage ^"
+
+let test_parse_bad_lexing () =
+  match Perm_parser.manifest_of_string "PERM insert_flow LIMITING IP_DST 10.0.0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad IP literal accepted"
+
+let test_roundtrip_print_parse () =
+  let sources =
+    [ "PERM read_flow_table LIMITING OWN_FLOWS OR IP_DST 10.13.0.0 MASK 255.255.0.0";
+      "PERM insert_flow LIMITING ACTION FORWARD AND MAX_PRIORITY 1000";
+      "PERM visible_topology LIMITING SWITCH 1,2,3";
+      "PERM send_pkt_out LIMITING FROM_PKT_IN";
+      "PERM read_statistics LIMITING PORT_LEVEL OR FLOW_LEVEL";
+      "PERM insert_flow LIMITING NOT ACTION DROP" ]
+  in
+  List.iter
+    (fun src ->
+      let m = manifest src in
+      let printed = Perm.to_string m in
+      let reparsed = manifest printed in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" src)
+        true (Perm.equal m reparsed))
+    sources
+
+(* Policy language ----------------------------------------------------------- *)
+
+let policy = Test_util.policy_exn
+
+let test_policy_paper_mutual_exclusion () =
+  (* Verbatim §V-A. *)
+  match policy "ASSERT EITHER { PERM network_access } OR { PERM send_packet_out }" with
+  | [ Policy.Assert_exclusive (Policy.P_block a, Policy.P_block b) ] ->
+    Alcotest.(check bool) "lhs" true (Perm.grants_token a Token.Host_network);
+    Alcotest.(check bool) "rhs" true (Perm.grants_token b Token.Send_pkt_out)
+  | _ -> Alcotest.fail "unexpected policy shape"
+
+let test_policy_paper_boundary () =
+  (* The monitoring-template boundary of §V-A, verbatim. *)
+  let src =
+    "LET templatePerm = {\n\
+     PERM read_topology\n\
+     PERM read_statistics LIMITING PORT_LEVEL\n\
+     PERM network_access LIMITING \\\n\
+     IP_DST 192.168.0.0 MASK 255.255.0.0\n\
+     }\n\
+     ASSERT monitorAppPerm <= templatePerm"
+  in
+  match policy src with
+  | [ Policy.Let ("templatePerm", Policy.B_perm (Policy.P_block tpl));
+      Policy.Assert (Policy.A_cmp (Policy.P_var "monitorAppPerm", Policy.C_le, Policy.P_var "templatePerm")) ] ->
+    Alcotest.(check int) "template size" 3 (List.length tpl)
+  | _ -> Alcotest.fail "unexpected policy shape"
+
+let test_policy_scenario1 () =
+  (* Scenario 1's administrator input, verbatim modulo concrete sets. *)
+  let src =
+    "LET LocalTopo = {SWITCH 0,1 LINK 3,4}\n\
+     LET AdminRange = {IP_DST 10.1.0.0 \\\n MASK 255.255.0.0}\n\
+     ASSERT EITHER { PERM network_access } \\\n OR { PERM insert_flow }"
+  in
+  match policy src with
+  | [ Policy.Let ("LocalTopo", Policy.B_filter (Filter.Atom (Filter.Phys_topo pt)));
+      Policy.Let ("AdminRange", Policy.B_filter (Filter.Atom (Filter.Pred _)));
+      Policy.Assert_exclusive (_, _) ] ->
+    Alcotest.(check (list int)) "switches" [ 0; 1 ] (Filter.Int_set.elements pt.Filter.switches);
+    Alcotest.(check (list int)) "links" [ 3; 4 ] (Filter.Int_set.elements pt.Filter.links)
+  | _ -> Alcotest.fail "unexpected policy shape"
+
+let test_policy_meet_join () =
+  match policy "LET x = a MEET b JOIN { PERM insert_flow }" with
+  | [ Policy.Let ("x", Policy.B_perm (Policy.P_join (Policy.P_meet (Policy.P_var "a", Policy.P_var "b"), Policy.P_block _))) ] -> ()
+  | _ -> Alcotest.fail "meet/join parse wrong"
+
+let test_policy_app_binding () =
+  (match policy "LET m = APP \"monitoring\"" with
+  | [ Policy.Let ("m", Policy.B_app "monitoring") ] -> ()
+  | _ -> Alcotest.fail "quoted app name");
+  match policy "LET m = APP monitoring" with
+  | [ Policy.Let ("m", Policy.B_app "monitoring") ] -> ()
+  | _ -> Alcotest.fail "bare app name"
+
+let test_policy_assert_combinators () =
+  match policy "ASSERT NOT a > b AND (c <= d OR e = f)" with
+  | [ Policy.Assert (Policy.A_and (Policy.A_not (Policy.A_cmp (_, Policy.C_gt, _)), Policy.A_or (Policy.A_cmp (_, Policy.C_le, _), Policy.A_cmp (_, Policy.C_eq, _)))) ] -> ()
+  | _ -> Alcotest.fail "assert combinators wrong"
+
+let test_policy_errors () =
+  let expect_error src =
+    match Policy_parser.of_string src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should not parse %S" src
+  in
+  expect_error "LET = { PERM insert_flow }";
+  expect_error "ASSERT EITHER { PERM insert_flow }";
+  expect_error "ASSERT a";
+  expect_error "FROB x";
+  expect_error "LET x = { PERM bogus }"
+
+let test_policy_roundtrip_pp () =
+  (* pp output is for humans; sanity-check it is at least non-empty and
+     mentions the operative keywords. *)
+  let p =
+    policy
+      "LET tpl = { PERM read_topology }\nASSERT m <= tpl\nASSERT EITHER { PERM insert_flow } OR { PERM host_network }"
+  in
+  let s = Fmt.to_to_string Policy.pp p in
+  List.iter
+    (fun kw ->
+      Alcotest.(check bool) ("mentions " ^ kw) true
+        (Test_util.contains_substring s kw))
+    [ "LET"; "ASSERT"; "EITHER"; "<=" ]
+
+let suite =
+  [ Alcotest.test_case "bare token" `Quick test_parse_bare_token;
+    Alcotest.test_case "paper subnet example" `Quick test_parse_paper_subnet_example;
+    Alcotest.test_case "paper wildcard example" `Quick test_parse_paper_wildcard_example;
+    Alcotest.test_case "paper composition example" `Quick test_parse_paper_composition_example;
+    Alcotest.test_case "paper virtual topology" `Quick test_parse_paper_virtual_topology;
+    Alcotest.test_case "switch groups" `Quick test_parse_switch_groups;
+    Alcotest.test_case "scenario 2 manifest" `Quick test_parse_scenario2_manifest;
+    Alcotest.test_case "token synonyms" `Quick test_parse_token_synonyms;
+    Alcotest.test_case "operator precedence" `Quick test_parse_operators_precedence;
+    Alcotest.test_case "not and parens" `Quick test_parse_not_and_parens;
+    Alcotest.test_case "duplicate tokens merge" `Quick test_parse_duplicate_tokens_merge;
+    Alcotest.test_case "macro stub" `Quick test_parse_macro_stub;
+    Alcotest.test_case "comments/continuations" `Quick test_parse_comments_and_continuations;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "lex errors" `Quick test_parse_bad_lexing;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip_print_parse;
+    Alcotest.test_case "policy: paper mutual exclusion" `Quick test_policy_paper_mutual_exclusion;
+    Alcotest.test_case "policy: paper boundary" `Quick test_policy_paper_boundary;
+    Alcotest.test_case "policy: scenario 1" `Quick test_policy_scenario1;
+    Alcotest.test_case "policy: meet/join" `Quick test_policy_meet_join;
+    Alcotest.test_case "policy: app binding" `Quick test_policy_app_binding;
+    Alcotest.test_case "policy: assert combinators" `Quick test_policy_assert_combinators;
+    Alcotest.test_case "policy: errors" `Quick test_policy_errors;
+    Alcotest.test_case "policy: pretty-print" `Quick test_policy_roundtrip_pp ]

@@ -1,0 +1,151 @@
+(* MEET/JOIN/complement on permission manifests (§V-A/§V-B2), with
+   qcheck laws relating the lattice operations to both the inclusion
+   algorithm and the evaluation semantics. *)
+
+open Sdnshield
+
+let manifest = Test_util.manifest_exn
+
+let m_flow_narrow =
+  manifest "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0"
+
+let m_flow_wide = manifest "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0"
+
+let m_mixed =
+  manifest
+    "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0\n\
+     PERM read_statistics LIMITING PORT_LEVEL\nPERM visible_topology"
+
+let test_meet_tokens () =
+  let m = Perm_ops.meet m_mixed m_flow_narrow in
+  Alcotest.(check int) "only common token" 1 (List.length m);
+  Alcotest.(check bool) "it's insert_flow" true (Perm.grants_token m Token.Insert_flow);
+  (* Meet with an unrelated manifest is empty. *)
+  Alcotest.(check int) "no common token" 0
+    (List.length (Perm_ops.meet m_flow_narrow (manifest "PERM read_statistics")))
+
+let test_meet_narrows () =
+  let m = Perm_ops.meet m_flow_wide m_flow_narrow in
+  (* wide ∩ narrow = narrow, semantically. *)
+  Alcotest.(check bool) "meet ⊆ narrow" true (Inclusion.manifest_includes m_flow_narrow m);
+  Alcotest.(check bool) "narrow ⊆ meet" true (Inclusion.manifest_includes m m_flow_narrow)
+
+let test_join_widens () =
+  let m = Perm_ops.join m_flow_narrow (manifest "PERM read_statistics") in
+  Alcotest.(check int) "both tokens" 2 (List.length m);
+  Alcotest.(check bool) "⊇ lhs" true (Inclusion.manifest_includes m m_flow_narrow);
+  Alcotest.(check bool) "⊇ rhs" true
+    (Inclusion.manifest_includes m (manifest "PERM read_statistics"))
+
+let test_complement () =
+  let c = Perm_ops.complement m_mixed in
+  (* Tokens absent from m appear unrestricted in the complement. *)
+  Alcotest.(check bool) "absent token full" true
+    (match Perm.find c Token.Host_network with
+    | Some { Perm.filter = Filter.True; _ } -> true
+    | _ -> false);
+  (* visible_topology was unrestricted, so its complement is empty
+     (dropped). *)
+  Alcotest.(check bool) "full token gone" false (Perm.grants_token c Token.Visible_topology);
+  (* insert_flow appears negated. *)
+  (match Perm.find c Token.Insert_flow with
+  | Some { Perm.filter = Filter.Not _; _ } -> ()
+  | _ -> Alcotest.fail "expected negated filter")
+
+let test_subtract () =
+  let m = Perm_ops.subtract m_mixed (manifest "PERM read_statistics") in
+  Alcotest.(check bool) "read_statistics removed" false
+    (Perm.grants_token m Token.Read_statistics);
+  Alcotest.(check bool) "others kept" true (Perm.grants_token m Token.Insert_flow);
+  (* Subtracting a filtered perm keeps the residue. *)
+  let r = Perm_ops.subtract m_flow_wide m_flow_narrow in
+  (match Perm.find r Token.Insert_flow with
+  | Some { Perm.filter = Filter.And (_, Filter.Not _); _ } -> ()
+  | Some p -> Alcotest.failf "unexpected residue %s" (Filter.to_string p.Perm.filter)
+  | None -> Alcotest.fail "token should remain")
+
+let test_simplify () =
+  let e = Test_util.filter_exn "OWN_FLOWS AND OWN_FLOWS AND TRUE" in
+  Alcotest.(check bool) "idempotent and" true
+    (Filter.equal_expr (Perm_ops.simplify_expr e) (Test_util.filter_exn "OWN_FLOWS"));
+  let f = Test_util.filter_exn "OWN_FLOWS OR NOT OWN_FLOWS" in
+  Alcotest.(check bool) "excluded middle" true (Perm_ops.simplify_expr f = Filter.True);
+  let g = Test_util.filter_exn "ACTION DROP AND NOT ACTION DROP" in
+  Alcotest.(check bool) "contradiction" true (Perm_ops.simplify_expr g = Filter.False);
+  let h = Test_util.filter_exn "FALSE OR OWN_FLOWS" in
+  Alcotest.(check bool) "identity" true
+    (Filter.equal_expr (Perm_ops.simplify_expr h) (Test_util.filter_exn "OWN_FLOWS"))
+
+(* Manifest generator for lattice laws. *)
+let manifest_gen : Perm.manifest QCheck.Gen.t =
+  let open QCheck.Gen in
+  let perm_gen =
+    map2
+      (fun tok e -> { Perm.token = tok; filter = e })
+      (oneofl Token.all) (Test_filters.expr_gen 2)
+  in
+  map Perm.normalize (list_size (int_range 0 5) perm_gen)
+
+let manifest_arb = QCheck.make ~print:Perm.to_string manifest_gen
+
+let env = Filter_eval.pure_env
+
+(* Evaluate a manifest on a call: token granted AND filter passes. *)
+let manifest_admits (m : Perm.manifest) call =
+  let attrs = Attrs.of_call call in
+  match Sdnshield.Engine.token_of_call call with
+  | None -> true
+  | Some token -> (
+    match Perm.find m token with
+    | None -> false
+    | Some p -> Filter_eval.eval env p.Perm.filter attrs)
+
+let qsuite =
+  let count = 300 in
+  [ QCheck.Test.make ~count ~name:"meet admits iff both admit"
+      (QCheck.triple manifest_arb manifest_arb Test_filters.call_arb)
+      (fun (a, b, call) ->
+        manifest_admits (Perm_ops.meet a b) call
+        = (manifest_admits a call && manifest_admits b call));
+    QCheck.Test.make ~count ~name:"join admits iff either admits"
+      (QCheck.triple manifest_arb manifest_arb Test_filters.call_arb)
+      (fun (a, b, call) ->
+        manifest_admits (Perm_ops.join a b) call
+        = (manifest_admits a call || manifest_admits b call));
+    QCheck.Test.make ~count ~name:"subtract admits iff a-and-not-b"
+      (QCheck.triple manifest_arb manifest_arb Test_filters.call_arb)
+      (fun (a, b, call) ->
+        (* subtract semantics hold for calls gated by some token. *)
+        match Sdnshield.Engine.token_of_call call with
+        | None -> true
+        | Some _ ->
+          manifest_admits (Perm_ops.subtract a b) call
+          = (manifest_admits a call && not (manifest_admits b call)));
+    QCheck.Test.make ~count ~name:"meet is a lower bound (inclusion)"
+      (QCheck.pair manifest_arb manifest_arb)
+      (fun (a, b) ->
+        let m = Perm_ops.meet a b in
+        Inclusion.manifest_includes a m && Inclusion.manifest_includes b m);
+    QCheck.Test.make ~count ~name:"join is an upper bound (inclusion)"
+      (QCheck.pair manifest_arb manifest_arb)
+      (fun (a, b) ->
+        let j = Perm_ops.join a b in
+        Inclusion.manifest_includes j a && Inclusion.manifest_includes j b);
+    QCheck.Test.make ~count ~name:"meet commutative (semantics)"
+      (QCheck.triple manifest_arb manifest_arb Test_filters.call_arb)
+      (fun (a, b, call) ->
+        manifest_admits (Perm_ops.meet a b) call
+        = manifest_admits (Perm_ops.meet b a) call);
+    QCheck.Test.make ~count ~name:"normalize preserves admission"
+      (QCheck.pair manifest_arb Test_filters.call_arb)
+      (fun (m, call) ->
+        manifest_admits (Perm.normalize (m @ m)) call = manifest_admits m call) ]
+
+let suite =
+  [ Alcotest.test_case "meet keeps common tokens" `Quick test_meet_tokens;
+    Alcotest.test_case "meet narrows" `Quick test_meet_narrows;
+    Alcotest.test_case "join widens" `Quick test_join_widens;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "subtract" `Quick test_subtract;
+    Alcotest.test_case "simplify" `Quick test_simplify ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

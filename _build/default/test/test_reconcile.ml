@@ -1,0 +1,271 @@
+(* Reconciliation-engine tests (§V-B2), centred on the paper's
+   Scenario 1 walkthrough: stub expansion, mutual-exclusion repair by
+   truncation, boundary repair by intersection, and violation
+   reporting. *)
+
+open Sdnshield
+
+let manifest = Test_util.manifest_exn
+let policy = Test_util.policy_exn
+
+(* The paper's Scenario 1, verbatim ------------------------------------------- *)
+
+let scenario1_manifest =
+  manifest
+    "PERM visible_topology LIMITING LocalTopo\n\
+     PERM read_statistics\n\
+     PERM network_access LIMITING AdminRange\n\
+     PERM insert_flow"
+
+let scenario1_policy =
+  policy
+    "LET LocalTopo = {SWITCH 0,1 LINK 3,4}\n\
+     LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}\n\
+     ASSERT EITHER { PERM network_access } OR { PERM insert_flow }"
+
+let test_scenario1_full_pipeline () =
+  let report =
+    Reconcile.run ~apps:[ ("monitoring", scenario1_manifest) ] scenario1_policy
+  in
+  let final = List.assoc "monitoring" report.Reconcile.manifests in
+  (* The paper's expected final permissions: visible_topology limited to
+     the local switches, read_statistics, network_access limited to the
+     admin range — and insert_flow truncated. *)
+  Alcotest.(check bool) "insert_flow truncated" false
+    (Perm.grants_token final Token.Insert_flow);
+  Alcotest.(check bool) "topology kept" true
+    (Perm.grants_token final Token.Visible_topology);
+  Alcotest.(check bool) "stats kept" true
+    (Perm.grants_token final Token.Read_statistics);
+  Alcotest.(check bool) "network access kept" true
+    (Perm.grants_token final Token.Host_network);
+  (* Stubs were expanded. *)
+  Alcotest.(check (list string)) "no macros left" [] (Perm.macros final);
+  (match Perm.find final Token.Visible_topology with
+  | Some { Perm.filter = Filter.Atom (Filter.Phys_topo pt); _ } ->
+    Alcotest.(check (list int)) "LocalTopo switches" [ 0; 1 ]
+      (Filter.Int_set.elements pt.Filter.switches)
+  | _ -> Alcotest.fail "LocalTopo not expanded");
+  (match Perm.find final Token.Host_network with
+  | Some { Perm.filter = Filter.Atom (Filter.Pred { field = Filter.F_ip_dst; _ }); _ } -> ()
+  | _ -> Alcotest.fail "AdminRange not expanded");
+  (* Exactly one violation, repaired by exclusive truncation. *)
+  (match report.Reconcile.violations with
+  | [ v ] ->
+    Alcotest.(check bool) "action" true (v.Reconcile.action = Reconcile.Truncated_exclusive);
+    Alcotest.(check (option string)) "app" (Some "monitoring") v.Reconcile.app
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  Alcotest.(check (list (pair string (list string)))) "no unresolved stubs" []
+    report.Reconcile.unresolved_macros
+
+let test_scenario1_via_strings () =
+  let manifest_src =
+    "PERM visible_topology LIMITING LocalTopo\n\
+     PERM read_statistics\nPERM network_access LIMITING AdminRange\nPERM insert_flow"
+  in
+  let policy_src =
+    "LET LocalTopo = {SWITCH 0,1 LINK 3,4}\n\
+     LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}\n\
+     ASSERT EITHER { PERM network_access } OR { PERM insert_flow }"
+  in
+  match Reconcile.run_strings ~app_name:"m" ~manifest_src ~policy_src with
+  | Ok (final, report) ->
+    Alcotest.(check bool) "truncated" false (Perm.grants_token final Token.Insert_flow);
+    Alcotest.(check int) "one violation" 1 (List.length report.Reconcile.violations)
+  | Error e -> Alcotest.fail e
+
+(* Mutual exclusion ------------------------------------------------------------ *)
+
+let test_exclusive_no_violation_when_one_side () =
+  let m = manifest "PERM insert_flow\nPERM read_statistics" in
+  let p = policy "ASSERT EITHER { PERM host_network } OR { PERM insert_flow }" in
+  let report = Reconcile.run ~apps:[ ("app", m) ] p in
+  Alcotest.(check int) "no violation" 0 (List.length report.Reconcile.violations);
+  Alcotest.(check bool) "untouched" true
+    (Perm.grants_token (List.assoc "app" report.Reconcile.manifests) Token.Insert_flow)
+
+let test_exclusive_truncates_second_operand () =
+  (* The *second* operand set is the one truncated (as in Scenario 1). *)
+  let m = manifest "PERM host_network\nPERM send_pkt_out" in
+  let p = policy "ASSERT EITHER { PERM host_network } OR { PERM send_pkt_out }" in
+  let report = Reconcile.run ~apps:[ ("app", m) ] p in
+  let final = List.assoc "app" report.Reconcile.manifests in
+  Alcotest.(check bool) "first kept" true (Perm.grants_token final Token.Host_network);
+  Alcotest.(check bool) "second dropped" false (Perm.grants_token final Token.Send_pkt_out)
+
+let test_exclusive_applies_per_app () =
+  let net = manifest "PERM host_network" in
+  let both = manifest "PERM host_network\nPERM insert_flow" in
+  let p = policy "ASSERT EITHER { PERM host_network } OR { PERM insert_flow }" in
+  let report = Reconcile.run ~apps:[ ("clean", net); ("dirty", both) ] p in
+  Alcotest.(check int) "one violation" 1 (List.length report.Reconcile.violations);
+  Alcotest.(check bool) "clean untouched" true
+    (Perm.grants_token (List.assoc "clean" report.Reconcile.manifests) Token.Host_network);
+  Alcotest.(check bool) "dirty repaired" false
+    (Perm.grants_token (List.assoc "dirty" report.Reconcile.manifests) Token.Insert_flow)
+
+(* Permission boundary ----------------------------------------------------------- *)
+
+let test_boundary_pass () =
+  let m = manifest "PERM visible_topology\nPERM read_statistics LIMITING PORT_LEVEL" in
+  let p =
+    policy
+      "LET appPerm = APP monitor\n\
+       LET tpl = { PERM read_topology PERM read_statistics PERM network_access }\n\
+       ASSERT appPerm <= tpl"
+  in
+  let report = Reconcile.run ~apps:[ ("monitor", m) ] p in
+  Alcotest.(check int) "no violations" 0 (List.length report.Reconcile.violations)
+
+let test_boundary_violation_truncates () =
+  (* The paper's monitoring template (§V-A): reading topology,
+     port-level statistics and talking to collectors at 192.168/16 —
+     nothing more. *)
+  let m =
+    manifest
+      "PERM visible_topology\nPERM read_statistics\nPERM insert_flow\n\
+       PERM network_access LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0"
+  in
+  let p =
+    policy
+      "LET monitorAppPerm = APP monitor\n\
+       LET templatePerm = {\n\
+       PERM read_topology\n\
+       PERM read_statistics LIMITING PORT_LEVEL\n\
+       PERM network_access LIMITING IP_DST 192.168.0.0 MASK 255.255.0.0\n\
+       }\n\
+       ASSERT monitorAppPerm <= templatePerm"
+  in
+  let report = Reconcile.run ~apps:[ ("monitor", m) ] p in
+  let final = List.assoc "monitor" report.Reconcile.manifests in
+  (* Repair = meet with the template. *)
+  Alcotest.(check bool) "insert_flow removed" false
+    (Perm.grants_token final Token.Insert_flow);
+  Alcotest.(check bool) "topology kept" true
+    (Perm.grants_token final Token.Visible_topology);
+  (* After repair, the boundary holds. *)
+  let tpl =
+    manifest
+      "PERM read_topology\nPERM read_statistics LIMITING PORT_LEVEL\n\
+       PERM network_access LIMITING IP_DST 192.168.0.0 MASK 255.255.0.0"
+  in
+  Alcotest.(check bool) "within boundary now" true
+    (Inclusion.manifest_includes tpl final);
+  match report.Reconcile.violations with
+  | [ v ] ->
+    Alcotest.(check bool) "boundary action" true
+      (v.Reconcile.action = Reconcile.Truncated_to_boundary)
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_boundary_narrows_filters () =
+  (* A boundary doesn't just drop tokens: it narrows surviving filters. *)
+  let m = manifest "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0" in
+  let p =
+    policy
+      "LET a = APP app\n\
+       LET b = { PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0 }\n\
+       ASSERT a <= b"
+  in
+  let report = Reconcile.run ~apps:[ ("app", m) ] p in
+  let final = List.assoc "app" report.Reconcile.manifests in
+  let bound = manifest "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0" in
+  Alcotest.(check bool) "narrowed into bound" true
+    (Inclusion.manifest_includes bound final);
+  Alcotest.(check bool) "still grants the token" true
+    (Perm.grants_token final Token.Insert_flow)
+
+let test_boundary_alert_only_when_untargetable () =
+  (* A failed assertion between two blocks has no repair target: the
+     engine alerts without modifying anything. *)
+  let p =
+    policy
+      "ASSERT { PERM insert_flow } <= { PERM read_statistics }"
+  in
+  let m = manifest "PERM insert_flow" in
+  let report = Reconcile.run ~apps:[ ("app", m) ] p in
+  (match report.Reconcile.violations with
+  | [ v ] -> Alcotest.(check bool) "alert" true (v.Reconcile.action = Reconcile.Alert_only)
+  | _ -> Alcotest.fail "expected alert");
+  Alcotest.(check bool) "manifest untouched" true
+    (Perm.grants_token (List.assoc "app" report.Reconcile.manifests) Token.Insert_flow)
+
+(* Other comparison / combinator asserts --------------------------------------------- *)
+
+let test_assert_equality_and_ordering () =
+  let m = manifest "PERM read_statistics" in
+  let ok =
+    policy
+      "LET a = APP app\nASSERT a = { PERM read_statistics }\n\
+       ASSERT a >= { PERM read_statistics }\nASSERT { PERM read_statistics } <= a"
+  in
+  let report = Reconcile.run ~apps:[ ("app", m) ] ok in
+  Alcotest.(check int) "all hold" 0 (List.length report.Reconcile.violations);
+  let strict = policy "LET a = APP app\nASSERT a < { PERM read_statistics }" in
+  let report = Reconcile.run ~apps:[ ("app", m) ] strict in
+  (* a < a fails (not strict). *)
+  Alcotest.(check int) "strict fails" 1 (List.length report.Reconcile.violations)
+
+let test_assert_combinators () =
+  let m = manifest "PERM read_statistics" in
+  let p =
+    policy
+      "LET a = APP app\n\
+       ASSERT NOT a <= { PERM insert_flow } OR a <= { PERM read_statistics }"
+  in
+  let report = Reconcile.run ~apps:[ ("app", m) ] p in
+  Alcotest.(check int) "disjunction holds" 0 (List.length report.Reconcile.violations)
+
+let test_meet_join_in_policy () =
+  let m = manifest "PERM insert_flow\nPERM read_statistics" in
+  let p =
+    policy
+      "LET a = APP app\n\
+       LET bound = { PERM insert_flow } JOIN { PERM read_statistics }\n\
+       ASSERT a <= bound"
+  in
+  let report = Reconcile.run ~apps:[ ("app", m) ] p in
+  Alcotest.(check int) "join bound holds" 0 (List.length report.Reconcile.violations)
+
+(* Stubs ------------------------------------------------------------------------------ *)
+
+let test_unresolved_stub_reported () =
+  let m = manifest "PERM host_network LIMITING AdminRange" in
+  let report = Reconcile.run ~apps:[ ("app", m) ] [] in
+  (match report.Reconcile.unresolved_macros with
+  | [ ("app", [ "AdminRange" ]) ] -> ()
+  | _ -> Alcotest.fail "unresolved stub not reported");
+  Alcotest.(check bool) "not ok" false (Reconcile.ok report)
+
+let test_stub_expansion_inside_blocks () =
+  (* Stubs also expand inside policy permission blocks. *)
+  let m = manifest "PERM host_network LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0" in
+  let p =
+    policy
+      "LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }\n\
+       LET a = APP app\n\
+       ASSERT a <= { PERM host_network LIMITING AdminRange }"
+  in
+  let report = Reconcile.run ~apps:[ ("app", m) ] p in
+  Alcotest.(check int) "boundary with stub holds" 0
+    (List.length report.Reconcile.violations)
+
+let test_report_ok_flag () =
+  let clean = Reconcile.run ~apps:[ ("a", manifest "PERM read_statistics") ] [] in
+  Alcotest.(check bool) "clean ok" true (Reconcile.ok clean)
+
+let suite =
+  [ Alcotest.test_case "scenario 1 full pipeline" `Quick test_scenario1_full_pipeline;
+    Alcotest.test_case "scenario 1 via strings" `Quick test_scenario1_via_strings;
+    Alcotest.test_case "exclusive: one side only" `Quick test_exclusive_no_violation_when_one_side;
+    Alcotest.test_case "exclusive: truncates second" `Quick test_exclusive_truncates_second_operand;
+    Alcotest.test_case "exclusive: per app" `Quick test_exclusive_applies_per_app;
+    Alcotest.test_case "boundary: pass" `Quick test_boundary_pass;
+    Alcotest.test_case "boundary: violation truncates" `Quick test_boundary_violation_truncates;
+    Alcotest.test_case "boundary: narrows filters" `Quick test_boundary_narrows_filters;
+    Alcotest.test_case "boundary: alert-only" `Quick test_boundary_alert_only_when_untargetable;
+    Alcotest.test_case "assert: equality/ordering" `Quick test_assert_equality_and_ordering;
+    Alcotest.test_case "assert: combinators" `Quick test_assert_combinators;
+    Alcotest.test_case "assert: meet/join" `Quick test_meet_join_in_policy;
+    Alcotest.test_case "stubs: unresolved reported" `Quick test_unresolved_stub_reported;
+    Alcotest.test_case "stubs: expand in blocks" `Quick test_stub_expansion_inside_blocks;
+    Alcotest.test_case "report ok flag" `Quick test_report_ok_flag ]

@@ -1,0 +1,62 @@
+(* Cross-cutting round-trip properties: the concrete syntax printers
+   and parsers, and the token naming, agree with each other over
+   generated values. *)
+
+open Sdnshield
+
+let test_token_roundtrip () =
+  List.iter
+    (fun t ->
+      Alcotest.(check (option string))
+        (Token.to_string t)
+        (Some (Token.to_string t))
+        (Option.map Token.to_string (Token.of_string (Token.to_string t))))
+    Token.all;
+  (* Case-insensitive. *)
+  Alcotest.(check bool) "uppercase accepted" true
+    (Token.of_string "INSERT_FLOW" = Some Token.Insert_flow);
+  Alcotest.(check bool) "unknown rejected" true (Token.of_string "frobnicate" = None)
+
+let test_field_roundtrip () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Filter.field_to_string f)
+        true
+        (Filter.field_of_string (Filter.field_to_string f) = Some f))
+    Filter.
+      [ F_ip_src; F_ip_dst; F_tcp_src; F_tcp_dst; F_eth_src; F_eth_dst;
+        F_in_port; F_eth_type; F_ip_proto; F_vlan ]
+
+(* Semantic round-trip: print a generated manifest in the concrete
+   syntax, re-parse it, and require identical decisions on random
+   calls.  (Structural equality is too strict: smart constructors
+   re-fold constants during parsing.) *)
+let manifest_admits m call =
+  let attrs = Attrs.of_call call in
+  match Engine.token_of_call call with
+  | None -> true
+  | Some token -> (
+    match Perm.find m token with
+    | None -> false
+    | Some p -> Filter_eval.eval Filter_eval.pure_env p.Perm.filter attrs)
+
+let qsuite =
+  [ QCheck.Test.make ~count:300 ~name:"print/parse preserves decisions"
+      (QCheck.pair Test_perm_ops.manifest_arb Test_filters.call_arb)
+      (fun (m, call) ->
+        match Perm_parser.manifest_of_string (Perm.to_string m) with
+        | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+        | Ok m' -> manifest_admits m' call = manifest_admits m call);
+    QCheck.Test.make ~count:300 ~name:"reparse preserves inclusion reflexivity"
+      Test_perm_ops.manifest_arb
+      (fun m ->
+        match Perm_parser.manifest_of_string (Perm.to_string m) with
+        | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+        | Ok m' ->
+          Inclusion.manifest_includes m m' && Inclusion.manifest_includes m' m) ]
+
+let suite =
+  [ Alcotest.test_case "token names roundtrip" `Quick test_token_roundtrip;
+    Alcotest.test_case "field names roundtrip" `Quick test_field_roundtrip ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite
