@@ -1,0 +1,215 @@
+(* Decision-cache benchmark — interpreted vs compiled vs cached
+   checking throughput under CBench-style call workloads.
+
+   Methodology (EXPERIMENTS.md): the large Figure-5 manifest, insert-
+   focused traces with the standard 5 % violation rate, stateless
+   checking as in the paper's single-core microbenchmark.  Two access
+   patterns:
+
+     - skewed:  64 distinct calls, 90 % of accesses to the hottest 8
+                (a CBench-style elephant-flow mix) — the cache's home
+                turf;
+     - uniform: 32768 distinct calls cycling against a 16384-entry
+                cache, so the flush-on-full policy churns and the
+                cache buys little.
+
+   A separate section exercises the stateful path (ownership recording
+   on) to show generation-counter invalidation at work, and another
+   measures the normal-form / inclusion memo tables cold vs warm. *)
+
+open Shield_workload
+open Sdnshield
+module M = Shield_controller.Metrics
+
+let manifest () = Perm_gen.generate ~complexity:Perm_gen.Large ~focus:`Insert ()
+
+(* Workload construction -------------------------------------------------- *)
+
+(** [base_calls n] — [n] distinct insert-focused calls, 5 % violating. *)
+let base_calls n = Array.map fst (Api_trace.generate ~focus:`Insert ~n ())
+
+(** A trace of [n] accesses over [base], 90 % of them drawn from the
+    first eighth of the population (the "hot set"). *)
+let skewed_trace ~base ~n =
+  let rng = Prng.of_int 42 in
+  let distinct = Array.length base in
+  let hot = max 1 (distinct / 8) in
+  Array.init n (fun _ ->
+      if Prng.int rng 10 < 9 then base.(Prng.int rng hot)
+      else base.(Prng.int rng distinct))
+
+(* Measurement ------------------------------------------------------------ *)
+
+(** Ops/s of [check] over [trace]: one warm pass (fills caches), then
+    [repeats] timed passes. *)
+let throughput ?(repeats = 4) check trace =
+  Array.iter (fun c -> ignore (check c)) trace;
+  let (), dt =
+    Bench_util.timed (fun () ->
+        for _ = 1 to repeats do
+          Array.iter (fun c -> ignore (Sys.opaque_identity (check c))) trace
+        done)
+  in
+  float_of_int (repeats * Array.length trace) /. dt
+
+let fmt_mops ops = Printf.sprintf "%.2f M ops/s" (ops /. 1e6)
+let fmt_rate s = Printf.sprintf "%.1f %%" (100. *. M.hit_rate s)
+
+(** The four checker variants over one manifest.  Stateless checking
+    ([record_state:false] / pure env), as in Figure 5. *)
+let variants ~tag m =
+  let engine ?cache_size name =
+    let e =
+      Engine.create ~record_state:false ?cache_size
+        ~ownership:(Ownership.create ())
+        ~app_name:(tag ^ "-" ^ name) ~cookie:1 m
+    in
+    ((fun call -> Engine.check e call), fun () -> Engine.cache_stats e)
+  in
+  let compiled ?cache_size () =
+    let c = Compiled.of_manifest ?cache_size m in
+    ((fun call -> Compiled.check c call), fun () -> Compiled.cache_stats c)
+  in
+  [ ("engine (interpreted)", engine "raw");
+    ("engine + cache", engine ~cache_size:Decision_cache.default_max_entries "cached");
+    ("compiled", compiled ());
+    ("compiled + cache", compiled ~cache_size:Decision_cache.default_max_entries ()) ]
+
+let workload_section ~title ~trace m =
+  Bench_util.subhr title;
+  let rows, baseline =
+    List.fold_left
+      (fun (rows, baseline) (name, (check, stats)) ->
+        let ops = throughput check trace in
+        let baseline = match baseline with None -> Some ops | s -> s in
+        let speedup = ops /. Option.get baseline in
+        let hit =
+          match stats () with None -> "-" | Some s -> fmt_rate s
+        in
+        (rows @ [ [ name; fmt_mops ops; Printf.sprintf "%.2fx" speedup; hit ] ],
+         baseline))
+      ([], None) (variants ~tag:title m)
+  in
+  ignore baseline;
+  Bench_util.table [ "checker"; "throughput"; "vs interpreted"; "hit rate" ] rows;
+  rows
+
+(** Speedup of the cached engine over the interpreted one, read back
+    out of a section's rows (used by the smoke gate). *)
+let cached_vs_interpreted rows =
+  let ops_of row = Scanf.sscanf (List.nth row 1) "%f" Fun.id in
+  let find name = List.find (fun r -> List.hd r = name) rows in
+  ops_of (find "engine + cache") /. ops_of (find "engine (interpreted)")
+
+let stateful_section () =
+  Bench_util.subhr
+    "stateful path: ownership recording on (generation invalidation)";
+  (* An explicitly stateful Insert_flow grant — OWN_FLOWS and
+     MAX_RULE_COUNT both read the ownership store, so every approved
+     flow-mod bumps the generation and stings the cache. *)
+  let m =
+    Perm.normalize
+      [ Perm.make
+          ~filter:
+            (Filter.conj Filter.own_flows
+               (Filter.atom (Filter.Max_rule_count 1_000_000)))
+          Token.Insert_flow ]
+  in
+  let e =
+    Engine.create ~cache_size:Decision_cache.default_max_entries
+      ~ownership:(Ownership.create ())
+      ~app_name:"bench-stateful" ~cookie:1 m
+  in
+  let trace = skewed_trace ~base:(base_calls 64) ~n:8192 in
+  Array.iter (fun c -> ignore (Engine.check e c)) trace;
+  match Engine.cache_stats e with
+  | None -> ()
+  | Some s ->
+    Fmt.pr
+      "8192 checks: %d hits, %d misses, %d invalidations (each approved \
+       flow-mod bumps the ownership generation)@."
+      s.M.hits s.M.misses s.M.invalidations
+
+let memo_section () =
+  Bench_util.subhr "normal-form / inclusion memoization (cold vs warm)";
+  let m = manifest () in
+  let filters = List.map (fun (p : Perm.t) -> p.Perm.filter) m in
+  let work () =
+    List.iter
+      (fun a ->
+        List.iter (fun b -> ignore (Inclusion.filter_includes a b)) filters)
+      filters
+  in
+  Nf.clear_memo ();
+  Inclusion.clear_memo ();
+  let (), cold = Bench_util.timed work in
+  let (), warm = Bench_util.timed work in
+  let n = List.length filters in
+  Fmt.pr "%dx%d inclusion queries: cold %s, warm %s (%.0fx)@." n n
+    (Bench_util.fmt_us cold) (Bench_util.fmt_us warm)
+    (cold /. max warm 1e-9)
+
+(* Entry points ----------------------------------------------------------- *)
+
+let run () =
+  Bench_util.hr
+    "Decision cache: checking throughput, hit rates, invalidation";
+  let m = manifest () in
+  ignore
+    (workload_section ~title:"skewed (64 distinct calls, 90% to hot 8)"
+       ~trace:(skewed_trace ~base:(base_calls 64) ~n:65536)
+       m);
+  ignore
+    (workload_section
+       ~title:"uniform (32768 distinct calls vs 16384-entry cache)"
+       ~trace:(base_calls 32768) m);
+  stateful_section ();
+  memo_section ();
+  Fmt.pr "@.%a" M.pp_cache_report ();
+  Fmt.pr
+    "@.note: the comparable shape against the paper is the hit rate and@.";
+  Fmt.pr
+    "      the cached-vs-interpreted ratio, not absolute throughput@."
+
+(** Fast correctness gate for the tier-1 test path: no timing
+    assertions, exits nonzero on any violated invariant. *)
+let smoke () =
+  Bench_util.hr "Decision cache: smoke";
+  let m = manifest () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* 1. Cached and uncached engines agree call-for-call, with ownership
+     recording ON so the stateful/generation path is exercised. *)
+  let mk cache_size =
+    Engine.create ?cache_size
+      ~ownership:(Ownership.create ())
+      ~app_name:(match cache_size with Some _ -> "smoke-cached" | None -> "smoke-raw")
+      ~cookie:1 m
+  in
+  let cached = mk (Some 1024) and raw = mk None in
+  let trace = skewed_trace ~base:(base_calls 64) ~n:4096 in
+  Array.iteri
+    (fun i call ->
+      let a = Engine.check cached call and b = Engine.check raw call in
+      if a <> b then fail "decision mismatch at call %d" i)
+    trace;
+  Fmt.pr "cached == uncached on %d stateful checks: %s@." (Array.length trace)
+    (if !failures = [] then "ok" else "FAIL");
+  (* 2. The skewed stateless workload actually hits. *)
+  let e =
+    Engine.create ~record_state:false ~cache_size:1024
+      ~ownership:(Ownership.create ())
+      ~app_name:"smoke-hitrate" ~cookie:1 m
+  in
+  Array.iter (fun c -> ignore (Engine.check e c)) trace;
+  (match Engine.cache_stats e with
+  | None -> fail "cache_stats missing on a cached engine"
+  | Some s ->
+    let rate = M.hit_rate s in
+    Fmt.pr "skewed stateless hit rate: %.1f %%@." (100. *. rate);
+    if rate <= 0.5 then fail "hit rate %.2f <= 0.5 on skewed workload" rate);
+  match !failures with
+  | [] -> Fmt.pr "smoke ok@."
+  | fs ->
+    List.iter (fun f -> Fmt.epr "smoke FAILURE: %s@." f) fs;
+    exit 1

@@ -6,8 +6,8 @@
      dune exec bench/main.exe -- fig5     # one experiment
 
    Experiments: table1 effectiveness reconciliation fig5 fig6 fig7 fig8
-                reconcile-perf ablation-compile ablation-isolation
-                ablation-inclusion *)
+                reconcile-perf decision-cache cache-smoke
+                ablation-compile ablation-isolation ablation-inclusion *)
 
 let experiments : (string * (unit -> unit)) list =
   [ ("table1", Table1.run);
@@ -18,6 +18,8 @@ let experiments : (string * (unit -> unit)) list =
     ("fig7", Fig7.run);
     ("fig8", Fig8.run);
     ("reconcile-perf", Reconcile_perf.run);
+    ("decision-cache", Cache_bench.run);
+    ("cache-smoke", Cache_bench.smoke);
     ("ablation-compile", Ablations.run_compile);
     ("ablation-isolation", Ablations.run_isolation);
     ("ablation-inclusion", Ablations.run_inclusion) ]

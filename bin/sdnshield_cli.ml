@@ -149,7 +149,7 @@ let call_of_spec spec : (Api.call, string) result =
   | _ -> Error (Printf.sprintf "bad call spec %S" spec)
 
 let check_cmd =
-  let run manifest_path specs =
+  let run use_cache manifest_path specs =
     match Perm_parser.manifest_of_string (read_file manifest_path) with
     | Error e -> `Error (false, "parse error: " ^ e)
     | Ok manifest -> (
@@ -160,9 +160,12 @@ let check_cmd =
             "manifest has unresolved stubs (" ^ String.concat ", " ms
             ^ "); reconcile first" )
       | [] ->
+        let cache_size =
+          if use_cache then Some Decision_cache.default_max_entries else None
+        in
         let engine =
-          Engine.create ~ownership:(Ownership.create ()) ~app_name:"cli"
-            ~cookie:1 manifest
+          Engine.create ?cache_size ~ownership:(Ownership.create ())
+            ~app_name:"cli" ~cookie:1 manifest
         in
         let had_error = ref false in
         List.iter
@@ -176,14 +179,23 @@ let check_cmd =
               | Api.Allow -> Fmt.pr "ALLOW  %a@." Api.pp_call call
               | Api.Deny why -> Fmt.pr "DENY   %a  (%s)@." Api.pp_call call why))
           specs;
+        if use_cache then Fmt.pr "%a" Metrics.pp_cache_report ();
         if !had_error then `Error (false, "some call specs were invalid")
         else `Ok ())
+  in
+  let cache_arg =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Enable the decision cache on the checking engine and print \
+             the cache hit/miss report after the calls.")
   in
   let manifest = Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST") in
   let specs = Arg.(value & pos_right 0 string [] & info [] ~docv:"CALL") in
   Cmd.v
     (Cmd.info "check" ~doc:"Check API call specs against a manifest")
-    Term.(ret (const run $ manifest $ specs))
+    Term.(ret (const run $ cache_arg $ manifest $ specs))
 
 let () =
   let info =

@@ -21,11 +21,17 @@ type t = {
       (** Packets delivered to hosts by app packet-outs, tagged with the
           issuing app — the data-plane observable the attack tests
           assert on. *)
+  mutable execs : int;
+      (** Approved calls executed — the enforcement hot path's volume,
+          reported next to the cache hit rates. *)
 }
 
 let create ?(sandbox = Sandbox.create ()) ?(reflect_packet_out = false)
     dataplane =
-  { dataplane; sandbox; reflect_packet_out; pending = []; delivery_log = [] }
+  { dataplane; sandbox; reflect_packet_out; pending = []; delivery_log = [];
+    execs = 0 }
+
+let exec_count t = t.execs
 
 let deliveries t = List.rev t.delivery_log
 
@@ -59,6 +65,7 @@ let punts_to_events (r : Dataplane.result) =
     whose cookie is unset are stamped with the app's [cookie] so that
     ownership stays attributable. *)
 let exec t ~app ~cookie (call : Api.call) : Api.result =
+  t.execs <- t.execs + 1;
   match call with
   | Api.Install_flow (dpid, fm) -> (
     match Dataplane.switch_opt t.dataplane dpid with

@@ -1,38 +1,61 @@
-(* Latency/throughput sample collection with percentile summaries.
+(* Latency/throughput sample collection with percentile summaries, plus
+   a process-wide registry of cache hit/miss counters.
 
    The end-to-end experiments (Figures 6–8) report medians with 10/90
-   percentile error bars; this module computes exactly those. *)
+   percentile error bars; this module computes exactly those.  Samples
+   live in a growable flat array behind the mutex, so recording is O(1)
+   amortised with no per-sample allocation and summaries are one
+   array copy + sort — no list-to-array conversions on the hot path
+   under domain parallelism.
+
+   The cache registry is how the decision caches and normal-form memo
+   tables in [lib/core] surface their hit rates to the runtimes, the
+   benchmarks and the CLI without a dependency cycle: producers
+   register a stats thunk under a name; consumers call
+   [cache_report]. *)
 
 type t = {
-  mutable samples : float list;  (** Seconds. *)
+  mutable buf : float array;  (** Seconds; first [count] slots valid. *)
   mutable count : int;
   mutex : Mutex.t;
 }
 
-let create () = { samples = []; count = 0; mutex = Mutex.create () }
+let initial_capacity = 64
+
+let create () =
+  { buf = Array.make initial_capacity 0.; count = 0; mutex = Mutex.create () }
 
 let record t v =
   Mutex.lock t.mutex;
-  t.samples <- v :: t.samples;
+  if t.count = Array.length t.buf then begin
+    let bigger = Array.make (2 * Array.length t.buf) 0. in
+    Array.blit t.buf 0 bigger 0 t.count;
+    t.buf <- bigger
+  end;
+  t.buf.(t.count) <- v;
   t.count <- t.count + 1;
   Mutex.unlock t.mutex
 
-let count t = t.count
+let count t =
+  Mutex.lock t.mutex;
+  let n = t.count in
+  Mutex.unlock t.mutex;
+  n
 
+(** A consistent copy of the recorded samples, newest first (the order
+    the old list representation exposed). *)
 let samples t =
   Mutex.lock t.mutex;
-  let s = t.samples in
+  let arr = Array.sub t.buf 0 t.count in
   Mutex.unlock t.mutex;
-  s
+  List.rev (Array.to_list arr)
 
-(** [percentile p sorted] with [sorted] ascending and [p] in [0,100],
+(** [percentile_sorted p arr] with [arr] ascending and [p] in [0,100],
     using nearest-rank interpolation. *)
-let percentile p sorted =
-  match sorted with
-  | [] -> nan
-  | _ ->
-    let arr = Array.of_list sorted in
-    let n = Array.length arr in
+let percentile_sorted p (arr : float array) =
+  let n = Array.length arr in
+  if n = 0 then nan
+  else begin
     let rank = p /. 100. *. float_of_int (n - 1) in
     let lo = int_of_float (floor rank) in
     let hi = int_of_float (ceil rank) in
@@ -40,6 +63,11 @@ let percentile p sorted =
     else
       let frac = rank -. float_of_int lo in
       (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+  end
+
+(** List-based variant of {!percentile_sorted}, kept for callers that
+    already hold a sorted list. *)
+let percentile p sorted = percentile_sorted p (Array.of_list sorted)
 
 type summary = {
   n : int;
@@ -52,18 +80,23 @@ type summary = {
 }
 
 let summarize t =
-  let s = List.sort compare (samples t) in
-  match s with
-  | [] -> { n = 0; median = nan; p10 = nan; p90 = nan; mean = nan; min = nan; max = nan }
-  | _ ->
-    let n = List.length s in
+  Mutex.lock t.mutex;
+  let arr = Array.sub t.buf 0 t.count in
+  Mutex.unlock t.mutex;
+  let n = Array.length arr in
+  if n = 0 then
+    { n = 0; median = nan; p10 = nan; p90 = nan; mean = nan; min = nan;
+      max = nan }
+  else begin
+    Array.sort compare arr;
     { n;
-      median = percentile 50. s;
-      p10 = percentile 10. s;
-      p90 = percentile 90. s;
-      mean = List.fold_left ( +. ) 0. s /. float_of_int n;
-      min = List.hd s;
-      max = List.nth s (n - 1) }
+      median = percentile_sorted 50. arr;
+      p10 = percentile_sorted 10. arr;
+      p90 = percentile_sorted 90. arr;
+      mean = Array.fold_left ( +. ) 0. arr /. float_of_int n;
+      min = arr.(0);
+      max = arr.(n - 1) }
+  end
 
 let summarize_list values =
   let t = create () in
@@ -80,3 +113,56 @@ let time t f =
 let pp_summary ppf s =
   Fmt.pf ppf "n=%d median=%.1fus p10=%.1fus p90=%.1fus" s.n (s.median *. 1e6)
     (s.p10 *. 1e6) (s.p90 *. 1e6)
+
+(* Cache-counter registry --------------------------------------------------- *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** Entries discarded for a stale generation. *)
+  evictions : int;  (** Entries discarded for capacity. *)
+  bypasses : int;  (** Lookups the cache refused to serve (uncacheable). *)
+}
+
+let zero_cache_stats =
+  { hits = 0; misses = 0; invalidations = 0; evictions = 0; bypasses = 0 }
+
+let hit_rate (s : cache_stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then nan else float_of_int s.hits /. float_of_int total
+
+let registry : (string, unit -> cache_stats) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
+
+(** Register (or replace) the stats source for cache [name].
+    Re-registration replaces, so short-lived caches (one engine per
+    benchmark iteration) do not grow the registry. *)
+let register_cache name read =
+  Mutex.lock registry_mutex;
+  Hashtbl.replace registry name read;
+  Mutex.unlock registry_mutex
+
+let unregister_cache name =
+  Mutex.lock registry_mutex;
+  Hashtbl.remove registry name;
+  Mutex.unlock registry_mutex
+
+(** Snapshot every registered cache, sorted by name. *)
+let cache_report () : (string * cache_stats) list =
+  Mutex.lock registry_mutex;
+  let sources = Hashtbl.fold (fun name read acc -> (name, read) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort compare (List.map (fun (name, read) -> (name, read ())) sources)
+
+let pp_cache_stats ppf (s : cache_stats) =
+  Fmt.pf ppf "hits=%d misses=%d invalidations=%d evictions=%d bypasses=%d"
+    s.hits s.misses s.invalidations s.evictions s.bypasses;
+  if s.hits + s.misses > 0 then Fmt.pf ppf " hit-rate=%.1f%%" (100. *. hit_rate s)
+
+let pp_cache_report ppf () =
+  match cache_report () with
+  | [] -> Fmt.pf ppf "no caches registered@."
+  | report ->
+    List.iter
+      (fun (name, s) -> Fmt.pf ppf "%-24s %a@." name pp_cache_stats s)
+      report

@@ -444,6 +444,19 @@ let shutdown t =
     List.iter Thread.join t.ksd_pool;
     List.iter Domain.join t.ksd_domains)
 
+(** The runtime's observability report: reference-monitor counters,
+    kernel execution volume, and every registered cache's hit/miss
+    counters (engines register their decision caches, [lib/core]
+    registers the normal-form and inclusion memos). *)
+let cache_report (_ : t) = Metrics.cache_report ()
+
+let pp_report ppf t =
+  let calls, denials, delivered, suppressed = stats t in
+  Fmt.pf ppf "calls=%d denials=%d events: delivered=%d suppressed=%d@." calls
+    denials delivered suppressed;
+  Fmt.pf ppf "kernel executions=%d@." (Kernel.exec_count t.kernel);
+  Metrics.pp_cache_report ppf ()
+
 let instance_ctx t name =
   match List.find_opt (fun i -> i.app.App.name = name) t.instances with
   | Some inst -> ctx_of inst

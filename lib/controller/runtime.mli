@@ -98,6 +98,15 @@ val process_pending : t -> unit
 val stats : t -> int * int * int * int
 (** (calls, denials, events delivered, events suppressed). *)
 
+val cache_report : t -> (string * Metrics.cache_stats) list
+(** Hit/miss counters of every cache registered in this process:
+    per-engine decision caches and the normal-form / inclusion memo
+    tables (see {!Metrics.register_cache}). *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable observability report: reference-monitor counters,
+    kernel execution volume, and the cache report. *)
+
 val sandbox : t -> Sandbox.t
 val kernel : t -> Kernel.t
 

@@ -61,37 +61,53 @@ let rec compile (e : Filter.expr) : checker_fn =
     let ca = compile a in
     fun env attrs -> not (ca env attrs)
 
-(* Token-indexed dispatch. *)
-let token_index : Token.t -> int =
-  let tbl = Hashtbl.create 16 in
-  List.iteri (fun i t -> Hashtbl.replace tbl t i) Token.all;
-  fun t -> Hashtbl.find tbl t
-
 type t = {
-  slots : checker_fn option array;  (** Indexed by token. *)
-  env : Filter_eval.env;
+  slots : (Attrs.t -> bool) option array;
+      (** Indexed by {!Token.index}; the environment is pre-bound so
+          the hot path is pure closure application. *)
+  cache : Decision_cache.t option;
 }
 
 (** Compile [manifest] once.  [env] supplies the stateful dimensions
-    (defaults to the pure environment for stateless checking). *)
-let of_manifest ?(env = Filter_eval.pure_env) (manifest : Perm.manifest) : t =
-  let slots = Array.make (List.length Token.all) None in
+    (defaults to the pure environment for stateless checking).
+    [cache_size] additionally memoizes decisions in a
+    {!Decision_cache}; [generation] must then be the mutation counter
+    of the state behind [env] (it defaults to a constant, which is
+    sound only for the pure environment). *)
+let of_manifest ?(env = Filter_eval.pure_env) ?cache_size ?generation
+    (manifest : Perm.manifest) : t =
+  let slots = Array.make Token.count None in
   List.iter
     (fun (p : Perm.t) ->
-      slots.(token_index p.Perm.token) <- Some (compile p.Perm.filter))
+      let fn = compile p.Perm.filter in
+      slots.(Token.index p.Perm.token) <- Some (fun attrs -> fn env attrs))
     manifest;
-  { slots; env }
+  let cache =
+    match cache_size with
+    | None -> None
+    | Some max_entries ->
+      Some (Decision_cache.create ~name:"compiled" ~max_entries ?generation manifest)
+  in
+  { slots; cache }
 
-(** Check a call: token slot lookup + compiled closure application. *)
+(** Check a call: token slot lookup + compiled closure application
+    (memoized when a decision cache is attached). *)
 let check (t : t) (call : Shield_controller.Api.call) :
     Shield_controller.Api.decision =
   match Engine.token_of_call call with
   | None -> Shield_controller.Api.Allow
   | Some token -> (
-    match t.slots.(token_index token) with
+    match t.slots.(Token.index token) with
     | None ->
       Shield_controller.Api.Deny
         ("missing permission " ^ Token.to_string token)
-    | Some fn ->
-      if fn t.env (Attrs.of_call call) then Shield_controller.Api.Allow
+    | Some eval ->
+      let pass =
+        match t.cache with
+        | None -> eval (Attrs.of_call call)
+        | Some cache -> Decision_cache.check cache ~token ~call ~eval
+      in
+      if pass then Shield_controller.Api.Allow
       else Shield_controller.Api.Deny "filter rejects call")
+
+let cache_stats t = Option.map Decision_cache.stats t.cache

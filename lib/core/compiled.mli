@@ -12,8 +12,20 @@ val compile : Filter.expr -> checker_fn
 
 type t
 
-val of_manifest : ?env:Filter_eval.env -> Perm.manifest -> t
+val of_manifest :
+  ?env:Filter_eval.env ->
+  ?cache_size:int ->
+  ?generation:(unit -> int) ->
+  Perm.manifest ->
+  t
 (** Compile once.  [env] supplies the stateful dimensions (defaults to
-    {!Filter_eval.pure_env} for stateless checking). *)
+    {!Filter_eval.pure_env} for stateless checking).  [cache_size]
+    fronts the compiled closures with a {!Decision_cache}; [generation]
+    must then be the mutation counter of the state behind [env]
+    (normally [fun () -> Ownership.generation store]) — its constant
+    default is sound only for the pure environment. *)
 
 val check : t -> Shield_controller.Api.call -> Shield_controller.Api.decision
+
+val cache_stats : t -> Shield_controller.Metrics.cache_stats option
+(** Decision-cache counters; [None] without [cache_size]. *)

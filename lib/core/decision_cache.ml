@@ -1,0 +1,438 @@
+(* Memoized permission decisions for the enforcement hot path.
+
+   The paper's Figure 5 makes per-call permission checking the critical
+   path of enforcement, and both checkers ([Engine] interprets the
+   filter AST, [Compiled] applies a closure tree) still re-evaluate the
+   focused token's whole filter on every call.  Most API-call streams
+   are heavily repetitive (the CBench-style workloads, and any reactive
+   app reinstalling the same rule shapes), so the same (token,
+   attributes) pair is decided over and over.
+
+   This module caches those decisions, keyed on a *canonicalized call
+   signature*: the token plus the projection of the call's attributes
+   onto exactly the dimensions the manifest's filter for that token
+   inspects.  Two syntactically different calls that project to the
+   same signature are, by construction of the evaluation semantics,
+   decided identically — so a cache hit returns precisely what
+   re-evaluation would.
+
+   Cacheability is decided statically per token at cache-construction
+   time (see [classify]):
+
+   - [Stateless] filters inspect only pure call attributes (flow
+     predicates, wildcards, action classes, priorities, packet-out
+     provenance, topology sets, statistics levels).  Their decisions
+     never change; entries live until evicted for capacity.
+   - [Stateful] filters also consult the ownership store (OWN_FLOWS,
+     MAX_RULE_COUNT).  Their entries are stamped with the store's
+     generation counter and served only while the store is still at
+     that generation — any [Ownership] mutation invalidates them
+     wholesale, so a cached decision can never be *weaker* (more
+     permissive or more restrictive) than a fresh one.
+
+   Structure: the canonical-signature table (L2) is the authoritative
+   cache; a small direct-mapped array (L1) keyed on the exact call
+   value accelerates it.  Call equality refines signature equality, so
+   every L1 answer is one L2 would give; L1 exists because projecting
+   attributes and hashing a deep signature costs about as much as
+   evaluating a mid-sized filter, while hashing a few discriminating
+   call fields does not.  L1 entries are immutable records in a
+   mutable array: lookups are lock-free (a racing reader observes
+   either the old or the new entry pointer, each individually
+   consistent, and staleness is re-checked against the generation
+   stamp on every hit); L2 sits behind a mutex off the fast path.
+
+   The safety argument and the invalidation protocol are specified in
+   docs/CACHING.md. *)
+
+open Shield_openflow
+module Api = Shield_controller.Api
+
+(* Cacheability classification ---------------------------------------------- *)
+
+type cacheability =
+  | Stateless  (** Decisions depend only on call attributes. *)
+  | Stateful
+      (** Decisions also depend on the ownership store; entries are
+          generation-gated. *)
+
+let singleton_stateful (s : Filter.singleton) =
+  match s with
+  | Filter.Owner Filter.Own_flows | Filter.Max_rule_count _ -> true
+  | Filter.Owner Filter.All_flows | Filter.Pred _ | Filter.Wildcard _
+  | Filter.Action_f _ | Filter.Max_priority _ | Filter.Min_priority _
+  | Filter.Pkt_out _ | Filter.Phys_topo _ | Filter.Virt_topo _
+  | Filter.Callback _ | Filter.Stats_level _ | Filter.Macro _ ->
+    false
+
+let classify (e : Filter.expr) : cacheability =
+  if Filter.fold_atoms (fun acc s -> acc || singleton_stateful s) false e then
+    Stateful
+  else Stateless
+
+(* Attribute footprint ------------------------------------------------------- *)
+
+(** The attribute dimensions a filter expression actually inspects —
+    what must go into the call signature for decisions keyed on it to
+    be replayable. *)
+type footprint = {
+  fields : Filter.field list;  (** Sorted, deduplicated. *)
+  actions : bool;
+  priority : bool;
+  stats_level : bool;
+  from_pkt_in : bool;
+  flow_state : bool;
+      (** OWN_FLOWS / MAX_RULE_COUNT: the signature must carry the full
+          match, flow command and vetting cookie, and the entry is
+          generation-gated. *)
+}
+
+let footprint (e : Filter.expr) : footprint =
+  let fp =
+    { fields = []; actions = false; priority = false; stats_level = false;
+      from_pkt_in = false; flow_state = false }
+  in
+  let fp =
+    Filter.fold_atoms
+      (fun fp s ->
+        match s with
+        | Filter.Pred { field; _ } | Filter.Wildcard { field; _ } ->
+          { fp with fields = field :: fp.fields }
+        | Filter.Action_f _ -> { fp with actions = true }
+        | Filter.Max_priority _ | Filter.Min_priority _ ->
+          { fp with priority = true }
+        | Filter.Stats_level _ -> { fp with stats_level = true }
+        | Filter.Pkt_out _ -> { fp with from_pkt_in = true }
+        | Filter.Owner Filter.Own_flows ->
+          { fp with flow_state = true }
+        | Filter.Max_rule_count _ ->
+          (* The budget also keys on the flow command (only [Add]
+             consumes budget), carried by the flow-state part. *)
+          { fp with flow_state = true }
+        | Filter.Owner Filter.All_flows | Filter.Phys_topo _
+        | Filter.Virt_topo _ | Filter.Callback _ | Filter.Macro _ ->
+          (* Topology sets key on the dpid, which every signature
+             already carries; the rest are constant. *)
+          fp)
+      fp e
+  in
+  { fp with fields = List.sort_uniq compare fp.fields }
+
+(* Canonicalized call signatures --------------------------------------------- *)
+
+(** One projected attribute dimension.  Structural equality and hashing
+    over these is exactly signature equality. *)
+type part =
+  | P_field of Filter.field * Attrs.field_info
+  | P_actions of Action.t list option
+  | P_priority of int option
+  | P_stats of Stats.level option
+  | P_from_pkt_in of bool option
+  | P_flow_state of
+      Match_fields.t option * Flow_mod.command option * int option
+      (** match, command, vetting cookie. *)
+
+type key = {
+  token : Token.t;
+  kind : Attrs.call_kind;
+  dpid : int option;
+      (** Always part of the signature: topology membership, virtual
+          confinement and per-switch budgets all key on it. *)
+  parts : part list;
+}
+
+let key_of ~token (fp : footprint) (attrs : Attrs.t) : key =
+  let parts =
+    List.map (fun f -> P_field (f, Attrs.field_value attrs f)) fp.fields
+  in
+  let parts =
+    if fp.actions then P_actions attrs.Attrs.actions :: parts else parts
+  in
+  let parts =
+    if fp.priority then P_priority attrs.Attrs.priority :: parts else parts
+  in
+  let parts =
+    if fp.stats_level then P_stats attrs.Attrs.stats_level :: parts else parts
+  in
+  let parts =
+    if fp.from_pkt_in then P_from_pkt_in attrs.Attrs.from_pkt_in :: parts
+    else parts
+  in
+  let parts =
+    if fp.flow_state then
+      P_flow_state (attrs.Attrs.match_, attrs.Attrs.flow_command,
+                    attrs.Attrs.cookie)
+      :: parts
+    else parts
+  in
+  { token; kind = attrs.Attrs.kind; dpid = attrs.Attrs.dpid; parts }
+
+(* L1 call hashing ----------------------------------------------------------- *)
+
+(* A cheap hand-rolled hash over the discriminating call fields.
+   Correctness never depends on it — a colliding slot is resolved by
+   structural call equality — but [Hashtbl.hash]'s generic traversal of
+   a flow-mod costs more than a filter evaluation, which would defeat
+   the cache.  Collisions only cost an L1 miss (the L2 lookup still
+   hits), so hashing a *subset* of fields is fine as long as it spreads
+   the workload's actual variation: match addresses, dpid, priority. *)
+
+let mix h x = ((h * 0x01000193) lxor x) land max_int
+
+let hash_ip_match (m : Match_fields.ip_match option) h =
+  match m with
+  | Some im -> mix (mix h (Int32.to_int im.Match_fields.addr)) (Int32.to_int im.Match_fields.mask)
+  | None -> mix h 0x55
+
+let hash_int_opt (o : int option) h =
+  match o with Some i -> mix h (i + 1) | None -> mix h 0x77
+
+(* Monomorphic structural equality for the hot call shapes.  Same
+   answer as generic [=] (which the cold arms delegate to), but a
+   flow-mod compare compiles to direct field tests instead of an
+   interpretive traversal, and physically identical calls — replayed
+   trace entries, retried requests — short-circuit immediately. *)
+
+let ip_match_eq (a : Match_fields.ip_match option)
+    (b : Match_fields.ip_match option) =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y ->
+    Int32.equal x.Match_fields.addr y.Match_fields.addr
+    && Int32.equal x.Match_fields.mask y.Match_fields.mask
+  | _ -> false
+
+let int_opt_eq (a : int option) (b : int option) =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let match_eq (a : Match_fields.t) (b : Match_fields.t) =
+  a == b
+  || (int_opt_eq a.Match_fields.in_port b.Match_fields.in_port
+     && int_opt_eq a.Match_fields.dl_src b.Match_fields.dl_src
+     && int_opt_eq a.Match_fields.dl_dst b.Match_fields.dl_dst
+     && a.Match_fields.dl_type = b.Match_fields.dl_type
+     && int_opt_eq a.Match_fields.dl_vlan b.Match_fields.dl_vlan
+     && ip_match_eq a.Match_fields.nw_src b.Match_fields.nw_src
+     && ip_match_eq a.Match_fields.nw_dst b.Match_fields.nw_dst
+     && a.Match_fields.nw_proto = b.Match_fields.nw_proto
+     && int_opt_eq a.Match_fields.tp_src b.Match_fields.tp_src
+     && int_opt_eq a.Match_fields.tp_dst b.Match_fields.tp_dst)
+
+let call_equal (a : Api.call) (b : Api.call) =
+  a == b
+  ||
+  match (a, b) with
+  | Api.Install_flow (da, fa), Api.Install_flow (db, fb) ->
+    da = db
+    && fa.Flow_mod.priority = fb.Flow_mod.priority
+    && fa.Flow_mod.command = fb.Flow_mod.command
+    && fa.Flow_mod.cookie = fb.Flow_mod.cookie
+    && fa.Flow_mod.idle_timeout = fb.Flow_mod.idle_timeout
+    && fa.Flow_mod.hard_timeout = fb.Flow_mod.hard_timeout
+    && fa.Flow_mod.actions = fb.Flow_mod.actions
+    && match_eq fa.Flow_mod.match_ fb.Flow_mod.match_
+  | a, b -> a = b
+
+let call_hash (c : Api.call) : int =
+  let h =
+    match c with
+    | Api.Install_flow (dpid, fm) ->
+      let m = fm.Flow_mod.match_ in
+      mix 0x11 dpid
+      |> hash_ip_match m.Match_fields.nw_dst
+      |> hash_ip_match m.Match_fields.nw_src
+      |> hash_int_opt m.Match_fields.tp_dst
+      |> hash_int_opt m.Match_fields.in_port
+      |> fun h ->
+      mix (mix h fm.Flow_mod.priority)
+        (match fm.Flow_mod.command with
+        | Flow_mod.Add -> 1
+        | Flow_mod.Modify -> 2
+        | Flow_mod.Delete -> 3)
+    | Api.Read_stats req ->
+      mix (hash_int_opt req.Stats.dpid_filter (mix 0x22 0))
+        (match req.Stats.level with
+        | Stats.Flow_level -> 1
+        | Stats.Port_level -> 2
+        | Stats.Switch_level -> 3)
+    | Api.Send_packet_out { dpid; port; from_pkt_in; packet; _ } ->
+      mix
+        (mix (mix (mix 0x33 dpid) port) (if from_pkt_in then 1 else 0))
+        (packet.Packet.dl_src lxor packet.Packet.dl_dst)
+    | other ->
+      (* Remaining call shapes are shallow; the generic hash is fine. *)
+      Hashtbl.hash other
+  in
+  (* Spread the entropy into the low bits the direct map indexes by. *)
+  let h = h lxor (h lsr 16) in
+  h land max_int
+
+(* The cache ----------------------------------------------------------------- *)
+
+type slot = { fp : footprint; gated : bool }
+
+type counters = {
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  invalidations : int Atomic.t;
+  evictions : int Atomic.t;
+  bypasses : int Atomic.t;
+}
+
+(** An L1 entry is immutable; the array cell is a single word that is
+    swapped atomically by the runtime, so lock-free readers always see
+    a consistent entry. *)
+type l1_entry = {
+  call : Api.call;
+  l1_hash : int;  (** [call_hash call], for cheap slot rejection. *)
+  l1_gen : int;
+  l1_pass : bool;
+}
+
+type t = {
+  l1 : l1_entry option array;  (** Direct-mapped, power-of-two sized. *)
+  l1_mask : int;
+  table : (key, int * bool) Hashtbl.t;  (** signature -> (generation, pass). *)
+  max_entries : int;
+  generation : unit -> int;
+  slots : slot option array;  (** Indexed by {!Token.index}. *)
+  counters : counters;
+  mutex : Mutex.t;  (** Guards [table] only; [l1] is lock-free. *)
+}
+
+let default_max_entries = 16384
+
+let snapshot (c : counters) : Shield_controller.Metrics.cache_stats =
+  { Shield_controller.Metrics.hits = Atomic.get c.hits;
+    misses = Atomic.get c.misses;
+    invalidations = Atomic.get c.invalidations;
+    evictions = Atomic.get c.evictions;
+    bypasses = Atomic.get c.bypasses }
+
+let rec pow2_at_least n v = if v >= n then v else pow2_at_least n (v * 2)
+
+(** Build a cache for [manifest].  [generation] is the current
+    generation of the state the manifest's stateful filters read —
+    normally [fun () -> Ownership.generation store]; defaults to a
+    constant, which is sound only for stateless evaluation
+    environments ({!Filter_eval.pure_env}).  [name], when given,
+    registers the cache's counters in the
+    {!Shield_controller.Metrics} cache registry. *)
+let create ?name ?(max_entries = default_max_entries)
+    ?(generation = fun () -> 0) (manifest : Perm.manifest) : t =
+  let max_entries = max 1 max_entries in
+  let slots = Array.make Token.count None in
+  List.iter
+    (fun (p : Perm.t) ->
+      slots.(Token.index p.Perm.token) <-
+        Some
+          { fp = footprint p.Perm.filter;
+            gated = classify p.Perm.filter = Stateful })
+    manifest;
+  let l1_size = pow2_at_least (min max_entries 4096) 1 in
+  let t =
+    { l1 = Array.make l1_size None;
+      l1_mask = l1_size - 1;
+      table = Hashtbl.create 256;
+      max_entries;
+      generation;
+      slots;
+      counters =
+        { hits = Atomic.make 0; misses = Atomic.make 0;
+          invalidations = Atomic.make 0; evictions = Atomic.make 0;
+          bypasses = Atomic.make 0 };
+      mutex = Mutex.create () }
+  in
+  (match name with
+  | Some name ->
+    Shield_controller.Metrics.register_cache name (fun () ->
+        snapshot t.counters)
+  | None -> ());
+  t
+
+let stats t = snapshot t.counters
+
+let size t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  Array.fill t.l1 0 (Array.length t.l1) None;
+  Mutex.unlock t.mutex
+
+(* The L2 (canonical signature) path, taken on an L1 miss. *)
+let check_l2 t ~(slot : slot) ~token ~call ~hash ~gen ~l1_idx
+    ~(eval : Attrs.t -> bool) : bool =
+  let attrs = Attrs.of_call call in
+  let key = key_of ~token slot.fp attrs in
+  Mutex.lock t.mutex;
+  let cached =
+    match Hashtbl.find_opt t.table key with
+    | Some (g, pass) when g = gen ->
+      Atomic.incr t.counters.hits;
+      Some pass
+    | Some _ ->
+      Atomic.incr t.counters.invalidations;
+      Hashtbl.remove t.table key;
+      None
+    | None -> None
+  in
+  Mutex.unlock t.mutex;
+  match cached with
+  | Some pass ->
+    t.l1.(l1_idx) <- Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass };
+    pass
+  | None ->
+    let pass = eval attrs in
+    Mutex.lock t.mutex;
+    Atomic.incr t.counters.misses;
+    if Hashtbl.length t.table >= t.max_entries then begin
+      (* Full: flush.  Simple, and the skewed workloads that benefit
+         from caching repopulate their hot set within one pass. *)
+      Atomic.fetch_and_add t.counters.evictions (Hashtbl.length t.table)
+      |> ignore;
+      Hashtbl.reset t.table
+    end;
+    Hashtbl.replace t.table key (gen, pass);
+    Mutex.unlock t.mutex;
+    t.l1.(l1_idx) <- Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass };
+    pass
+
+(** [check t ~token ~call ~eval] — the memoized filter decision for
+    [call] under [token]; [eval] computes it from the call's attributes
+    on a miss.  Tokens the manifest does not grant bypass the cache
+    (counted), since the engine decides those without evaluating any
+    filter. *)
+let check t ~(token : Token.t) ~(call : Api.call)
+    ~(eval : Attrs.t -> bool) : bool =
+  match t.slots.(Token.index token) with
+  | None ->
+    Atomic.incr t.counters.bypasses;
+    eval (Attrs.of_call call)
+  | Some slot -> (
+    (* Capture the generation *before* any evaluation: if a mutation
+       races with [eval], the entry lands tagged with the older
+       generation and is discarded on its next lookup — stale entries
+       are never served (docs/CACHING.md, invariant I2). *)
+    let gen = if slot.gated then t.generation () else 0 in
+    let hash = call_hash call in
+    let i = hash land t.l1_mask in
+    match t.l1.(i) with
+    | Some e when e.l1_hash = hash && call_equal e.call call ->
+      if e.l1_gen = gen then begin
+        Atomic.incr t.counters.hits;
+        e.l1_pass
+      end
+      else begin
+        Atomic.incr t.counters.invalidations;
+        t.l1.(i) <- None;
+        check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval
+      end
+    | _ -> check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval)

@@ -1,0 +1,105 @@
+(** Memoized permission decisions for the enforcement hot path.
+
+    Per-call permission checking is the critical path of enforcement
+    (the paper's Figure 5); this cache fronts both the interpreting
+    {!Engine} and the closure-compiled {!Compiled} checker.  Decisions
+    are keyed on a canonicalized call signature — the token plus the
+    projection of the call's attributes onto the dimensions the
+    manifest's filter for that token actually inspects — so a hit
+    returns exactly what re-evaluation would.
+
+    Cacheability is classified statically: stateless filters (flow
+    predicates, wildcards, action classes, priorities, packet-out
+    provenance, topology, statistics levels) cache unconditionally;
+    filters reading the ownership store (OWN_FLOWS, MAX_RULE_COUNT)
+    are generation-gated on {!Ownership.generation} and invalidate on
+    every store mutation.
+
+    Internally the signature-keyed table is fronted by a small
+    lock-free direct-mapped array keyed on the exact call value — call
+    equality refines signature equality, so the fast path can never
+    answer differently from the canonical table.  The cacheability
+    model and its safety argument are specified in docs/CACHING.md. *)
+
+(** Static cacheability of a filter expression. *)
+type cacheability =
+  | Stateless  (** Decisions depend only on call attributes. *)
+  | Stateful
+      (** Decisions also read the ownership store; cache entries are
+          generation-gated. *)
+
+val classify : Filter.expr -> cacheability
+(** [Stateful] iff the expression contains an [OWN_FLOWS] or
+    [MAX_RULE_COUNT] atom anywhere (under any polarity — negation does
+    not remove the state dependence). *)
+
+(** The attribute dimensions a filter inspects: the shape of its call
+    signatures. *)
+type footprint = {
+  fields : Filter.field list;  (** Sorted, deduplicated. *)
+  actions : bool;
+  priority : bool;
+  stats_level : bool;
+  from_pkt_in : bool;
+  flow_state : bool;
+      (** Signature carries match/command/cookie; entries are
+          generation-gated. *)
+}
+
+val footprint : Filter.expr -> footprint
+
+type key
+(** A canonicalized call signature: token, call kind, dpid, plus the
+    projections of the inspected dimensions.  Structural equality on
+    keys is exactly signature equality. *)
+
+val key_of : token:Token.t -> footprint -> Attrs.t -> key
+(** Project a call's attributes onto a filter's footprint.  Exposed for
+    the canonicalization unit tests. *)
+
+type t
+
+val default_max_entries : int
+(** Default table bound (16384 entries) used by {!create} and by the
+    engines' [?cache_size] arguments. *)
+
+val create :
+  ?name:string ->
+  ?max_entries:int ->
+  ?generation:(unit -> int) ->
+  Perm.manifest ->
+  t
+(** Build a cache for [manifest].  [generation] must be the mutation
+    counter of the state the manifest's stateful filters read
+    (normally [fun () -> Ownership.generation store]); the default
+    constant is sound only under {!Filter_eval.pure_env}.  [name]
+    registers the counters in the {!Shield_controller.Metrics} cache
+    registry.  [max_entries] (default 16384) bounds the signature
+    table; a full table is flushed on insert.  The call-keyed fast
+    path is direct-mapped over [min max_entries 4096] slots (rounded
+    up to a power of two), where colliding calls simply displace each
+    other. *)
+
+val check :
+  t ->
+  token:Token.t ->
+  call:Shield_controller.Api.call ->
+  eval:(Attrs.t -> bool) ->
+  bool
+(** The memoized decision for [call] under [token]; [eval] computes it
+    from the call's attributes on a miss and MUST be the pure filter
+    evaluation (no side effects — the engine records ownership state
+    outside the cached step).  Tokens absent from the manifest bypass
+    the cache. *)
+
+val stats : t -> Shield_controller.Metrics.cache_stats
+(** Hit/miss/invalidation/eviction/bypass counters so far.  [hits]
+    counts both fast-path and signature-table hits; [evictions] counts
+    signature-table flushes only (fast-path displacement is not an
+    eviction — the signature entry survives). *)
+
+val size : t -> int
+(** Live signature-table entries. *)
+
+val clear : t -> unit
+(** Drop every entry, in both levels (counters are kept). *)

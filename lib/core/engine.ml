@@ -23,6 +23,15 @@ type t = {
           ownership store: pure stateless checking, as the paper
           characterises the permission engine for its Figure-5
           microbenchmark. *)
+  cache : Decision_cache.t option;
+      (** Decision memoization over canonicalized call signatures;
+          stateful entries are generation-gated on [ownership] (see
+          docs/CACHING.md). *)
+  env : Filter_eval.env;
+  evals : (Attrs.t -> bool) option array;
+      (** Per-token filter evaluators, indexed by {!Token.index} —
+          filter and environment pre-bound so the hot path does no
+          manifest scan or closure construction. *)
   mutex : Mutex.t;  (** Guards stateful check/record sequences. *)
   mutable checks : int;
   mutable denials : int;
@@ -54,12 +63,31 @@ let find_virt_members (manifest : Perm.manifest) =
              | _ -> acc)
            Filter.Int_set.empty p.Perm.filter)
 
+(* Evaluation environment ---------------------------------------------------- *)
+
+let env_of ~ownership ~cookie : Filter_eval.env =
+  { Filter_eval.owns_all_targeted =
+      (fun attrs ->
+        match attrs.Attrs.cookie with
+        | Some c ->
+          (* Vetting an existing entry: owned iff tagged with our
+             cookie. *)
+          c = cookie
+        | None -> (
+          match (attrs.Attrs.dpid, attrs.Attrs.match_, attrs.Attrs.flow_command)
+          with
+          | Some dpid, Some match_, Some command ->
+            Ownership.owns_all_targeted ownership ~cookie ~dpid ~command
+              ~match_
+          | _ -> true));
+    rule_count = (fun dpid -> Ownership.count ownership ~cookie ~dpid) }
+
 (** Build an engine for [app_name].  [ownership] must be shared across
     all engines of one deployment; [topo] enables virtual-topology
     translation when the manifest requests it.  Manifests containing
     unexpanded macros are rejected: reconciliation must run first. *)
-let create ?topo ?(record_state = true) ~ownership ~app_name ~cookie
-    (manifest : Perm.manifest) : t =
+let create ?topo ?(record_state = true) ?cache_size ~ownership ~app_name
+    ~cookie (manifest : Perm.manifest) : t =
   (match Perm.macros manifest with
   | [] -> ()
   | ms ->
@@ -77,8 +105,25 @@ let create ?topo ?(record_state = true) ~ownership ~app_name ~cookie
            app_name)
     | None, _ -> None
   in
-  { app_name; cookie; manifest; ownership; vtopo; record_state;
-    mutex = Mutex.create (); checks = 0; denials = 0 }
+  let cache =
+    match cache_size with
+    | None -> None
+    | Some max_entries ->
+      Some
+        (Decision_cache.create ~name:("engine:" ^ app_name) ~max_entries
+           ~generation:(fun () -> Ownership.generation ownership)
+           manifest)
+  in
+  let env = env_of ~ownership ~cookie in
+  let evals = Array.make Token.count None in
+  List.iter
+    (fun (p : Perm.t) ->
+      let filter = p.Perm.filter in
+      evals.(Token.index p.Perm.token) <-
+        Some (fun attrs -> Filter_eval.eval env filter attrs))
+    manifest;
+  { app_name; cookie; manifest; ownership; vtopo; record_state; cache; env;
+    evals; mutex = Mutex.create (); checks = 0; denials = 0 }
 
 (* Token resolution --------------------------------------------------------- *)
 
@@ -112,23 +157,7 @@ let token_of_call (call : Api.call) : Token.t option =
 
 (* Evaluation environment --------------------------------------------------- *)
 
-let env t : Filter_eval.env =
-  { Filter_eval.owns_all_targeted =
-      (fun attrs ->
-        match attrs.Attrs.cookie with
-        | Some c ->
-          (* Vetting an existing entry: owned iff tagged with our
-             cookie. *)
-          c = t.cookie
-        | None -> (
-          match (attrs.Attrs.dpid, attrs.Attrs.match_, attrs.Attrs.flow_command)
-          with
-          | Some dpid, Some match_, Some command ->
-            Ownership.owns_all_targeted t.ownership ~cookie:t.cookie ~dpid
-              ~command ~match_
-          | _ -> true));
-    rule_count =
-      (fun dpid -> Ownership.count t.ownership ~cookie:t.cookie ~dpid) }
+let env t = t.env
 
 (* Checking ------------------------------------------------------------------ *)
 
@@ -155,16 +184,26 @@ let check_unlocked t (call : Api.call) : Api.decision =
     t.denials <- t.denials + 1;
     Api.Deny why
   in
-  if not (vtopo_confined t (Attrs.of_call call)) then
-    deny "virtual topology: physical switches are not addressable"
+  if
+    (* [Attrs.of_call] only when a virtual topology is actually active:
+       the common physical deployment keeps the hot path free of it. *)
+    match t.vtopo with
+    | None -> false
+    | Some _ -> not (vtopo_confined t (Attrs.of_call call))
+  then deny "virtual topology: physical switches are not addressable"
   else
   match token_of_call call with
   | None -> Api.Allow
   | Some token -> (
-    match Perm.find t.manifest token with
+    match t.evals.(Token.index token) with
     | None -> deny (Printf.sprintf "missing permission %s" (Token.to_string token))
-    | Some p ->
-      if Filter_eval.eval (env t) p.Perm.filter (Attrs.of_call call) then begin
+    | Some eval ->
+      let pass =
+        match t.cache with
+        | None -> eval (Attrs.of_call call)
+        | Some cache -> Decision_cache.check cache ~token ~call ~eval
+      in
+      if pass then begin
         record_state t call;
         Api.Allow
       end
@@ -174,9 +213,12 @@ let check_unlocked t (call : Api.call) : Api.decision =
            runtime's audit layer already records the offending call. *)
         deny ("permission filter rejects call: " ^ Token.to_string token))
 
-(** Check one call; approved flow-mods update the ownership store. *)
+(** Check one call; approved flow-mods update the ownership store.  The
+    lock serializes the check-then-record sequence of stateful calls;
+    with [record_state:false] there is no record step to keep atomic,
+    so pure checking runs lock-free. *)
 let check t call =
-  if is_stateful call then begin
+  if t.record_state && is_stateful call then begin
     Mutex.lock t.mutex;
     let d = check_unlocked t call in
     Mutex.unlock t.mutex;
@@ -384,6 +426,8 @@ let checker (t : t) : Api.checker =
     granted = (fun cap -> granted t cap) }
 
 let stats t = (t.checks, t.denials)
+
+let cache_stats t = Option.map Decision_cache.stats t.cache
 
 let reset_stats t =
   t.checks <- 0;

@@ -16,6 +16,7 @@ type t
 val create :
   ?topo:Topology.t ->
   ?record_state:bool ->
+  ?cache_size:int ->
   ownership:Ownership.t ->
   app_name:string ->
   cookie:int ->
@@ -25,7 +26,12 @@ val create :
     one deployment; [topo] enables virtual-topology translation when
     the manifest requests it; [record_state:false] disables ownership
     recording (pure stateless checking, as the paper characterises the
-    engine for its Figure-5 microbenchmark).
+    engine for its Figure-5 microbenchmark).  [cache_size] enables a
+    {!Decision_cache} of that capacity in front of filter evaluation:
+    stateless filter decisions are memoized unconditionally, stateful
+    ones (OWN_FLOWS, MAX_RULE_COUNT) are invalidated by [ownership]
+    mutations via its generation counter — decisions are bit-for-bit
+    identical with the uncached engine (see docs/CACHING.md).
 
     @raise Invalid_argument on manifests with unresolved stub macros
     (reconciliation must run first) and on virtual-topology manifests
@@ -70,5 +76,9 @@ val checker : t -> Api.checker
 
 val stats : t -> int * int
 (** (checks performed, denials). *)
+
+val cache_stats : t -> Metrics.cache_stats option
+(** Decision-cache counters; [None] when the engine was created without
+    [cache_size]. *)
 
 val reset_stats : t -> unit

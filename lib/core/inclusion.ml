@@ -147,9 +147,31 @@ let clause_includes (a : clause) (x : clause) =
   || conj_clause_contradictory x
   || List.exists (fun ai -> List.exists (fun xj -> lit_includes ai xj) x) a
 
-(** [filter_includes a b] — does filter [a] allow every behaviour [b]
-    allows?  Sound, incomplete (conservatively [false]). *)
-let filter_includes ?(max_clauses = 4096) (a : Filter.expr) (b : Filter.expr) =
+(* Inclusion queries repeat heavily during reconciliation (every
+   boundary assertion and lattice operation re-compares the same
+   filters), so answers are memoized alongside the normal-form memo in
+   [Nf].  Filter expressions are immutable and the procedure is
+   deterministic, so a memoized answer is identical to recomputation. *)
+
+let includes_memo : (Filter.expr * Filter.expr * int, bool) Hashtbl.t =
+  Hashtbl.create 256
+
+let memo_max_entries = 8192
+let memo_mutex = Mutex.create ()
+let memo_counters = ref Shield_controller.Metrics.zero_cache_stats
+
+let () =
+  Shield_controller.Metrics.register_cache "inclusion-memo" (fun () ->
+      !memo_counters)
+
+let memo_stats () = !memo_counters
+
+let clear_memo () =
+  Mutex.lock memo_mutex;
+  Hashtbl.reset includes_memo;
+  Mutex.unlock memo_mutex
+
+let filter_includes_uncached ~max_clauses (a : Filter.expr) (b : Filter.expr) =
   if Filter.equal_expr a b then true
   else
     match (cnf ~max_clauses a, dnf ~max_clauses b) with
@@ -158,6 +180,34 @@ let filter_includes ?(max_clauses = 4096) (a : Filter.expr) (b : Filter.expr) =
       List.for_all
         (fun ca -> List.for_all (fun xb -> clause_includes ca xb) dnf_b)
         cnf_a
+
+(** [filter_includes a b] — does filter [a] allow every behaviour [b]
+    allows?  Sound, incomplete (conservatively [false]).  Memoized on
+    [(a, b, max_clauses)] in a bounded process-wide table. *)
+let filter_includes ?(max_clauses = 4096) (a : Filter.expr) (b : Filter.expr) =
+  let module M = Shield_controller.Metrics in
+  let key = (a, b, max_clauses) in
+  Mutex.lock memo_mutex;
+  let cached = Hashtbl.find_opt includes_memo key in
+  (match cached with
+  | Some _ -> memo_counters := { !memo_counters with M.hits = !memo_counters.M.hits + 1 }
+  | None -> ());
+  Mutex.unlock memo_mutex;
+  match cached with
+  | Some answer -> answer
+  | None ->
+    let answer = filter_includes_uncached ~max_clauses a b in
+    Mutex.lock memo_mutex;
+    memo_counters := { !memo_counters with M.misses = !memo_counters.M.misses + 1 };
+    if Hashtbl.length includes_memo >= memo_max_entries then begin
+      memo_counters :=
+        { !memo_counters with
+          M.evictions = !memo_counters.M.evictions + Hashtbl.length includes_memo };
+      Hashtbl.reset includes_memo
+    end;
+    Hashtbl.replace includes_memo key answer;
+    Mutex.unlock memo_mutex;
+    answer
 
 (** Conservative satisfiability: [false] only when the filter provably
     denotes the empty behaviour set. *)

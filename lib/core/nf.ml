@@ -56,8 +56,7 @@ let cross ~max_clauses xs ys =
   guard ~max_clauses
     (List.concat_map (fun x -> List.map (fun y -> x @ y) ys) xs)
 
-(** CNF clauses of [e].  [[]] = True, a member [[]] = False clause. *)
-let cnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
+let cnf_uncached ~max_clauses (e : Filter.expr) : clause list =
   let rec go = function
     | N_true -> []
     | N_false -> [ [] ]
@@ -67,8 +66,7 @@ let cnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
   in
   go (to_nnf ~negated:false e)
 
-(** DNF clauses of [e].  [] = False, a member [] = True clause. *)
-let dnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
+let dnf_uncached ~max_clauses (e : Filter.expr) : clause list =
   let rec go = function
     | N_true -> [ [] ]
     | N_false -> []
@@ -77,6 +75,78 @@ let dnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
     | N_and (a, b) -> cross ~max_clauses (go a) (go b)
   in
   go (to_nnf ~negated:false e)
+
+(* Memoization ------------------------------------------------------------- *)
+
+(* Reconciliation answers many inclusion queries over policy sets that
+   share subterms, and each query re-normalises both sides
+   (Algorithm 1); memoizing the conversions — including the Too_large
+   blow-ups, which are the expensive outcomes — makes repeated
+   normal-form work a table lookup.  Expressions are immutable and
+   compared structurally, so memoization cannot change any result.
+   Tables are bounded (flushed when full) and guarded by a mutex:
+   reconciliation may run from several domains. *)
+
+module M = Shield_controller.Metrics
+
+type converted = Converted of clause list | Blew_up
+
+let memo_max_entries = 8192
+let memo_mutex = Mutex.create ()
+
+let cnf_memo : (Filter.expr * int, converted) Hashtbl.t = Hashtbl.create 256
+let dnf_memo : (Filter.expr * int, converted) Hashtbl.t = Hashtbl.create 256
+
+let memo_counters = ref M.zero_cache_stats
+let () = M.register_cache "nf-memo" (fun () -> !memo_counters)
+
+(** Drop both memo tables (counters are kept). *)
+let clear_memo () =
+  Mutex.lock memo_mutex;
+  Hashtbl.reset cnf_memo;
+  Hashtbl.reset dnf_memo;
+  Mutex.unlock memo_mutex
+
+let memo_stats () = !memo_counters
+
+let memoized table ~max_clauses convert (e : Filter.expr) : clause list =
+  let key = (e, max_clauses) in
+  Mutex.lock memo_mutex;
+  let cached = Hashtbl.find_opt table key in
+  (match cached with
+  | Some _ -> memo_counters := { !memo_counters with M.hits = !memo_counters.M.hits + 1 }
+  | None -> ());
+  Mutex.unlock memo_mutex;
+  match cached with
+  | Some (Converted clauses) -> clauses
+  | Some Blew_up -> raise Too_large
+  | None ->
+    let outcome =
+      match convert ~max_clauses e with
+      | clauses -> Converted clauses
+      | exception Too_large -> Blew_up
+    in
+    Mutex.lock memo_mutex;
+    memo_counters := { !memo_counters with M.misses = !memo_counters.M.misses + 1 };
+    if Hashtbl.length table >= memo_max_entries then begin
+      memo_counters :=
+        { !memo_counters with
+          M.evictions = !memo_counters.M.evictions + Hashtbl.length table };
+      Hashtbl.reset table
+    end;
+    Hashtbl.replace table key outcome;
+    Mutex.unlock memo_mutex;
+    (match outcome with Converted clauses -> clauses | Blew_up -> raise Too_large)
+
+(** CNF clauses of [e].  [[]] = True, a member [[]] = False clause.
+    Memoized on [(e, max_clauses)], including [Too_large] outcomes. *)
+let cnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
+  memoized cnf_memo ~max_clauses cnf_uncached e
+
+(** DNF clauses of [e].  [] = False, a member [] = True clause.
+    Memoized like {!cnf}. *)
+let dnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
+  memoized dnf_memo ~max_clauses dnf_uncached e
 
 (** Rebuild a filter expression from CNF clauses (for testing and for
     normalisation round-trips). *)

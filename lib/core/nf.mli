@@ -15,11 +15,23 @@ val pp_literal : Format.formatter -> literal -> unit
 
 val cnf : ?max_clauses:int -> Filter.expr -> clause list
 (** Conjunction of disjunctive clauses.  [[]] = True; a member [[]] is
-    a False clause.  [max_clauses] defaults to 4096. *)
+    a False clause.  [max_clauses] defaults to 4096.  Conversions —
+    including [Too_large] blow-ups — are memoized on
+    [(expr, max_clauses)] in a bounded process-wide table; expressions
+    are immutable, so results are identical to fresh conversion. *)
 
 val dnf : ?max_clauses:int -> Filter.expr -> clause list
 (** Disjunction of conjunctive clauses.  [[]] = False; a member [[]] is
-    a True clause. *)
+    a True clause.  Memoized like {!cnf}. *)
+
+val memo_stats : unit -> Shield_controller.Metrics.cache_stats
+(** Hit/miss/eviction counters of the shared CNF/DNF memo tables (also
+    registered as ["nf-memo"] in the {!Shield_controller.Metrics} cache
+    registry). *)
+
+val clear_memo : unit -> unit
+(** Drop both memo tables (counters are kept).  Useful for cold-start
+    measurements. *)
 
 val expr_of_cnf : clause list -> Filter.expr
 (** Rebuild an expression from CNF clauses (semantics-preserving,

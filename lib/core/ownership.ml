@@ -14,10 +14,20 @@ type rule = { match_ : Match_fields.t; priority : int; cookie : int }
 
 type t = {
   mutable rules : (dpid, rule list) Hashtbl.t;
+  generation : int Atomic.t;
+      (** Bumped on every mutation (inside the store's lock, before the
+          mutation lands).  Decision caches gate entries whose filters
+          inspect ownership state (OWN_FLOWS, MAX_RULE_COUNT) on this
+          counter: an entry recorded at generation [g] is served only
+          while the store is still at [g], so a cached decision can
+          never outlive the state it was derived from.  Atomic so the
+          checking hot path reads it without taking the store's lock. *)
   mutex : Mutex.t;
 }
 
-let create () = { rules = Hashtbl.create 16; mutex = Mutex.create () }
+let create () =
+  { rules = Hashtbl.create 16; generation = Atomic.make 0;
+    mutex = Mutex.create () }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -26,6 +36,8 @@ let with_lock t f =
 let rules_at_unlocked t dpid = Option.value ~default:[] (Hashtbl.find_opt t.rules dpid)
 
 let rules_at t dpid = with_lock t (fun () -> rules_at_unlocked t dpid)
+
+let generation t = Atomic.get t.generation
 
 let all_rules t =
   with_lock t (fun () ->
@@ -62,11 +74,13 @@ let record t ~dpid (fm : Flow_mod.t) ~cookie =
                    ~inner:r.match_))
             existing
       in
+      Atomic.incr t.generation;
       Hashtbl.replace t.rules dpid updated)
 
 (** Drop a rule that timed out on the switch (flow-removed event). *)
 let forget t ~dpid ~match_ ~cookie =
   with_lock t (fun () ->
+      Atomic.incr t.generation;
       Hashtbl.replace t.rules dpid
         (List.filter
            (fun r ->
@@ -114,4 +128,6 @@ type snapshot = (dpid, rule list) Hashtbl.t
 let snapshot t : snapshot = with_lock t (fun () -> Hashtbl.copy t.rules)
 
 let restore t (s : snapshot) =
-  with_lock t (fun () -> t.rules <- s)
+  with_lock t (fun () ->
+      Atomic.incr t.generation;
+      t.rules <- s)

@@ -17,6 +17,16 @@ val create : unit -> t
 val rules_at : t -> dpid -> rule list
 val all_rules : t -> (dpid * rule) list
 
+val generation : t -> int
+(** Mutation counter: bumped by every {!record}, {!forget} and
+    {!restore}.  {!Decision_cache} gates stateful entries on it — a
+    decision cached at generation [g] is served only while the store is
+    still at [g] (see docs/CACHING.md for the invalidation protocol).
+    Reads are lock-free (atomic), so the checking hot path can consult
+    it on every lookup; bumps happen inside the store's lock before the
+    mutation lands, so a reader that can observe a mutation also
+    observes its bump. *)
+
 val record : t -> dpid:dpid -> Flow_mod.t -> cookie:int -> unit
 (** Record an approved flow-mod: adds on [Add], re-attributes on
     [Modify], removes subsumed rules on [Delete].  [cookie] attributes

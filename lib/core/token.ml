@@ -72,6 +72,27 @@ let of_string s =
   | "process_runtime" -> Some Process_runtime
   | _ -> None
 
+let count = List.length all
+
+(* Declaration-order index, for token-indexed dispatch arrays on the
+   checking hot path (a match compiles to a constant-time jump). *)
+let index = function
+  | Read_flow_table -> 0
+  | Insert_flow -> 1
+  | Delete_flow -> 2
+  | Flow_event -> 3
+  | Visible_topology -> 4
+  | Modify_topology -> 5
+  | Topology_event -> 6
+  | Read_statistics -> 7
+  | Error_event -> 8
+  | Read_payload -> 9
+  | Send_pkt_out -> 10
+  | Pkt_in_event -> 11
+  | Host_network -> 12
+  | File_system -> 13
+  | Process_runtime -> 14
+
 let compare = Stdlib.compare
 let equal = ( = )
 let pp ppf t = Fmt.string ppf (to_string t)

@@ -29,6 +29,13 @@ val all : t list
 val to_string : t -> string
 (** Canonical (paper) spelling, e.g. ["insert_flow"]. *)
 
+val count : int
+(** Number of tokens. *)
+
+val index : t -> int
+(** Declaration-order index in [0, count), for token-indexed dispatch
+    arrays on the checking hot path. *)
+
 val of_string : string -> t option
 (** Parse a token name.  Accepts the paper's synonyms
     ([network_access], [read_topology], [send_packet_out]) so its

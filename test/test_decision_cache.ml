@@ -1,0 +1,204 @@
+(* Decision-cache tests: static cacheability classification, signature
+   canonicalization, hit/miss/invalidation accounting, the
+   generation-counter invalidation edge, and — the load-bearing
+   property — that cached and uncached checkers produce identical
+   decision streams, stateful manifests and ownership-mutating
+   flow-mods included (docs/CACHING.md). *)
+
+open Shield_openflow
+open Shield_controller
+open Sdnshield
+
+let ip = Test_util.ip
+
+let insert ?(dpid = 1) ?(priority = 100) ?(cookie = 0) ?(nw_dst = "10.13.1.2")
+    ?(actions = [ Action.Output 1 ]) () =
+  Api.Install_flow
+    ( dpid,
+      Flow_mod.add ~priority ~cookie
+        ~match_:
+          (Match_fields.make ~dl_type:Types.Eth_ip
+             ~nw_dst:(Match_fields.exact_ip (ip nw_dst))
+             ())
+        ~actions () )
+
+(* Classification ---------------------------------------------------------- *)
+
+let test_classify () =
+  let stateless src =
+    Alcotest.(check bool)
+      (src ^ " stateless") true
+      (Decision_cache.classify (Test_util.filter_exn src) = Decision_cache.Stateless)
+  and stateful src =
+    Alcotest.(check bool)
+      (src ^ " stateful") true
+      (Decision_cache.classify (Test_util.filter_exn src) = Decision_cache.Stateful)
+  in
+  stateless "IP_DST 10.0.0.0 MASK 255.0.0.0";
+  stateless "ACTION DROP";
+  stateless "MAX_PRIORITY 100";
+  stateless "ALL_FLOWS";
+  stateful "OWN_FLOWS";
+  stateful "MAX_RULE_COUNT 10";
+  (* Negation does not remove the state dependence. *)
+  stateful "NOT OWN_FLOWS";
+  stateful "IP_DST 10.0.0.0 MASK 255.0.0.0 AND MAX_RULE_COUNT 5"
+
+(* Canonicalization -------------------------------------------------------- *)
+
+let test_key_canonicalization () =
+  let fp = Decision_cache.footprint (Test_util.filter_exn "IP_DST 10.0.0.0 MASK 255.0.0.0") in
+  let key call =
+    Decision_cache.key_of ~token:Token.Insert_flow fp (Attrs.of_call call)
+  in
+  (* The filter only inspects IP_DST: priority/action variation projects
+     onto the same signature... *)
+  Alcotest.(check bool) "priority irrelevant" true
+    (key (insert ~priority:1 ()) = key (insert ~priority:999 ()));
+  Alcotest.(check bool) "actions irrelevant" true
+    (key (insert ()) = key (insert ~actions:[] ()));
+  (* ...while the inspected dimension and the call's dpid discriminate. *)
+  Alcotest.(check bool) "nw_dst discriminates" false
+    (key (insert ()) = key (insert ~nw_dst:"10.14.1.2" ()));
+  Alcotest.(check bool) "dpid discriminates" false
+    (key (insert ()) = key (insert ~dpid:2 ()))
+
+(* Counter accounting ------------------------------------------------------ *)
+
+let cached_engine ?(record_state = true) ?(cache_size = 64)
+    ?(ownership = Ownership.create ()) src =
+  Engine.create ~record_state ~cache_size ~ownership ~app_name:"cached"
+    ~cookie:1 (Test_util.manifest_exn src)
+
+let stats_exn e =
+  match Engine.cache_stats e with
+  | Some s -> s
+  | None -> Alcotest.fail "cached engine reports no cache stats"
+
+let test_hit_miss_counting () =
+  let e = cached_engine "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0" in
+  ignore (Engine.check e (insert ()));
+  let s = stats_exn e in
+  Alcotest.(check int) "first check misses" 1 s.Metrics.misses;
+  Alcotest.(check int) "no hit yet" 0 s.Metrics.hits;
+  ignore (Engine.check e (insert ()));
+  ignore (Engine.check e (insert ()));
+  let s = stats_exn e in
+  Alcotest.(check int) "repeats hit" 2 s.Metrics.hits;
+  Alcotest.(check int) "still one miss" 1 s.Metrics.misses
+
+let test_bypass_counting () =
+  (* A token the manifest does not grant bypasses the cache. *)
+  let cache = Decision_cache.create (Test_util.manifest_exn "PERM insert_flow") in
+  let evals = ref 0 in
+  let eval _ = incr evals; true in
+  ignore
+    (Decision_cache.check cache ~token:Token.Read_statistics
+       ~call:(Api.Read_stats (Stats.request Stats.Port_level)) ~eval);
+  ignore
+    (Decision_cache.check cache ~token:Token.Read_statistics
+       ~call:(Api.Read_stats (Stats.request Stats.Port_level)) ~eval);
+  let s = Decision_cache.stats cache in
+  Alcotest.(check int) "bypasses counted" 2 s.Metrics.bypasses;
+  Alcotest.(check int) "bypass always evaluates" 2 !evals;
+  Alcotest.(check int) "bypass caches nothing" 0 (Decision_cache.size cache)
+
+let test_stateless_survives_mutation () =
+  (* A stateless filter's entries are not generation-gated: ownership
+     recording (which bumps the generation) must not invalidate them. *)
+  let e = cached_engine "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0" in
+  Test_util.check_allow "first" (Engine.check e (insert ()));
+  Test_util.check_allow "second" (Engine.check e (insert ()));
+  let s = stats_exn e in
+  Alcotest.(check int) "second check hits despite recording" 1 s.Metrics.hits;
+  Alcotest.(check int) "no invalidations" 0 s.Metrics.invalidations
+
+(* Generation invalidation ------------------------------------------------- *)
+
+let test_generation_invalidation_edge () =
+  (* Deny while another app's overlapping rule exists; the moment that
+     rule leaves the store, the cached denial must die with it. *)
+  let ownership = Ownership.create () in
+  let e = cached_engine ~ownership "PERM insert_flow LIMITING OWN_FLOWS" in
+  let other_match =
+    Match_fields.make ~dl_type:Types.Eth_ip
+      ~nw_dst:(Match_fields.exact_ip (ip "10.13.1.2"))
+      ()
+  in
+  Ownership.record ownership ~dpid:1
+    (Flow_mod.add ~priority:100 ~cookie:2 ~match_:other_match ~actions:[] ())
+    ~cookie:2;
+  Test_util.check_deny "overlaps another app's rule" (Engine.check e (insert ()));
+  Test_util.check_deny "denial is cached" (Engine.check e (insert ()));
+  let before = stats_exn e in
+  Ownership.forget ownership ~dpid:1 ~match_:other_match ~cookie:2;
+  Test_util.check_allow "allowed once the rule is gone"
+    (Engine.check e (insert ()));
+  let after = stats_exn e in
+  Alcotest.(check bool) "stale entry invalidated" true
+    (after.Metrics.invalidations > before.Metrics.invalidations)
+
+let test_rule_budget_invalidation () =
+  let ownership = Ownership.create () in
+  let e = cached_engine ~ownership "PERM insert_flow LIMITING MAX_RULE_COUNT 2" in
+  Test_util.check_allow "1st rule" (Engine.check e (insert ~nw_dst:"10.0.0.1" ()));
+  Test_util.check_allow "2nd rule" (Engine.check e (insert ~nw_dst:"10.0.0.2" ()));
+  (* The budget is now exhausted; the earlier Allow for 10.0.0.1 was
+     cached at an older generation and must not resurface as a stale
+     answer for a *new* add of the same shape. *)
+  Test_util.check_deny "3rd rule over budget"
+    (Engine.check e (insert ~nw_dst:"10.0.0.3" ()))
+
+(* Equivalence properties --------------------------------------------------- *)
+
+let same_polarity (a : Api.decision) (b : Api.decision) =
+  match (a, b) with
+  | Api.Allow, Api.Allow | Api.Deny _, Api.Deny _ -> true
+  | _ -> false
+
+(** Run [calls] through a fresh engine over [m]; [cache_size] as given.
+    Each engine gets its own store so the streams stay comparable. *)
+let decisions ?cache_size m calls =
+  let e =
+    Engine.create ?cache_size
+      ~ownership:(Ownership.create ())
+      ~app_name:"equiv" ~cookie:1 m
+  in
+  List.map (Engine.check e) calls
+
+let qsuite =
+  let count = 300 in
+  let calls_arb =
+    QCheck.list_of_size (QCheck.Gen.int_range 1 30) Test_filters.call_arb
+  in
+  [ QCheck.Test.make ~count
+      ~name:"cached engine == uncached engine (stateful, recording on)"
+      (QCheck.pair Test_perm_ops.manifest_arb calls_arb)
+      (fun (m, calls) ->
+        (* cache_size 8: a tiny L1 forces collisions and displacement,
+           and the L2 flush-on-full path runs — correctness must not
+           depend on capacity. *)
+        List.for_all2 same_polarity
+          (decisions ~cache_size:8 m calls)
+          (decisions m calls));
+    QCheck.Test.make ~count
+      ~name:"cached compiled == uncached compiled"
+      (QCheck.pair Test_perm_ops.manifest_arb calls_arb)
+      (fun (m, calls) ->
+        let run c = List.map (Compiled.check c) calls in
+        List.for_all2 same_polarity
+          (run (Compiled.of_manifest ~cache_size:8 m))
+          (run (Compiled.of_manifest m))) ]
+
+let suite =
+  [ Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "key canonicalization" `Quick test_key_canonicalization;
+    Alcotest.test_case "hit/miss counting" `Quick test_hit_miss_counting;
+    Alcotest.test_case "bypass counting" `Quick test_bypass_counting;
+    Alcotest.test_case "stateless survives mutation" `Quick
+      test_stateless_survives_mutation;
+    Alcotest.test_case "generation invalidation edge" `Quick
+      test_generation_invalidation_edge;
+    Alcotest.test_case "rule budget invalidation" `Quick
+      test_rule_budget_invalidation ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -41,6 +41,30 @@ let test_summarize_list () =
   let s = Metrics.summarize_list [ 5.; 1. ] in
   Alcotest.(check (float 1e-9)) "median" 3. s.Metrics.median
 
+(* Regression for the growable-buffer rework: concurrent [record]s
+   must neither lose samples nor corrupt the summary while the buffer
+   doubles under contention. *)
+let test_concurrent_record () =
+  let t = Metrics.create () in
+  let threads = 8 and per_thread = 1000 in
+  let worker tid =
+    Thread.create
+      (fun () ->
+        for i = 1 to per_thread do
+          Metrics.record t (float_of_int ((tid * per_thread) + i))
+        done)
+      ()
+  in
+  List.init threads worker |> List.iter Thread.join;
+  Alcotest.(check int) "all samples kept" (threads * per_thread)
+    (Metrics.count t);
+  let s = Metrics.summarize t in
+  Alcotest.(check int) "summary n" (threads * per_thread) s.Metrics.n;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max"
+    (float_of_int (threads * per_thread))
+    s.Metrics.max
+
 let qsuite =
   [ QCheck.Test.make ~count:200 ~name:"percentiles are monotone and bounded"
       QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0. 1000.))
@@ -58,5 +82,6 @@ let suite =
     Alcotest.test_case "summary" `Quick test_summary;
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
     Alcotest.test_case "time records" `Quick test_time_records;
-    Alcotest.test_case "summarize list" `Quick test_summarize_list ]
+    Alcotest.test_case "summarize list" `Quick test_summarize_list;
+    Alcotest.test_case "concurrent record" `Quick test_concurrent_record ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite
