@@ -6,8 +6,9 @@
      dune exec bench/main.exe -- fig5     # one experiment
 
    Experiments: table1 effectiveness reconciliation fig5 fig6 fig7 fig8
-                reconcile-perf decision-cache cache-smoke
-                ablation-compile ablation-isolation ablation-inclusion *)
+                reconcile-perf decision-cache cache-smoke faults
+                faults-smoke ablation-compile ablation-isolation
+                ablation-inclusion *)
 
 let experiments : (string * (unit -> unit)) list =
   [ ("table1", Table1.run);
@@ -20,6 +21,8 @@ let experiments : (string * (unit -> unit)) list =
     ("reconcile-perf", Reconcile_perf.run);
     ("decision-cache", Cache_bench.run);
     ("cache-smoke", Cache_bench.smoke);
+    ("faults", Fault_lab.run);
+    ("faults-smoke", Fault_lab.smoke);
     ("ablation-compile", Ablations.run_compile);
     ("ablation-isolation", Ablations.run_isolation);
     ("ablation-inclusion", Ablations.run_inclusion) ]

@@ -16,11 +16,33 @@ type app_summary = {
   app : string;
   actions : int;
   denials : int;
+  runtime_faults : int;
+      (** Mediation-path failures attributed to this app's calls: deputy
+          barrier conversions ("ksd-exception"), crashed handlers and
+          observer faults.  High counts mark an app whose inputs keep
+          tripping the enforcement machinery — a distinct signal from
+          denials. *)
   net_connections : int;
   distinct_net_destinations : string list;
   packets_delivered : int;
   rst_packets_delivered : int;
 }
+
+(** Audit actions the fault-tolerance layer records (docs/RUNTIME.md):
+    per-request barrier conversions, app handler crashes, observer
+    faults, and deputy lifecycle events (the latter logged under the
+    pseudo-app ["<ksd>"]). *)
+let fault_actions =
+  [ "ksd-exception"; "handler-exception"; "observer-exception";
+    "deputy-crash"; "deputy-retired" ]
+
+let is_fault_entry (e : Sandbox.audit_entry) =
+  List.mem e.Sandbox.action fault_actions
+
+(** Every fault-class entry in the activity record, oldest first —
+    the raw material for a post-incident runtime-health review. *)
+let fault_log (sandbox : Sandbox.t) : Sandbox.audit_entry list =
+  List.filter is_fault_entry (Sandbox.audit_log sandbox)
 
 type suspicion = {
   suspect : string;
@@ -41,6 +63,7 @@ let summarize_app ~(sandbox : Sandbox.t) ~(kernel : Kernel.t) app : app_summary
   { app;
     actions = List.length audit;
     denials = List.length (List.filter (fun (e : Sandbox.audit_entry) -> not e.Sandbox.allowed) audit);
+    runtime_faults = List.length (List.filter is_fault_entry audit);
     net_connections = List.length conns;
     distinct_net_destinations =
       List.sort_uniq compare
@@ -116,8 +139,9 @@ let suspicions ?(allowed_destinations = []) ~(sandbox : Sandbox.t)
 
 let pp_summary ppf s =
   Fmt.pf ppf
-    "@[<h>%s: actions=%d denials=%d net=%d(%d dsts) delivered=%d rst=%d@]"
-    s.app s.actions s.denials s.net_connections
+    "@[<h>%s: actions=%d denials=%d faults=%d net=%d(%d dsts) delivered=%d \
+     rst=%d@]"
+    s.app s.actions s.denials s.runtime_faults s.net_connections
     (List.length s.distinct_net_destinations)
     s.packets_delivered s.rst_packets_delivered
 

@@ -65,6 +65,7 @@ let punts_to_events (r : Dataplane.result) =
     whose cookie is unset are stamped with the app's [cookie] so that
     ownership stays attributable. *)
 let exec t ~app ~cookie (call : Api.call) : Api.result =
+  Faults.point Faults.Kernel_exec;
   t.execs <- t.execs + 1;
   match call with
   | Api.Install_flow (dpid, fm) -> (

@@ -51,7 +51,11 @@ let samples t =
   List.rev (Array.to_list arr)
 
 (** [percentile_sorted p arr] with [arr] ascending and [p] in [0,100],
-    using nearest-rank interpolation. *)
+    by linear interpolation between the two closest ranks (the
+    convention NumPy calls "linear" — NOT nearest-rank: p50 of
+    [|1.; 2.|] is 1.5, where nearest-rank would give 1. or 2.).
+    Edge cases: the empty array yields [nan]; a single sample is
+    returned for every [p]. *)
 let percentile_sorted p (arr : float array) =
   let n = Array.length arr in
   if n = 0 then nan
@@ -166,3 +170,47 @@ let pp_cache_report ppf () =
     List.iter
       (fun (name, s) -> Fmt.pf ppf "%-24s %a@." name pp_cache_stats s)
       report
+
+(* Queue-depth gauge registry ------------------------------------------------ *)
+
+(* Same pattern as the cache registry, for live queue depths: the
+   runtimes register a reading thunk per channel (request queue, per-app
+   event queue) so benchmarks and reports can show where backpressure
+   is building without reaching into runtime internals. *)
+
+type gauge = {
+  depth : int;  (** Current queue depth. *)
+  hwm : int;  (** High-water mark since creation. *)
+}
+
+let gauge_registry : (string, unit -> gauge) Hashtbl.t = Hashtbl.create 8
+let gauge_mutex = Mutex.create ()
+
+(** Register (or replace) the reading source for gauge [name].
+    Re-registration replaces, so short-lived runtimes do not grow the
+    registry; {!unregister_gauge} on shutdown keeps reports scoped to
+    live runtimes. *)
+let register_gauge name read =
+  Mutex.lock gauge_mutex;
+  Hashtbl.replace gauge_registry name read;
+  Mutex.unlock gauge_mutex
+
+let unregister_gauge name =
+  Mutex.lock gauge_mutex;
+  Hashtbl.remove gauge_registry name;
+  Mutex.unlock gauge_mutex
+
+(** Snapshot every registered gauge, sorted by name. *)
+let gauge_report () : (string * gauge) list =
+  Mutex.lock gauge_mutex;
+  let sources =
+    Hashtbl.fold (fun name read acc -> (name, read) :: acc) gauge_registry []
+  in
+  Mutex.unlock gauge_mutex;
+  List.sort compare (List.map (fun (name, read) -> (name, read ())) sources)
+
+let pp_gauge_report ppf () =
+  List.iter
+    (fun (name, g) ->
+      Fmt.pf ppf "%-24s depth=%d high-water=%d@." name g.depth g.hwm)
+    (gauge_report ())

@@ -32,6 +32,59 @@ let is_isolated = function
   | Monolithic -> false
   | Isolated _ | Isolated_domains _ -> true
 
+(* Failure model (docs/RUNTIME.md): every request gets a reply, no lock
+   survives an exception, and a fault in one app's call path never
+   wedges another app.  [config] sets the three knobs: deputy restart
+   budget, per-call deadline, and queue bounds/overflow policy. *)
+
+type config = {
+  call_deadline : float option;
+      (** Seconds an app thread waits for a KSD reply before giving up
+          with [Api.Failed "deadline"].  [None] (default) waits
+          forever — sound because the deputy exception barrier always
+          fills the reply ivar; a deadline adds defence against deputy
+          death between popping a request and serving it. *)
+  restart_budget : int;
+      (** Times the supervisor restarts a crashed deputy before
+          retiring it.  The exception barrier makes deputy crashes
+          exceptional (a raise inside a checker or the kernel becomes
+          an [Api.Failed] reply), so the budget only meets faults that
+          escape the per-request barrier. *)
+  ev_capacity : int option;
+      (** Per-app event queue bound ([None] = unbounded). *)
+  ev_policy : Channel.policy;
+      (** Overflow policy for full event queues: [Block] applies
+          backpressure to the dispatcher, [Reject] drops the delivery
+          (counted, latch still released). *)
+  req_capacity : int option;
+      (** KSD request channel bound.  Always [Block]: an API call has
+          exactly-once semantics, so a full request queue parks the
+          calling app thread (saturating its own call loop) rather
+          than dropping the call. *)
+}
+
+let default_config =
+  { call_deadline = None; restart_budget = 8; ev_capacity = None;
+    ev_policy = Channel.Block; req_capacity = None }
+
+(* Fault-tolerance observability: how often the safety nets fired. *)
+type fault_counters = {
+  ksd_failures : int Atomic.t;
+      (** Exceptions the deputy barrier converted to [Api.Failed]. *)
+  ksd_restarts : int Atomic.t;  (** Supervisor restarts of dead deputies. *)
+  deadline_expiries : int Atomic.t;  (** Calls abandoned at the deadline. *)
+  backpressure_rejections : int Atomic.t;
+      (** Deliveries dropped by a full [Reject] queue, plus calls
+          refused against a closed/rejecting request channel. *)
+}
+
+type fault_report = {
+  failures : int;
+  restarts : int;
+  deadlines : int;
+  rejections : int;
+}
+
 type counters = {
   mutable calls : int;
   mutable denials : int;
@@ -62,6 +115,7 @@ type t = {
   kernel : Kernel.t;
   kmutex : Mutex.t;
   mode : mode;
+  config : config;
   mutable instances : instance list;
   reqs : request Channel.t;
   mutable ksd_pool : Thread.t list;
@@ -70,6 +124,7 @@ type t = {
   inflight_zero : Condition.t;
   mutable inflight : int;
   counters : counters;
+  faults : fault_counters;
   mutable rejected : (string * string) list;
       (** Apps refused at load time, with the reason. *)
 }
@@ -90,6 +145,12 @@ let stats t =
   in
   Mutex.unlock t.counters.cmutex;
   r
+
+let fault_report t =
+  { failures = Atomic.get t.faults.ksd_failures;
+    restarts = Atomic.get t.faults.ksd_restarts;
+    deadlines = Atomic.get t.faults.deadline_expiries;
+    rejections = Atomic.get t.faults.backpressure_rejections }
 
 (* In-flight accounting (for [drain]) ------------------------------------- *)
 
@@ -119,16 +180,17 @@ let audit_denial t inst call why =
     ~action:(Fmt.to_to_string Api.pp_call call)
     ~allowed:false ~detail:why
 
+(* "No lock survives an exception": both kernel-lock scopes release via
+   [Fun.protect], so a raising [Kernel.exec] cannot wedge every
+   subsequent call, [process_pending] and [drain] behind a held
+   [kmutex]. *)
+
 let locked_exec t inst call =
   Mutex.lock t.kmutex;
-  let r =
-    try Kernel.exec t.kernel ~app:inst.app.App.name ~cookie:inst.cookie call
-    with exn ->
-      Mutex.unlock t.kmutex;
-      raise exn
-  in
-  Mutex.unlock t.kmutex;
-  r
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.kmutex)
+    (fun () ->
+      Kernel.exec t.kernel ~app:inst.app.App.name ~cookie:inst.cookie call)
 
 let checked_exec t inst call : Api.result =
   incr_counter t (fun c -> c.calls <- c.calls + 1);
@@ -149,26 +211,43 @@ let checked_txn t inst calls =
        lock so no other app observes a partial transaction. *)
     Mutex.lock t.kmutex;
     let results =
-      List.map
-        (fun call ->
-          let concrete = inst.checker.Api.rewrite call in
-          let rs =
-            List.map
-              (fun c ->
-                Kernel.exec t.kernel ~app:inst.app.App.name ~cookie:inst.cookie
-                  c)
-              concrete
-          in
-          inst.checker.Api.vet_result call (inst.checker.Api.combine call rs))
-        calls
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.kmutex)
+        (fun () ->
+          List.map
+            (fun call ->
+              let concrete = inst.checker.Api.rewrite call in
+              let rs =
+                List.map
+                  (fun c ->
+                    Kernel.exec t.kernel ~app:inst.app.App.name
+                      ~cookie:inst.cookie c)
+                  concrete
+              in
+              inst.checker.Api.vet_result call
+                (inst.checker.Api.combine call rs))
+            calls)
     in
-    Mutex.unlock t.kmutex;
     Ok results
   | Error (i, why) ->
     audit_denial t inst (List.nth calls i) why;
     Error (i, why)
 
 (* Contexts ---------------------------------------------------------------- *)
+
+(* Wait for a KSD reply.  Without a configured deadline this blocks
+   until the deputy barrier fills the ivar; with one, an app thread can
+   never hang on a request a dying deputy dropped — it surfaces
+   [on_deadline] (an [Api.Failed "deadline"]-shaped reply) instead. *)
+let await_reply t ivar ~on_deadline =
+  match t.config.call_deadline with
+  | None -> Channel.Ivar.read ivar
+  | Some d -> (
+    match Channel.Ivar.read_timeout ivar d with
+    | Some r -> r
+    | None ->
+      Atomic.incr t.faults.deadline_expiries;
+      on_deadline)
 
 let make_ctx t inst : App.ctx =
   match t.mode with
@@ -181,13 +260,21 @@ let make_ctx t inst : App.ctx =
       call =
         (fun call ->
           let ivar = Channel.Ivar.create () in
-          Channel.push t.reqs (Call (inst, call, ivar));
-          Channel.Ivar.read ivar);
+          match Channel.push t.reqs (Call (inst, call, ivar)) with
+          | () -> await_reply t ivar ~on_deadline:(Api.Failed "deadline")
+          | exception Channel.Closed -> Api.Failed "runtime shut down"
+          | exception Channel.Full ->
+            Atomic.incr t.faults.backpressure_rejections;
+            Api.Failed "backpressure: request queue full");
       transaction =
         (fun calls ->
           let ivar = Channel.Ivar.create () in
-          Channel.push t.reqs (Txn (inst, calls, ivar));
-          Channel.Ivar.read ivar) }
+          match Channel.push t.reqs (Txn (inst, calls, ivar)) with
+          | () -> await_reply t ivar ~on_deadline:(Error (-1, "deadline"))
+          | exception Channel.Closed -> Error (-1, "runtime shut down")
+          | exception Channel.Full ->
+            Atomic.incr t.faults.backpressure_rejections;
+            Error (-1, "backpressure: request queue full")) }
 
 let ctx_of inst =
   match inst.ctx with
@@ -201,7 +288,15 @@ let ctx_of inst =
     payload-stripped) event to deliver. *)
 let vet_event t inst ev : Events.t option =
   let kind = Events.kind ev in
-  match inst.checker.Api.check (Api.Receive_event kind) with
+  (* These checks run in the *dispatcher's* thread, outside the deputy
+     barrier, so a raising checker is converted to a denial here:
+     fail-closed (the event is suppressed, audited), and the dispatch
+     loop stays alive. *)
+  let checked call =
+    try inst.checker.Api.check call
+    with exn -> Api.Deny ("checker fault: " ^ Printexc.to_string exn)
+  in
+  match checked (Api.Receive_event kind) with
   | Api.Deny why ->
     incr_counter t (fun c -> c.events_suppressed <- c.events_suppressed + 1);
     audit_denial t inst (Api.Receive_event kind) why;
@@ -209,7 +304,7 @@ let vet_event t inst ev : Events.t option =
   | Api.Allow -> (
     match ev with
     | Events.Packet_in pi -> (
-      match inst.checker.Api.check Api.Read_payload_access with
+      match checked Api.Read_payload_access with
       | Api.Allow -> Some ev
       | Api.Deny _ ->
         (* pkt_in_event without read_payload: deliver headers only. *)
@@ -236,9 +331,20 @@ let dispatch_one t inst ev latch =
     | Monolithic ->
       handle_in_instance t inst ev;
       (match latch with Some l -> Channel.Latch.count_down l | None -> ())
-    | Isolated _ | Isolated_domains _ ->
+    | Isolated _ | Isolated_domains _ -> (
+      (* The increment precedes the push, so a failed push must undo it
+         or [drain] waits forever on a delivery that never happened.
+         [Closed] is the shutdown race (events injected after [close]);
+         [Full] is a bounded [Reject]-policy queue shedding load. *)
       inflight_incr t;
-      Channel.push inst.ev_chan (Deliver (ev, latch)))
+      match Channel.push inst.ev_chan (Deliver (ev, latch)) with
+      | () -> ()
+      | exception (Channel.Closed | Channel.Full as e) ->
+        (match e with
+        | Channel.Full -> Atomic.incr t.faults.backpressure_rejections
+        | _ -> ());
+        inflight_decr t;
+        (match latch with Some l -> Channel.Latch.count_down l | None -> ())))
 
 let subscribers t ev =
   let kind = Events.kind ev in
@@ -251,7 +357,14 @@ let notify_observers t ev =
   | Events.Flow_removed { dpid; match_; cookie } ->
     List.iter
       (fun inst ->
-        inst.checker.Api.observe (Api.Flow_expired { dpid; match_; cookie }))
+        try inst.checker.Api.observe (Api.Flow_expired { dpid; match_; cookie })
+        with exn ->
+          (* An observer fault must not kill the dispatcher; the skipped
+             notification is recorded so stale-budget anomalies can be
+             traced back to it. *)
+          Sandbox.record_audit (sandbox t) ~app:inst.app.App.name
+            ~action:"observer-exception" ~allowed:true
+            ~detail:(Printexc.to_string exn))
       t.instances
   | _ -> ()
 
@@ -323,18 +436,71 @@ let app_thread t inst () =
   in
   loop ()
 
+(* Kernel Service Deputies, supervised.
+
+   Two layers of protection (docs/RUNTIME.md):
+
+   - the per-request *exception barrier*: any raise while serving a
+     request — inside the checker, the kernel, a rewrite/vet hook —
+     becomes an [Api.Failed] reply, the reply ivar is ALWAYS filled,
+     and the fault lands in the audit log ("ksd-exception") for
+     forensics.  A misbehaving call fails itself, never the deputy.
+
+   - the *supervisor*: a fault that escapes the barrier (it fires
+     between popping a request and entering the barrier — the window
+     the [Deputy] fault-injection site targets) would previously kill
+     the deputy silently.  Now the crash is audited ("deputy-crash")
+     and the deputy restarts, up to [config.restart_budget] times, then
+     retires with a final audit entry.  A request lost in that window
+     is exactly what [config.call_deadline] exists for. *)
+
+let ksd_failure t inst exn =
+  Atomic.incr t.faults.ksd_failures;
+  Sandbox.record_audit (sandbox t) ~app:inst.app.App.name
+    ~action:"ksd-exception" ~allowed:true ~detail:(Printexc.to_string exn)
+
+let serve_request t = function
+  | Call (inst, call, ivar) ->
+    let r =
+      try checked_exec t inst call
+      with exn ->
+        ksd_failure t inst exn;
+        Api.Failed (Printexc.to_string exn)
+    in
+    Channel.Ivar.fill ivar r
+  | Txn (inst, calls, ivar) ->
+    let r =
+      try checked_txn t inst calls
+      with exn ->
+        ksd_failure t inst exn;
+        Error (-1, Printexc.to_string exn)
+    in
+    Channel.Ivar.fill ivar r
+
 let ksd_thread t () =
   let rec loop () =
     match Channel.pop t.reqs with
     | None -> ()
-    | Some (Call (inst, call, ivar)) ->
-      Channel.Ivar.fill ivar (checked_exec t inst call);
-      loop ()
-    | Some (Txn (inst, calls, ivar)) ->
-      Channel.Ivar.fill ivar (checked_txn t inst calls);
+    | Some req ->
+      Faults.point Faults.Deputy;
+      serve_request t req;
       loop ()
   in
-  loop ()
+  let rec supervise budget =
+    match loop () with
+    | () -> () (* request channel closed: clean shutdown *)
+    | exception exn ->
+      Sandbox.record_audit (sandbox t) ~app:"<ksd>" ~action:"deputy-crash"
+        ~allowed:true ~detail:(Printexc.to_string exn);
+      if budget > 0 then begin
+        Atomic.incr t.faults.ksd_restarts;
+        supervise (budget - 1)
+      end
+      else
+        Sandbox.record_audit (sandbox t) ~app:"<ksd>" ~action:"deputy-retired"
+          ~allowed:true ~detail:"restart budget exhausted"
+  in
+  supervise t.config.restart_budget
 
 (* Lifecycle --------------------------------------------------------------- *)
 
@@ -367,21 +533,47 @@ let load_violations (app : App.t) (checker : Api.checker) : string list =
   in
   missing_caps @ missing_events
 
+(** Gauge names this runtime registered, for unregistration at
+    shutdown.  Names are stable per app name, and registration
+    replaces, so sequential runtimes (the benchmark pattern) do not
+    grow the registry. *)
+let gauge_names t =
+  "queue:ksd-reqs"
+  :: List.map (fun inst -> "queue:ev:" ^ inst.app.App.name) t.instances
+
+let register_queue_gauges t =
+  Metrics.register_gauge "queue:ksd-reqs" (fun () ->
+      { Metrics.depth = Channel.length t.reqs;
+        hwm = Channel.high_water t.reqs });
+  List.iter
+    (fun inst ->
+      Metrics.register_gauge ("queue:ev:" ^ inst.app.App.name) (fun () ->
+          { Metrics.depth = Channel.length inst.ev_chan;
+            hwm = Channel.high_water inst.ev_chan }))
+    t.instances
+
 (** [create ~mode kernel apps] builds a runtime over [kernel] hosting
     [apps], each paired with its permission checker, then runs every
     app's [init] through its own context.  [load_check] selects the
-    load-time access-control behaviour (default: skip). *)
-let create ?(load_check = Skip_load_check) ~mode kernel
-    (apps : (App.t * Api.checker) list) : t =
+    load-time access-control behaviour (default: skip); [config] the
+    fault-tolerance knobs (default: unbounded queues, no deadline,
+    restart budget 8 — the seed semantics, plus supervision). *)
+let create ?(load_check = Skip_load_check) ?(config = default_config) ~mode
+    kernel (apps : (App.t * Api.checker) list) : t =
   let counters =
     { calls = 0; denials = 0; events_delivered = 0; events_suppressed = 0;
       cmutex = Mutex.create () }
   in
   let t =
-    { kernel; kmutex = Mutex.create (); mode; instances = [];
-      reqs = Channel.create (); ksd_pool = []; ksd_domains = [];
+    { kernel; kmutex = Mutex.create (); mode; config; instances = [];
+      reqs = Channel.create ?capacity:config.req_capacity ();
+      ksd_pool = []; ksd_domains = [];
       inflight_mutex = Mutex.create ();
       inflight_zero = Condition.create (); inflight = 0; counters;
+      faults =
+        { ksd_failures = Atomic.make 0; ksd_restarts = Atomic.make 0;
+          deadline_expiries = Atomic.make 0;
+          backpressure_rejections = Atomic.make 0 };
       rejected = [] }
   in
   let apps =
@@ -407,7 +599,10 @@ let create ?(load_check = Skip_load_check) ~mode kernel
   let instances =
     List.mapi
       (fun i (app, checker) ->
-        { app; checker; cookie = i + 1; ev_chan = Channel.create ();
+        { app; checker; cookie = i + 1;
+          ev_chan =
+            Channel.create ?capacity:config.ev_capacity
+              ~policy:config.ev_policy ();
           thread = None; ctx = None })
       apps
   in
@@ -420,13 +615,15 @@ let create ?(load_check = Skip_load_check) ~mode kernel
       List.init (max 1 ksd_threads) (fun _ -> Thread.create (ksd_thread t) ());
     List.iter
       (fun inst -> inst.thread <- Some (Thread.create (app_thread t inst) ()))
-      instances
+      instances;
+    register_queue_gauges t
   | Isolated_domains { ksd_domains } ->
     t.ksd_domains <-
       List.init (max 1 ksd_domains) (fun _ -> Domain.spawn (ksd_thread t));
     List.iter
       (fun inst -> inst.thread <- Some (Thread.create (app_thread t inst) ()))
-      instances);
+      instances;
+    register_queue_gauges t);
   (* App initialisation goes through the same mediated contexts. *)
   List.iter (fun inst -> inst.app.App.init (ctx_of inst)) instances;
   process_pending t;
@@ -436,13 +633,18 @@ let shutdown t =
   (match t.mode with
   | Monolithic -> ()
   | Isolated _ | Isolated_domains _ ->
+    (* Event queues first (closing wakes pushers blocked on a full
+       queue as well as the app threads); the request channel only once
+       the app threads — the request producers — are joined, so no
+       in-flight call loses its deputy. *)
     List.iter (fun inst -> Channel.close inst.ev_chan) t.instances;
     List.iter
       (fun inst -> match inst.thread with Some th -> Thread.join th | None -> ())
       t.instances;
     Channel.close t.reqs;
     List.iter Thread.join t.ksd_pool;
-    List.iter Domain.join t.ksd_domains)
+    List.iter Domain.join t.ksd_domains;
+    List.iter Metrics.unregister_gauge (gauge_names t))
 
 (** The runtime's observability report: reference-monitor counters,
     kernel execution volume, and every registered cache's hit/miss
@@ -450,11 +652,19 @@ let shutdown t =
     registers the normal-form and inclusion memos). *)
 let cache_report (_ : t) = Metrics.cache_report ()
 
+let pp_fault_report ppf r =
+  Fmt.pf ppf
+    "faults: ksd-failures=%d ksd-restarts=%d deadlines=%d \
+     backpressure-rejections=%d@."
+    r.failures r.restarts r.deadlines r.rejections
+
 let pp_report ppf t =
   let calls, denials, delivered, suppressed = stats t in
   Fmt.pf ppf "calls=%d denials=%d events: delivered=%d suppressed=%d@." calls
     denials delivered suppressed;
   Fmt.pf ppf "kernel executions=%d@." (Kernel.exec_count t.kernel);
+  pp_fault_report ppf (fault_report t);
+  if is_isolated t.mode then Metrics.pp_gauge_report ppf ();
   Metrics.pp_cache_report ppf ()
 
 let instance_ctx t name =

@@ -23,10 +23,46 @@ type mode =
 
 val is_isolated : mode -> bool
 
+(** Fault-tolerance knobs (docs/RUNTIME.md).  The defaults reproduce
+    the original semantics — unbounded queues, no deadline — plus
+    deputy supervision. *)
+type config = {
+  call_deadline : float option;
+      (** Seconds an app thread waits for a KSD reply before giving up
+          with [Api.Failed "deadline"]; [None] (default) waits
+          forever. *)
+  restart_budget : int;
+      (** Times the supervisor restarts a crashed deputy before
+          retiring it (default 8). *)
+  ev_capacity : int option;
+      (** Per-app event queue bound ([None] = unbounded). *)
+  ev_policy : Channel.policy;
+      (** Overflow policy for full event queues: [Block] applies
+          backpressure to the dispatcher, [Reject] drops the delivery
+          (counted; any completion latch is still released). *)
+  req_capacity : int option;
+      (** KSD request channel bound; always blocking on full, so a
+          flooding app parks its own call loop. *)
+}
+
+val default_config : config
+
+(** How often the safety nets fired; see {!fault_report}. *)
+type fault_report = {
+  failures : int;
+      (** Exceptions the deputy barrier converted to [Api.Failed]. *)
+  restarts : int;  (** Supervisor restarts of crashed deputies. *)
+  deadlines : int;  (** Calls abandoned at the deadline. *)
+  rejections : int;
+      (** Deliveries dropped by a full [Reject] queue, plus calls
+          refused against a closed or full request channel. *)
+}
+
 type t = private {
   kernel : Kernel.t;
   kmutex : Mutex.t;
   mode : mode;
+  config : config;
   mutable instances : instance list;
   reqs : request Channel.t;
   mutable ksd_pool : Thread.t list;
@@ -35,6 +71,7 @@ type t = private {
   inflight_zero : Condition.t;
   mutable inflight : int;
   counters : counters;
+  faults : fault_counters;
   mutable rejected : (string * string) list;
       (** Apps refused at load time, with the reason. *)
 }
@@ -65,6 +102,13 @@ and counters = private {
   cmutex : Mutex.t;
 }
 
+and fault_counters = private {
+  ksd_failures : int Atomic.t;
+  ksd_restarts : int Atomic.t;
+  deadline_expiries : int Atomic.t;
+  backpressure_rejections : int Atomic.t;
+}
+
 type load_check = Skip_load_check | Warn_at_load | Reject_at_load
 
 val load_violations : App.t -> Api.checker -> string list
@@ -72,14 +116,21 @@ val load_violations : App.t -> Api.checker -> string list
     checker does not grant at all. *)
 
 val create :
-  ?load_check:load_check -> mode:mode -> Kernel.t ->
+  ?load_check:load_check -> ?config:config -> mode:mode -> Kernel.t ->
   (App.t * Api.checker) list -> t
 (** Build a runtime hosting the apps, run load-time access control
-    (default: skip), start threads/domains per [mode], and run every
-    surviving app's [init] through its mediated context. *)
+    (default: skip), start the supervised KSD pool and app threads per
+    [mode] with the fault-tolerance knobs in [config] (default
+    {!default_config}), and run every surviving app's [init] through
+    its mediated context.  Isolated runtimes register per-queue depth
+    gauges in {!Metrics} (["queue:ksd-reqs"], ["queue:ev:<app>"]),
+    unregistered again at {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Stop app threads and the KSD pool (idempotent for [Monolithic]). *)
+(** Stop app threads and the KSD pool (idempotent for [Monolithic]).
+    Closing the event queues wakes pushers blocked on a full bounded
+    queue; the request channel closes only after the app threads are
+    joined, so no in-flight call loses its deputy. *)
 
 val feed : t -> Events.t -> unit
 (** Fire-and-forget event injection (throughput mode); cascaded events
@@ -97,6 +148,12 @@ val process_pending : t -> unit
 
 val stats : t -> int * int * int * int
 (** (calls, denials, events delivered, events suppressed). *)
+
+val fault_report : t -> fault_report
+(** Snapshot of the fault-tolerance counters: barrier conversions,
+    deputy restarts, deadline expiries, backpressure rejections. *)
+
+val pp_fault_report : Format.formatter -> fault_report -> unit
 
 val cache_report : t -> (string * Metrics.cache_stats) list
 (** Hit/miss counters of every cache registered in this process:

@@ -36,9 +36,10 @@
    every L1 answer is one L2 would give; L1 exists because projecting
    attributes and hashing a deep signature costs about as much as
    evaluating a mid-sized filter, while hashing a few discriminating
-   call fields does not.  L1 entries are immutable records in a
-   mutable array: lookups are lock-free (a racing reader observes
-   either the old or the new entry pointer, each individually
+   call fields does not.  L1 entries are immutable records behind
+   per-slot [Atomic.t] cells: lookups are lock-free (a racing reader
+   observes either the old or the new entry pointer with full
+   publication under the OCaml 5 memory model, each individually
    consistent, and staleness is re-checked against the generation
    stamp on every hit); L2 sits behind a mutex off the fast path.
 
@@ -282,9 +283,15 @@ type counters = {
   bypasses : int Atomic.t;
 }
 
-(** An L1 entry is immutable; the array cell is a single word that is
-    swapped atomically by the runtime, so lock-free readers always see
-    a consistent entry. *)
+(** An L1 entry is immutable; each slot is an [Atomic.t] holding the
+    entry pointer.  Plain mutable array cells were NOT enough under
+    [Isolated_domains]: the OCaml 5 memory model makes unsynchronized
+    non-atomic reads/writes racy — a reader could observe the slot
+    write before the writes initializing the entry it points to.
+    Atomic slots give release/acquire publication: a reader that sees
+    the pointer sees the fully built entry, each individually
+    consistent, with staleness still re-checked against the generation
+    stamp on every hit. *)
 type l1_entry = {
   call : Api.call;
   l1_hash : int;  (** [call_hash call], for cheap slot rejection. *)
@@ -293,7 +300,8 @@ type l1_entry = {
 }
 
 type t = {
-  l1 : l1_entry option array;  (** Direct-mapped, power-of-two sized. *)
+  l1 : l1_entry option Atomic.t array;
+      (** Direct-mapped, power-of-two sized. *)
   l1_mask : int;
   table : (key, int * bool) Hashtbl.t;  (** signature -> (generation, pass). *)
   max_entries : int;
@@ -334,7 +342,7 @@ let create ?name ?(max_entries = default_max_entries)
     manifest;
   let l1_size = pow2_at_least (min max_entries 4096) 1 in
   let t =
-    { l1 = Array.make l1_size None;
+    { l1 = Array.init l1_size (fun _ -> Atomic.make None);
       l1_mask = l1_size - 1;
       table = Hashtbl.create 256;
       max_entries;
@@ -364,7 +372,7 @@ let size t =
 let clear t =
   Mutex.lock t.mutex;
   Hashtbl.reset t.table;
-  Array.fill t.l1 0 (Array.length t.l1) None;
+  Array.iter (fun slot -> Atomic.set slot None) t.l1;
   Mutex.unlock t.mutex
 
 (* The L2 (canonical signature) path, taken on an L1 miss. *)
@@ -387,7 +395,8 @@ let check_l2 t ~(slot : slot) ~token ~call ~hash ~gen ~l1_idx
   Mutex.unlock t.mutex;
   match cached with
   | Some pass ->
-    t.l1.(l1_idx) <- Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass };
+    Atomic.set t.l1.(l1_idx)
+      (Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass });
     pass
   | None ->
     let pass = eval attrs in
@@ -402,7 +411,8 @@ let check_l2 t ~(slot : slot) ~token ~call ~hash ~gen ~l1_idx
     end;
     Hashtbl.replace t.table key (gen, pass);
     Mutex.unlock t.mutex;
-    t.l1.(l1_idx) <- Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass };
+    Atomic.set t.l1.(l1_idx)
+      (Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass });
     pass
 
 (** [check t ~token ~call ~eval] — the memoized filter decision for
@@ -424,7 +434,7 @@ let check t ~(token : Token.t) ~(call : Api.call)
     let gen = if slot.gated then t.generation () else 0 in
     let hash = call_hash call in
     let i = hash land t.l1_mask in
-    match t.l1.(i) with
+    match Atomic.get t.l1.(i) with
     | Some e when e.l1_hash = hash && call_equal e.call call ->
       if e.l1_gen = gen then begin
         Atomic.incr t.counters.hits;
@@ -432,7 +442,7 @@ let check t ~(token : Token.t) ~(call : Api.call)
       end
       else begin
         Atomic.incr t.counters.invalidations;
-        t.l1.(i) <- None;
+        Atomic.set t.l1.(i) None;
         check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval
       end
     | _ -> check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval)

@@ -16,10 +16,12 @@
     every store mutation.
 
     Internally the signature-keyed table is fronted by a small
-    lock-free direct-mapped array keyed on the exact call value — call
-    equality refines signature equality, so the fast path can never
-    answer differently from the canonical table.  The cacheability
-    model and its safety argument are specified in docs/CACHING.md. *)
+    lock-free direct-mapped array of per-slot atomics keyed on the
+    exact call value — call equality refines signature equality, so
+    the fast path can never answer differently from the canonical
+    table, and atomic slots make it sound under domain parallelism
+    ([Isolated_domains]).  The cacheability model and its safety
+    argument are specified in docs/CACHING.md. *)
 
 (** Static cacheability of a filter expression. *)
 type cacheability =

@@ -190,6 +190,52 @@ let qsuite =
           (run (Compiled.of_manifest ~cache_size:8 m))
           (run (Compiled.of_manifest m))) ]
 
+(* Domain parallelism ------------------------------------------------------ *)
+
+(* Two domains hammering one cache: the L1 is per-slot atomics, so
+   concurrent readers/writers may displace each other but must never
+   answer differently from re-evaluation (the [Isolated_domains] KSD
+   pool shares a checker — and its cache — across domains).  A tiny
+   table forces both L1 collisions and L2 flush-on-full under
+   contention. *)
+let test_domain_hammer () =
+  let m =
+    Test_util.manifest_exn
+      "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0"
+  in
+  let cache = Decision_cache.create ~max_entries:64 m in
+  let n = 256 in
+  let calls =
+    Array.init n (fun i ->
+        insert
+          ~dpid:(1 + (i mod 4))
+          ~nw_dst:(Printf.sprintf "10.%d.%d.1" (i / 16) (i mod 16))
+          ())
+  in
+  (* Deterministic per-call oracle: a hit is correct iff it returns
+     exactly what re-evaluation would. *)
+  let expected i = i mod 3 <> 0 in
+  let check i =
+    Decision_cache.check cache ~token:Token.Insert_flow ~call:calls.(i)
+      ~eval:(fun _ -> expected i)
+  in
+  let hammer stride () =
+    let ok = ref true in
+    for round = 0 to 149 do
+      for j = 0 to n - 1 do
+        let i = (j + (round * stride)) mod n in
+        if check i <> expected i then ok := false
+      done
+    done;
+    !ok
+  in
+  let d1 = Domain.spawn (hammer 7) and d2 = Domain.spawn (hammer 13) in
+  let ok1 = Domain.join d1 and ok2 = Domain.join d2 in
+  Alcotest.(check bool) "domain 1 saw only correct decisions" true ok1;
+  Alcotest.(check bool) "domain 2 saw only correct decisions" true ok2;
+  Alcotest.(check bool) "post-hammer serial pass agrees" true
+    (List.for_all (fun i -> check i = expected i) (List.init n Fun.id))
+
 let suite =
   [ Alcotest.test_case "classify" `Quick test_classify;
     Alcotest.test_case "key canonicalization" `Quick test_key_canonicalization;
@@ -200,5 +246,7 @@ let suite =
     Alcotest.test_case "generation invalidation edge" `Quick
       test_generation_invalidation_edge;
     Alcotest.test_case "rule budget invalidation" `Quick
-      test_rule_budget_invalidation ]
+      test_rule_budget_invalidation;
+    Alcotest.test_case "two-domain hammer on the atomic L1" `Quick
+      test_domain_hammer ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -17,6 +17,7 @@ let () =
       ("infer", Test_infer.suite);
       ("hll", Test_hll.suite);
       ("runtime-ext", Test_runtime_ext.suite);
+      ("faults", Test_faults.suite);
       ("metrics", Test_metrics.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("forensics", Test_forensics.suite) ]

@@ -15,6 +15,23 @@ let test_percentile_singleton () =
   Alcotest.(check bool) "empty gives nan" true
     (Float.is_nan (Metrics.percentile 50. []))
 
+let test_percentile_sorted_edges () =
+  (* Pin the documented edge cases of the array-based primitive:
+     n = 0 is nan, n = 1 yields the sample for every p, and the
+     method is linear interpolation — NOT nearest-rank, which would
+     give 1. or 2. here, never 1.5. *)
+  Alcotest.(check bool) "n=0 gives nan" true
+    (Float.is_nan (Metrics.percentile_sorted 50. [||]));
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "n=1 p%g is the sample" p)
+        7.
+        (Metrics.percentile_sorted p [| 7. |]))
+    [ 0.; 25.; 50.; 99.; 100. ];
+  Alcotest.(check (float 1e-9)) "linear interpolation, not nearest-rank" 1.5
+    (Metrics.percentile_sorted 50. [| 1.; 2. |])
+
 let test_summary () =
   let t = Metrics.create () in
   List.iter (Metrics.record t) [ 3.; 1.; 2. ];
@@ -79,6 +96,8 @@ let qsuite =
 let suite =
   [ Alcotest.test_case "percentile exact" `Quick test_percentile_exact;
     Alcotest.test_case "percentile singleton" `Quick test_percentile_singleton;
+    Alcotest.test_case "percentile_sorted edges" `Quick
+      test_percentile_sorted_edges;
     Alcotest.test_case "summary" `Quick test_summary;
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
     Alcotest.test_case "time records" `Quick test_time_records;
