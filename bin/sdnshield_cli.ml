@@ -20,6 +20,14 @@
            net:66.66.66.66:80  file:/etc/passwd  spawn:sh
            topo  event:pkt_in
 
+     sdnshield vet <manifest-file> [--policy <policy-file>] [--app NAME]
+               [--max-steps N] [--max-clauses N] [--max-nodes N]
+               [--max-depth N] [--deadline SECS]
+         Vet an untrusted manifest (and optionally reconcile it against
+         a policy) under a resource budget (docs/VETTING.md).  Exits 0
+         when admitted — degraded verdicts print their fallback notes —
+         and 1 when rejected.
+
      sdnshield faults-demo [--events N] [--seed S]
          Drive the supervised isolated runtime under injected
          checker/kernel/deputy faults and print the fault-tolerance
@@ -202,6 +210,107 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check API call specs against a manifest")
     Term.(ret (const run $ cache_arg $ manifest $ specs))
 
+(* vet ------------------------------------------------------------------------ *)
+
+let vet_cmd =
+  let run manifest_path policy_path app max_steps max_clauses max_nodes
+      max_depth deadline =
+    let d = Budget.default_limits in
+    let limits =
+      { Budget.max_steps = Option.value max_steps ~default:d.Budget.max_steps;
+        max_clauses = Option.value max_clauses ~default:d.Budget.max_clauses;
+        max_nodes = Option.value max_nodes ~default:d.Budget.max_nodes;
+        max_depth = Option.value max_depth ~default:d.Budget.max_depth;
+        deadline =
+          (match deadline with Some _ -> deadline | None -> d.Budget.deadline) }
+    in
+    let manifest_src = read_file manifest_path in
+    let finish label notes rejection =
+      List.iter (fun n -> Fmt.pr "note: %s@." n) notes;
+      (match rejection with
+      | Some r -> Fmt.epr "%a@." Vetting.pp_rejection r
+      | None -> ());
+      match label with
+      | "rejected" ->
+        Fmt.epr "verdict: rejected@.";
+        exit 1
+      | "degraded" ->
+        Fmt.pr "verdict: degraded — admitted with conservative fallbacks@.";
+        `Ok ()
+      | _ ->
+        Fmt.pr "verdict: admitted@.";
+        `Ok ()
+    in
+    match policy_path with
+    | None -> (
+      match Vetting.vet_manifest ~limits manifest_src with
+      | Vetting.Admitted m ->
+        Fmt.pr "%a@." Perm.pp m;
+        finish "admitted" [] None
+      | Vetting.Degraded (m, notes) ->
+        Fmt.pr "%a@." Perm.pp m;
+        finish "degraded" notes None
+      | Vetting.Rejected r -> finish "rejected" [] (Some r))
+    | Some policy_path -> (
+      let policy_src = read_file policy_path in
+      let print_report (report : Reconcile.report) =
+        List.iter
+          (fun v -> Fmt.pr "violation: %a@." Reconcile.pp_violation v)
+          report.Reconcile.violations;
+        match List.assoc_opt app report.Reconcile.manifests with
+        | Some m -> Fmt.pr "# reconciled permissions for %s@.%a@." app Perm.pp m
+        | None -> ()
+      in
+      match
+        Vetting.vet_and_reconcile ~limits
+          ~apps:[ (app, manifest_src) ]
+          policy_src
+      with
+      | Vetting.Admitted report ->
+        print_report report;
+        finish "admitted" [] None
+      | Vetting.Degraded (report, notes) ->
+        print_report report;
+        finish "degraded" notes None
+      | Vetting.Rejected r -> finish "rejected" [] (Some r))
+  in
+  let manifest =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Also vet this policy and run reconciliation under the budget.")
+  in
+  let app_arg =
+    Arg.(value & opt string "app" & info [ "app" ] ~docv:"NAME" ~doc:"App name")
+  in
+  let opt_int names doc =
+    Arg.(value & opt (some int) None & info names ~docv:"N" ~doc)
+  in
+  let max_steps = opt_int [ "max-steps" ] "Work-tick budget." in
+  let max_clauses = opt_int [ "max-clauses" ] "Clause-allocation budget." in
+  let max_nodes = opt_int [ "max-nodes" ] "Macro-expansion node budget." in
+  let max_depth = opt_int [ "max-depth" ] "Nesting-depth budget." in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
+  in
+  Cmd.v
+    (Cmd.info "vet"
+       ~doc:
+         "Vet an untrusted manifest (and optionally a policy) under a \
+          resource budget (docs/VETTING.md); exits 0 on \
+          admitted/degraded, 1 on rejected")
+    Term.(
+      ret
+        (const run $ manifest $ policy $ app_arg $ max_steps $ max_clauses
+       $ max_nodes $ max_depth $ deadline))
+
 (* faults-demo ---------------------------------------------------------------- *)
 
 let faults_demo_cmd =
@@ -290,4 +399,8 @@ let () =
     Cmd.info "sdnshield" ~version:"1.0.0"
       ~doc:"SDNShield permission & reconciliation engines (DSN'16 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; parse_policy_cmd; reconcile_cmd; check_cmd; faults_demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; parse_policy_cmd; reconcile_cmd; check_cmd; vet_cmd;
+            faults_demo_cmd ]))

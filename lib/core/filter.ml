@@ -178,11 +178,22 @@ let dimension = function
   | Stats_level _ -> D_stats
   | Macro name -> D_macro name
 
-let rec fold_atoms f acc = function
-  | True | False -> acc
-  | Atom s -> f acc s
-  | And (a, b) | Or (a, b) -> fold_atoms f (fold_atoms f acc a) b
-  | Not e -> fold_atoms f acc e
+(* Structural folds run on untrusted expressions during admission
+   (docs/VETTING.md), so they use explicit work lists instead of
+   recursing on the tree: a 100k-deep bomb must be measurable without
+   risking the stack. *)
+
+let fold_atoms f acc expr =
+  let rec go acc = function
+    | [] -> acc
+    | e :: rest -> (
+      match e with
+      | True | False -> go acc rest
+      | Atom s -> go (f acc s) rest
+      | Not e -> go acc (e :: rest)
+      | And (a, b) | Or (a, b) -> go acc (a :: b :: rest))
+  in
+  go acc [ expr ]
 
 let macros expr =
   fold_atoms (fun acc s -> match s with Macro m -> m :: acc | _ -> acc) [] expr
@@ -190,23 +201,77 @@ let macros expr =
 
 let has_macros expr = macros expr <> []
 
-(** Substitute macro atoms using [lookup]; unresolved macros remain. *)
-let rec expand_macros lookup = function
-  | (True | False) as e -> e
-  | Atom (Macro name) as e -> (
-    match lookup name with Some replacement -> replacement | None -> e)
-  | Atom _ as e -> e
-  | And (a, b) -> conj (expand_macros lookup a) (expand_macros lookup b)
-  | Or (a, b) -> disj (expand_macros lookup a) (expand_macros lookup b)
-  | Not e -> neg (expand_macros lookup e)
+(** Substitute macro atoms using [lookup], expanding to fixed point:
+    a macro whose replacement itself contains macros keeps expanding,
+    so [LET] chains (A -> B -> C) resolve fully instead of silently
+    surfacing as unresolved stubs.  Cyclic chains (A -> ... -> A) stop
+    at the cycle and leave the inner occurrence unexpanded (it then
+    reports as an unresolved macro, which is the fail-closed reading).
+    [max_chain] caps the substitution chain depth and [max_nodes] the
+    total nodes visited/built — a doubling macro bomb degrades to
+    unexpanded stubs instead of exhausting memory.  Ticks the ambient
+    {!Budget} per node. *)
+let expand_macros ?(max_chain = 64) ?(max_nodes = 200_000) lookup expr =
+  let remaining = ref max_nodes in
+  let rec go stack chain e =
+    if !remaining <= 0 then begin
+      Budget.note
+        "expand: macro expansion node cap reached; remaining stubs left \
+         unexpanded";
+      e
+    end
+    else begin
+      decr remaining;
+      Budget.alloc_nodes 1;
+      match e with
+      | (True | False) as e -> e
+      | Atom (Macro name) as e -> (
+        if List.mem name stack then begin
+          Budget.note
+            (Printf.sprintf
+               "expand: cyclic macro chain through %s; left unexpanded" name);
+          e
+        end
+        else if chain >= max_chain then begin
+          Budget.note
+            (Printf.sprintf
+               "expand: macro chain longer than %d at %s; left unexpanded"
+               max_chain name);
+          e
+        end
+        else
+          match lookup name with
+          | Some replacement -> go (name :: stack) (chain + 1) replacement
+          | None -> e)
+      | Atom _ as e -> e
+      | And (a, b) -> conj (go stack chain a) (go stack chain b)
+      | Or (a, b) -> disj (go stack chain a) (go stack chain b)
+      | Not e -> neg (go stack chain e)
+    end
+  in
+  go [] 0 expr
 
 let size expr =
   let rec go n = function
-    | True | False | Atom _ -> n + 1
-    | And (a, b) | Or (a, b) -> go (go (n + 1) a) b
-    | Not e -> go (n + 1) e
+    | [] -> n
+    | e :: rest -> (
+      match e with
+      | True | False | Atom _ -> go (n + 1) rest
+      | Not e -> go (n + 1) (e :: rest)
+      | And (a, b) | Or (a, b) -> go (n + 1) (a :: b :: rest))
   in
-  go 0 expr
+  go 0 [ expr ]
+
+let depth expr =
+  let rec go best = function
+    | [] -> best
+    | (e, d) :: rest -> (
+      match e with
+      | True | False | Atom _ -> go (max best d) rest
+      | Not e -> go best ((e, d + 1) :: rest)
+      | And (a, b) | Or (a, b) -> go best ((a, d + 1) :: (b, d + 1) :: rest))
+  in
+  go 0 [ (expr, 1) ]
 
 (* Equality ---------------------------------------------------------------- *)
 

@@ -135,11 +135,25 @@ val macros : expr -> string list
 
 val has_macros : expr -> bool
 
-val expand_macros : (string -> expr option) -> expr -> expr
-(** Substitute macro atoms using the lookup; unresolved macros remain. *)
+val expand_macros :
+  ?max_chain:int -> ?max_nodes:int -> (string -> expr option) -> expr -> expr
+(** Substitute macro atoms using the lookup, expanding to fixed point:
+    macros whose replacements contain macros keep expanding, so [LET]
+    chains resolve fully.  Cyclic chains stop at the cycle and leave
+    the inner occurrence unexpanded (it then reports as an unresolved
+    stub — fail closed).  [max_chain] (default 64) caps substitution
+    chain depth; [max_nodes] (default 200k) caps total nodes visited,
+    degrading a doubling macro bomb to unexpanded stubs instead of
+    exhausting memory.  Ticks the ambient {!Budget} per node.
+    Unresolved macros remain. *)
 
 val size : expr -> int
-(** Node count. *)
+(** Node count (explicit work list — safe on adversarially deep
+    expressions). *)
+
+val depth : expr -> int
+(** Maximum nesting depth, counting leaves as 1 (explicit work list —
+    safe on adversarially deep expressions). *)
 
 val equal_singleton : singleton -> singleton -> bool
 val equal_expr : expr -> expr -> bool

@@ -153,7 +153,11 @@ let clause_includes (a : clause) (x : clause) =
    [Nf].  Filter expressions are immutable and the procedure is
    deterministic, so a memoized answer is identical to recomputation. *)
 
-let includes_memo : (Filter.expr * Filter.expr * int, bool) Hashtbl.t =
+(* The memo value carries whether the answer came from a [Too_large]
+   fallback, so the ambient {!Budget} degradation note fires on memo
+   hits too — an admission that reuses a cached conservative answer is
+   still a degraded admission (docs/VETTING.md). *)
+let includes_memo : (Filter.expr * Filter.expr * int, bool * bool) Hashtbl.t =
   Hashtbl.create 256
 
 let memo_max_entries = 8192
@@ -171,21 +175,26 @@ let clear_memo () =
   Hashtbl.reset includes_memo;
   Mutex.unlock memo_mutex
 
-let filter_includes_uncached ~max_clauses (a : Filter.expr) (b : Filter.expr) =
-  if Filter.equal_expr a b then true
+(* Fail-closed fallback on blow-up: [false] — "not provably included"
+   restricts.  The [degraded] flag feeds the budget note. *)
+let filter_includes_uncached ~max_clauses (a : Filter.expr) (b : Filter.expr) :
+    bool * bool =
+  if Filter.equal_expr a b then (true, false)
   else
     match (cnf ~max_clauses a, dnf ~max_clauses b) with
-    | exception Too_large -> false
+    | exception Too_large -> (false, true)
     | cnf_a, dnf_b ->
-      List.for_all
-        (fun ca -> List.for_all (fun xb -> clause_includes ca xb) dnf_b)
-        cnf_a
+      ( List.for_all
+          (fun ca -> List.for_all (fun xb -> clause_includes ca xb) dnf_b)
+          cnf_a,
+        false )
 
 (** [filter_includes a b] — does filter [a] allow every behaviour [b]
     allows?  Sound, incomplete (conservatively [false]).  Memoized on
     [(a, b, max_clauses)] in a bounded process-wide table. *)
 let filter_includes ?(max_clauses = 4096) (a : Filter.expr) (b : Filter.expr) =
   let module M = Shield_controller.Metrics in
+  Budget.step ();
   let key = (a, b, max_clauses) in
   Mutex.lock memo_mutex;
   let cached = Hashtbl.find_opt includes_memo key in
@@ -194,9 +203,12 @@ let filter_includes ?(max_clauses = 4096) (a : Filter.expr) (b : Filter.expr) =
   | None -> ());
   Mutex.unlock memo_mutex;
   match cached with
-  | Some answer -> answer
+  | Some (answer, degraded) ->
+    if degraded then Budget.note "inclusion: fell back to FALSE past max_clauses";
+    answer
   | None ->
-    let answer = filter_includes_uncached ~max_clauses a b in
+    let (answer, degraded) as entry = filter_includes_uncached ~max_clauses a b in
+    if degraded then Budget.note "inclusion: fell back to FALSE past max_clauses";
     Mutex.lock memo_mutex;
     memo_counters := { !memo_counters with M.misses = !memo_counters.M.misses + 1 };
     if Hashtbl.length includes_memo >= memo_max_entries then begin
@@ -205,15 +217,20 @@ let filter_includes ?(max_clauses = 4096) (a : Filter.expr) (b : Filter.expr) =
           M.evictions = !memo_counters.M.evictions + Hashtbl.length includes_memo };
       Hashtbl.reset includes_memo
     end;
-    Hashtbl.replace includes_memo key answer;
+    Hashtbl.replace includes_memo key entry;
     Mutex.unlock memo_mutex;
     answer
 
 (** Conservative satisfiability: [false] only when the filter provably
-    denotes the empty behaviour set. *)
+    denotes the empty behaviour set.  Fail-closed fallback on blow-up:
+    [true] — "possibly satisfiable" keeps mutual-exclusion constraints
+    armed (an overlap we cannot disprove is treated as an overlap). *)
 let filter_satisfiable ?(max_clauses = 4096) (e : Filter.expr) =
+  Budget.step ();
   match dnf ~max_clauses e with
-  | exception Too_large -> true
+  | exception Too_large ->
+    Budget.note "satisfiability: fell back to TRUE past max_clauses";
+    true
   | clauses -> List.exists (fun c -> not (conj_clause_contradictory c)) clauses
 
 (* Manifest-level relations ------------------------------------------------- *)

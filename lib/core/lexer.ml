@@ -4,7 +4,13 @@
    Conventions from the paper's listings: backslash-newline continues a
    statement (treated as whitespace here since statements are delimited
    by keywords, not newlines), [#] starts a comment, dotted quads lex
-   as IP addresses, and double-quoted strings are app names. *)
+   as IP addresses, and double-quoted strings are app names.
+
+   Sources come from an untrusted app market, so the lexer is part of
+   the admission surface (docs/VETTING.md): every token ticks the
+   ambient {!Budget} so garbage floods are cut off, and each token
+   carries its source line so parser errors point at the offending
+   statement instead of just naming a token. *)
 
 type token =
   | IDENT of string
@@ -48,14 +54,19 @@ let is_ident_char c =
 
 let is_digit c = c >= '0' && c <= '9'
 
-(** Tokenize [src].  Numbers made only of digits and dots with exactly
-    three dots become [IP]; bare digit runs become [INT]. *)
-let tokenize src : token list =
+(** Tokenize [src], pairing each token with its 1-based source line.
+    Numbers made only of digits and dots with exactly three dots become
+    [IP]; bare digit runs become [INT]. *)
+let tokenize_positioned src : (token * int) list =
   let n = String.length src in
   let line = ref 1 in
   let fail msg = raise (Lex_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let emit tok acc =
+    Budget.step ();
+    (tok, !line) :: acc
+  in
   let rec go i acc =
-    if i >= n then List.rev (EOF :: acc)
+    if i >= n then List.rev (emit EOF acc)
     else
       match src.[i] with
       | '\n' ->
@@ -65,18 +76,18 @@ let tokenize src : token list =
       | '#' ->
         let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
         go (skip i) acc
-      | '{' -> go (i + 1) (LBRACE :: acc)
-      | '}' -> go (i + 1) (RBRACE :: acc)
-      | '(' -> go (i + 1) (LPAREN :: acc)
-      | ')' -> go (i + 1) (RPAREN :: acc)
-      | ',' -> go (i + 1) (COMMA :: acc)
-      | '=' -> go (i + 1) (EQ :: acc)
+      | '{' -> go (i + 1) (emit LBRACE acc)
+      | '}' -> go (i + 1) (emit RBRACE acc)
+      | '(' -> go (i + 1) (emit LPAREN acc)
+      | ')' -> go (i + 1) (emit RPAREN acc)
+      | ',' -> go (i + 1) (emit COMMA acc)
+      | '=' -> go (i + 1) (emit EQ acc)
       | '<' ->
-        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (LE :: acc)
-        else go (i + 1) (LT :: acc)
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (emit LE acc)
+        else go (i + 1) (emit LT acc)
       | '>' ->
-        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (GE :: acc)
-        else go (i + 1) (GT :: acc)
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (emit GE acc)
+        else go (i + 1) (emit GT acc)
       | '"' ->
         let rec scan j =
           if j >= n then fail "unterminated string"
@@ -84,7 +95,7 @@ let tokenize src : token list =
           else scan (j + 1)
         in
         let close = scan (i + 1) in
-        go (close + 1) (STRING (String.sub src (i + 1) (close - i - 1)) :: acc)
+        go (close + 1) (emit (STRING (String.sub src (i + 1) (close - i - 1))) acc)
       | c when is_digit c ->
         let rec scan j dots =
           if j < n && (is_digit src.[j] || src.[j] = '.') then
@@ -94,32 +105,40 @@ let tokenize src : token list =
         let stop, dots = scan i 0 in
         let text = String.sub src i (stop - i) in
         if dots = 0 then
-          go stop (INT (int_of_string text) :: acc)
+          match int_of_string_opt text with
+          | Some v -> go stop (emit (INT v) acc)
+          | None -> fail ("integer literal out of range " ^ text)
         else if dots = 3 then
           let ip =
             try Shield_openflow.Types.ipv4_of_string text
             with Invalid_argument _ -> fail ("bad IP literal " ^ text)
           in
-          go stop (IP ip :: acc)
+          go stop (emit (IP ip) acc)
         else fail ("bad numeric literal " ^ text)
       | c when is_ident_char c ->
         let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
         let stop = scan i in
-        go stop (IDENT (String.sub src i (stop - i)) :: acc)
+        go stop (emit (IDENT (String.sub src i (stop - i))) acc)
       | c -> fail (Printf.sprintf "unexpected character %C" c)
   in
   go 0 []
 
+let tokenize src = List.map fst (tokenize_positioned src)
+
 (* Token-stream cursor used by the recursive-descent parsers. *)
-type stream = { mutable toks : token list }
+type stream = { mutable toks : (token * int) list }
 
 exception Parse_error of string
 
-let of_string src = { toks = tokenize src }
+let of_string src = { toks = tokenize_positioned src }
 
-let peek s = match s.toks with [] -> EOF | t :: _ -> t
+let peek s = match s.toks with [] -> EOF | (t, _) :: _ -> t
 
-let peek2 s = match s.toks with _ :: t :: _ -> t | _ -> EOF
+let peek2 s = match s.toks with _ :: (t, _) :: _ -> t | _ -> EOF
+
+(** Source line of the next token (the EOF token carries the last
+    line); 0 once the stream is exhausted past EOF. *)
+let line s = match s.toks with [] -> 0 | (_, l) :: _ -> l
 
 let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
 
@@ -131,7 +150,7 @@ let next s =
 let fail_at s msg =
   raise
     (Parse_error
-       (Fmt.str "%s (at %a)" msg pp_token (peek s)))
+       (Fmt.str "line %d: %s (at %a)" (line s) msg pp_token (peek s)))
 
 let expect s tok =
   if peek s = tok then advance s
@@ -154,11 +173,15 @@ let expect_kw s kw =
   if not (eat_kw s kw) then fail_at s (Printf.sprintf "expected %s" kw)
 
 let expect_ident s =
-  match next s with
-  | IDENT id -> id
-  | t -> raise (Parse_error (Fmt.str "expected identifier, got %a" pp_token t))
+  match peek s with
+  | IDENT id ->
+    advance s;
+    id
+  | _ -> fail_at s "expected identifier"
 
 let expect_int s =
-  match next s with
-  | INT i -> i
-  | t -> raise (Parse_error (Fmt.str "expected integer, got %a" pp_token t))
+  match peek s with
+  | INT i ->
+    advance s;
+    i
+  | _ -> fail_at s "expected integer"

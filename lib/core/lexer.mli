@@ -3,7 +3,12 @@
 
     Conventions from the paper's listings: backslash-newline continues
     a statement, [#] starts a comment, dotted quads lex as IP
-    addresses, double-quoted strings are app names. *)
+    addresses, double-quoted strings are app names.
+
+    Part of the admission surface for untrusted sources
+    (docs/VETTING.md): tokens carry their source line so parser errors
+    point at the offending statement, and every token ticks the ambient
+    {!Budget} scope when one is installed. *)
 
 type token =
   | IDENT of string
@@ -27,22 +32,31 @@ exception Lex_error of string
 val pp_token : Format.formatter -> token -> unit
 
 val tokenize : string -> token list
-(** @raise Lex_error on malformed input. *)
+(** @raise Lex_error on malformed input.
+    @raise Budget.Exhausted past the ambient budget, if installed. *)
+
+val tokenize_positioned : string -> (token * int) list
+(** Like {!tokenize}, pairing each token with its 1-based source line
+    (the EOF token carries the last line). *)
 
 (** {1 Token-stream cursor} for the recursive-descent parsers. *)
 
-type stream = { mutable toks : token list }
+type stream = { mutable toks : (token * int) list }
 
 exception Parse_error of string
 
 val of_string : string -> stream
 val peek : stream -> token
 val peek2 : stream -> token
+
+val line : stream -> int
+(** Source line of the next token; 0 once exhausted past EOF. *)
+
 val advance : stream -> unit
 val next : stream -> token
 
 val fail_at : stream -> string -> 'a
-(** @raise Parse_error with the current token appended. *)
+(** @raise Parse_error with the current line and token appended. *)
 
 val expect : stream -> token -> unit
 

@@ -12,8 +12,17 @@
    - DNF: dual — empty list = False; an empty clause = True.
 
    Distribution can explode exponentially; conversion raises
-   [Too_large] past [max_clauses] and callers fall back to a
-   conservative answer. *)
+   [Too_large] past [max_clauses] (clause count) or [max_width]
+   (literals per clause) and callers fall back to a conservative
+   answer.
+
+   Inputs may be adversarial (untrusted manifests, docs/VETTING.md), so
+   the conversion is hardened: [to_nnf] and the distribution walk are
+   CPS / tail-recursive (a 100k-deep filter cannot overflow the stack),
+   and [cross] guards *while building* the product — the worst-case
+   |xs|·|ys| intermediate of a naive concat_map is never materialized;
+   at most [max_clauses] merged clauses exist when [Too_large] fires.
+   Clause allocations tick the ambient {!Budget}. *)
 
 type literal = { positive : bool; atom : Filter.singleton }
 type clause = literal list
@@ -35,46 +44,84 @@ type nnf =
   | N_and of nnf * nnf
   | N_or of nnf * nnf
 
-let rec to_nnf ~negated (e : Filter.expr) : nnf =
-  match e with
-  | Filter.True -> if negated then N_false else N_true
-  | Filter.False -> if negated then N_true else N_false
-  | Filter.Atom a -> N_lit (if negated then negl a else pos a)
-  | Filter.Not e -> to_nnf ~negated:(not negated) e
-  | Filter.And (a, b) ->
-    if negated then N_or (to_nnf ~negated a, to_nnf ~negated b)
-    else N_and (to_nnf ~negated a, to_nnf ~negated b)
-  | Filter.Or (a, b) ->
-    if negated then N_and (to_nnf ~negated a, to_nnf ~negated b)
-    else N_or (to_nnf ~negated a, to_nnf ~negated b)
+(* CPS so every call is a tail call: depth-bombed inputs spend heap
+   (continuation closures), not stack. *)
+let to_nnf ~negated (e : Filter.expr) : nnf =
+  let rec go e negated k =
+    Budget.step ();
+    match e with
+    | Filter.True -> k (if negated then N_false else N_true)
+    | Filter.False -> k (if negated then N_true else N_false)
+    | Filter.Atom a -> k (N_lit (if negated then negl a else pos a))
+    | Filter.Not e -> go e (not negated) k
+    | Filter.And (a, b) ->
+      if negated then go a true (fun na -> go b true (fun nb -> k (N_or (na, nb))))
+      else go a false (fun na -> go b false (fun nb -> k (N_and (na, nb))))
+    | Filter.Or (a, b) ->
+      if negated then
+        go a true (fun na -> go b true (fun nb -> k (N_and (na, nb))))
+      else go a false (fun na -> go b false (fun nb -> k (N_or (na, nb))))
+  in
+  go e negated Fun.id
+
+(** Default cap on literals per merged clause.  Width explosions are
+    the dual of clause-count explosions: a single 100k-literal clause
+    is as hostile as 100k clauses. *)
+let default_max_width = 1_024
 
 let guard ~max_clauses clauses =
   if List.length clauses > max_clauses then raise Too_large else clauses
 
-(* Cross product of clause lists: every pairing merged into one clause. *)
-let cross ~max_clauses xs ys =
-  guard ~max_clauses
-    (List.concat_map (fun x -> List.map (fun y -> x @ y) ys) xs)
+(* Cross product of clause lists: every pairing merged into one clause.
+   The guard is incremental — [Too_large] fires the moment the product
+   passes [max_clauses] merged clauses or [max_width] literals in one
+   clause, so the full |xs|·|ys| product is never allocated. *)
+let cross ~max_clauses ~max_width xs ys =
+  let ys = List.map (fun y -> (y, List.length y)) ys in
+  let count = ref 0 in
+  let acc = ref [] in
+  List.iter
+    (fun x ->
+      let wx = List.length x in
+      List.iter
+        (fun (y, wy) ->
+          incr count;
+          if !count > max_clauses then raise Too_large;
+          if wx + wy > max_width then raise Too_large;
+          Budget.alloc_clauses 1;
+          acc := (x @ y) :: !acc)
+        ys)
+    xs;
+  List.rev !acc
 
-let cnf_uncached ~max_clauses (e : Filter.expr) : clause list =
-  let rec go = function
-    | N_true -> []
-    | N_false -> [ [] ]
-    | N_lit l -> [ [ l ] ]
-    | N_and (a, b) -> guard ~max_clauses (go a @ go b)
-    | N_or (a, b) -> cross ~max_clauses (go a) (go b)
+(* Distribution, also CPS: the nnf tree mirrors the input depth. *)
+let cnf_uncached ~max_clauses ~max_width (e : Filter.expr) : clause list =
+  let rec go n k =
+    Budget.step ();
+    match n with
+    | N_true -> k []
+    | N_false -> k [ [] ]
+    | N_lit l -> k [ [ l ] ]
+    | N_and (a, b) ->
+      go a (fun ca -> go b (fun cb -> k (guard ~max_clauses (ca @ cb))))
+    | N_or (a, b) ->
+      go a (fun ca -> go b (fun cb -> k (cross ~max_clauses ~max_width ca cb)))
   in
-  go (to_nnf ~negated:false e)
+  go (to_nnf ~negated:false e) Fun.id
 
-let dnf_uncached ~max_clauses (e : Filter.expr) : clause list =
-  let rec go = function
-    | N_true -> [ [] ]
-    | N_false -> []
-    | N_lit l -> [ [ l ] ]
-    | N_or (a, b) -> guard ~max_clauses (go a @ go b)
-    | N_and (a, b) -> cross ~max_clauses (go a) (go b)
+let dnf_uncached ~max_clauses ~max_width (e : Filter.expr) : clause list =
+  let rec go n k =
+    Budget.step ();
+    match n with
+    | N_true -> k [ [] ]
+    | N_false -> k []
+    | N_lit l -> k [ [ l ] ]
+    | N_or (a, b) ->
+      go a (fun ca -> go b (fun cb -> k (guard ~max_clauses (ca @ cb))))
+    | N_and (a, b) ->
+      go a (fun ca -> go b (fun cb -> k (cross ~max_clauses ~max_width ca cb)))
   in
-  go (to_nnf ~negated:false e)
+  go (to_nnf ~negated:false e) Fun.id
 
 (* Memoization ------------------------------------------------------------- *)
 
@@ -85,17 +132,27 @@ let dnf_uncached ~max_clauses (e : Filter.expr) : clause list =
    normal-form work a table lookup.  Expressions are immutable and
    compared structurally, so memoization cannot change any result.
    Tables are bounded (flushed when full) and guarded by a mutex:
-   reconciliation may run from several domains. *)
+   reconciliation may run from several domains.
+
+   Oversized expressions bypass the table: [Hashtbl]'s structural
+   comparison walks colliding keys recursively, so parking a depth bomb
+   in a bucket would re-import the stack hazard the CPS conversion just
+   removed.  Bypasses are counted in the stats. *)
 
 module M = Shield_controller.Metrics
 
 type converted = Converted of clause list | Blew_up
 
 let memo_max_entries = 8192
+
+(** Expressions larger than this (node count) are converted fresh each
+    time instead of being memo keys. *)
+let memo_max_expr_size = 16_384
+
 let memo_mutex = Mutex.create ()
 
-let cnf_memo : (Filter.expr * int, converted) Hashtbl.t = Hashtbl.create 256
-let dnf_memo : (Filter.expr * int, converted) Hashtbl.t = Hashtbl.create 256
+let cnf_memo : (Filter.expr * int * int, converted) Hashtbl.t = Hashtbl.create 256
+let dnf_memo : (Filter.expr * int * int, converted) Hashtbl.t = Hashtbl.create 256
 
 let memo_counters = ref M.zero_cache_stats
 let () = M.register_cache "nf-memo" (fun () -> !memo_counters)
@@ -109,44 +166,59 @@ let clear_memo () =
 
 let memo_stats () = !memo_counters
 
-let memoized table ~max_clauses convert (e : Filter.expr) : clause list =
-  let key = (e, max_clauses) in
-  Mutex.lock memo_mutex;
-  let cached = Hashtbl.find_opt table key in
-  (match cached with
-  | Some _ -> memo_counters := { !memo_counters with M.hits = !memo_counters.M.hits + 1 }
-  | None -> ());
-  Mutex.unlock memo_mutex;
-  match cached with
-  | Some (Converted clauses) -> clauses
-  | Some Blew_up -> raise Too_large
-  | None ->
-    let outcome =
-      match convert ~max_clauses e with
-      | clauses -> Converted clauses
-      | exception Too_large -> Blew_up
-    in
+let memoized table ~max_clauses ~max_width convert (e : Filter.expr) :
+    clause list =
+  if Filter.size e > memo_max_expr_size then begin
     Mutex.lock memo_mutex;
-    memo_counters := { !memo_counters with M.misses = !memo_counters.M.misses + 1 };
-    if Hashtbl.length table >= memo_max_entries then begin
-      memo_counters :=
-        { !memo_counters with
-          M.evictions = !memo_counters.M.evictions + Hashtbl.length table };
-      Hashtbl.reset table
-    end;
-    Hashtbl.replace table key outcome;
+    memo_counters :=
+      { !memo_counters with M.bypasses = !memo_counters.M.bypasses + 1 };
     Mutex.unlock memo_mutex;
-    (match outcome with Converted clauses -> clauses | Blew_up -> raise Too_large)
+    convert ~max_clauses ~max_width e
+  end
+  else begin
+    let key = (e, max_clauses, max_width) in
+    Mutex.lock memo_mutex;
+    let cached = Hashtbl.find_opt table key in
+    (match cached with
+    | Some _ ->
+      memo_counters := { !memo_counters with M.hits = !memo_counters.M.hits + 1 }
+    | None -> ());
+    Mutex.unlock memo_mutex;
+    match cached with
+    | Some (Converted clauses) -> clauses
+    | Some Blew_up -> raise Too_large
+    | None ->
+      let outcome =
+        match convert ~max_clauses ~max_width e with
+        | clauses -> Converted clauses
+        | exception Too_large -> Blew_up
+      in
+      Mutex.lock memo_mutex;
+      memo_counters :=
+        { !memo_counters with M.misses = !memo_counters.M.misses + 1 };
+      if Hashtbl.length table >= memo_max_entries then begin
+        memo_counters :=
+          { !memo_counters with
+            M.evictions = !memo_counters.M.evictions + Hashtbl.length table };
+        Hashtbl.reset table
+      end;
+      Hashtbl.replace table key outcome;
+      Mutex.unlock memo_mutex;
+      (match outcome with Converted clauses -> clauses | Blew_up -> raise Too_large)
+  end
 
 (** CNF clauses of [e].  [[]] = True, a member [[]] = False clause.
-    Memoized on [(e, max_clauses)], including [Too_large] outcomes. *)
-let cnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
-  memoized cnf_memo ~max_clauses cnf_uncached e
+    Memoized on [(e, max_clauses, max_width)], including [Too_large]
+    outcomes. *)
+let cnf ?(max_clauses = 4096) ?(max_width = default_max_width)
+    (e : Filter.expr) : clause list =
+  memoized cnf_memo ~max_clauses ~max_width cnf_uncached e
 
 (** DNF clauses of [e].  [] = False, a member [] = True clause.
     Memoized like {!cnf}. *)
-let dnf ?(max_clauses = 4096) (e : Filter.expr) : clause list =
-  memoized dnf_memo ~max_clauses dnf_uncached e
+let dnf ?(max_clauses = 4096) ?(max_width = default_max_width)
+    (e : Filter.expr) : clause list =
+  memoized dnf_memo ~max_clauses ~max_width dnf_uncached e
 
 (** Rebuild a filter expression from CNF clauses (for testing and for
     normalisation round-trips). *)

@@ -7,9 +7,25 @@
 
    with the filter categories of §IV-B.  Identifiers that are not
    keywords parse as macro stubs (the customization hooks of §V-A),
-   e.g. [PERM network_access LIMITING AdminRange]. *)
+   e.g. [PERM network_access LIMITING AdminRange].
+
+   Manifests arrive from an untrusted app market, so the parser is
+   hardened for admission (docs/VETTING.md): recursion depth is capped
+   (a 100k-deep NOT/paren bomb raises [Parse_error] after [max_nesting]
+   frames instead of overflowing the stack), every error carries its
+   source line, and productions tick the ambient {!Budget}. *)
 
 open Lexer
+
+(** Hard cap on grammar nesting, far below the OCaml stack limit.  The
+    ambient {!Budget} may reject earlier (its [max_depth]); this cap
+    also protects un-vetted callers. *)
+let max_nesting = 2_000
+
+let check_nesting s depth =
+  Budget.depth depth;
+  if depth > max_nesting then
+    fail_at s (Printf.sprintf "nesting deeper than %d" max_nesting)
 
 let keywords =
   [ "PERM"; "LIMITING"; "AND"; "OR"; "NOT"; "MASK"; "WILDCARD"; "ACTION";
@@ -23,22 +39,34 @@ let keywords =
 let is_keyword id = List.mem (String.uppercase_ascii id) keywords
 
 let expect_field s =
-  let id = expect_ident s in
-  match Filter.field_of_string id with
-  | Some f -> f
-  | None -> raise (Parse_error (Printf.sprintf "unknown field %s" id))
+  match peek s with
+  | IDENT id -> (
+    match Filter.field_of_string id with
+    | Some f ->
+      advance s;
+      f
+    | None -> fail_at s (Printf.sprintf "unknown field %s" id))
+  | _ -> fail_at s "expected field name"
 
 let parse_value s : Filter.value =
-  match next s with
-  | INT i -> Filter.V_int i
-  | IP ip -> Filter.V_ip ip
-  | t -> raise (Parse_error (Fmt.str "expected value, got %a" pp_token t))
+  match peek s with
+  | INT i ->
+    advance s;
+    Filter.V_int i
+  | IP ip ->
+    advance s;
+    Filter.V_ip ip
+  | _ -> fail_at s "expected value"
 
 let parse_mask s : Shield_openflow.Types.ipv4 =
-  match next s with
-  | IP ip -> ip
-  | INT i -> Int32.of_int i
-  | t -> raise (Parse_error (Fmt.str "expected mask, got %a" pp_token t))
+  match peek s with
+  | IP ip ->
+    advance s;
+    ip
+  | INT i ->
+    advance s;
+    Int32.of_int i
+  | _ -> fail_at s "expected mask"
 
 (* Integer lists appear both brace-delimited ({1, 2, 3}) and bare
    (SWITCH 0,1 LINK 3,4 — the paper's Scenario 1 style). *)
@@ -65,8 +93,7 @@ let parse_pred s : Filter.singleton =
   let value = parse_value s in
   let mask = if eat_kw s "MASK" then Some (parse_mask s) else None in
   (match (value, mask) with
-  | Filter.V_int _, Some _ ->
-    raise (Parse_error "MASK only applies to IP-valued fields")
+  | Filter.V_int _, Some _ -> fail_at s "MASK only applies to IP-valued fields"
   | _ -> ());
   Filter.Pred { field; value; mask }
 
@@ -99,6 +126,7 @@ let parse_virt_topo s : Filter.singleton =
   end
 
 let parse_singleton s : Filter.singleton =
+  Budget.step ();
   if eat_kw s "WILDCARD" then begin
     let field = expect_field s in
     let mask = parse_mask s in
@@ -140,25 +168,26 @@ let parse_singleton s : Filter.singleton =
       Filter.Macro id
     | _ -> fail_at s "expected a filter"
 
-let rec parse_filter_expr s : Filter.expr =
+let rec parse_filter_expr ?(depth = 0) s : Filter.expr =
   let rec or_loop lhs =
-    if eat_kw s "OR" then or_loop (Filter.disj lhs (parse_and s))
+    if eat_kw s "OR" then or_loop (Filter.disj lhs (parse_and s depth))
     else lhs
   in
-  or_loop (parse_and s)
+  or_loop (parse_and s depth)
 
-and parse_and s =
+and parse_and s depth =
   let rec and_loop lhs =
-    if eat_kw s "AND" then and_loop (Filter.conj lhs (parse_unary s))
+    if eat_kw s "AND" then and_loop (Filter.conj lhs (parse_unary s depth))
     else lhs
   in
-  and_loop (parse_unary s)
+  and_loop (parse_unary s depth)
 
-and parse_unary s =
-  if eat_kw s "NOT" then Filter.neg (parse_unary s)
+and parse_unary s depth =
+  check_nesting s depth;
+  if eat_kw s "NOT" then Filter.neg (parse_unary s (depth + 1))
   else if peek s = LPAREN then begin
     advance s;
-    let e = parse_filter_expr s in
+    let e = parse_filter_expr ~depth:(depth + 1) s in
     expect s RPAREN;
     e
   end
@@ -167,15 +196,19 @@ and parse_unary s =
   else Filter.Atom (parse_singleton s)
 
 let parse_perm s : Perm.t =
+  Budget.step ();
   expect_kw s "PERM";
-  let name = expect_ident s in
-  match Token.of_string name with
-  | None -> raise (Parse_error (Printf.sprintf "unknown permission token %s" name))
-  | Some token ->
-    let filter =
-      if eat_kw s "LIMITING" then parse_filter_expr s else Filter.True
-    in
-    { Perm.token; filter }
+  match peek s with
+  | IDENT name -> (
+    match Token.of_string name with
+    | None -> fail_at s (Printf.sprintf "unknown permission token %s" name)
+    | Some token ->
+      advance s;
+      let filter =
+        if eat_kw s "LIMITING" then parse_filter_expr s else Filter.True
+      in
+      { Perm.token; filter })
+  | _ -> fail_at s "expected permission token"
 
 (** Parse a sequence of PERM statements up to [stop] (EOF or RBRACE). *)
 let parse_perm_list s : Perm.t list =
@@ -191,7 +224,7 @@ let manifest_of_string src : (Perm.manifest, string) result =
     let perms = parse_perm_list s in
     match peek s with
     | EOF -> Ok (Perm.normalize perms)
-    | t -> Error (Fmt.str "trailing input at %a" pp_token t)
+    | t -> Error (Fmt.str "line %d: trailing input at %a" (line s) pp_token t)
   with
   | Parse_error msg -> Error msg
   | Lex_error msg -> Error msg
@@ -204,7 +237,7 @@ let filter_of_string src : (Filter.expr, string) result =
     let e = parse_filter_expr s in
     match peek s with
     | EOF -> Ok e
-    | t -> Error (Fmt.str "trailing input at %a" pp_token t)
+    | t -> Error (Fmt.str "line %d: trailing input at %a" (line s) pp_token t)
   with
   | Parse_error msg -> Error msg
   | Lex_error msg -> Error msg

@@ -1,10 +1,19 @@
 (** Recursive-descent parser for the SDNShield permission language
     (paper Appendix A).  Identifiers that are not keywords parse as
     macro stubs, so manifests like
-    [PERM network_access LIMITING AdminRange] round-trip. *)
+    [PERM network_access LIMITING AdminRange] round-trip.
+
+    Hardened for untrusted sources (docs/VETTING.md): grammar nesting
+    is capped at {!max_nesting} (depth bombs raise [Parse_error]
+    instead of overflowing the stack), errors carry their source line,
+    and productions tick the ambient {!Budget} when one is
+    installed. *)
 
 val keywords : string list
 val is_keyword : string -> bool
+
+val max_nesting : int
+(** Hard cap on grammar nesting depth (NOT chains, parentheses). *)
 
 val manifest_of_string : string -> (Perm.manifest, string) result
 (** Parse a full manifest (a sequence of [PERM] statements). *)
@@ -20,4 +29,7 @@ val manifest_exn : string -> Perm.manifest
 
 val parse_perm : Lexer.stream -> Perm.t
 val parse_perm_list : Lexer.stream -> Perm.t list
-val parse_filter_expr : Lexer.stream -> Filter.expr
+
+val parse_filter_expr : ?depth:int -> Lexer.stream -> Filter.expr
+(** [depth] is the surrounding nesting level (counts toward
+    {!max_nesting}); callers embedding filter syntax pass their own. *)

@@ -15,15 +15,27 @@
    A braced block whose first token is PERM is a permission block; any
    other braced block on a LET right-hand side parses as a filter
    expression — the form used to bind developer stub macros
-   (LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }). *)
+   (LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }).
+
+   Like the permission parser, this is an admission surface
+   (docs/VETTING.md): nesting depth is capped (shared
+   [Perm_parser.max_nesting]), errors carry source lines, and
+   statements tick the ambient {!Budget}. *)
 
 open Lexer
 
-let rec parse_perm_atom s : Policy.perm_expr =
+let check_nesting s depth =
+  Budget.depth depth;
+  if depth > Perm_parser.max_nesting then
+    fail_at s
+      (Printf.sprintf "nesting deeper than %d" Perm_parser.max_nesting)
+
+let rec parse_perm_atom s depth : Policy.perm_expr =
+  check_nesting s depth;
   match peek s with
   | LPAREN ->
     advance s;
-    let e = parse_perm_expr s in
+    let e = parse_perm_expr ~depth:(depth + 1) s in
     expect s RPAREN;
     e
   | LBRACE ->
@@ -36,39 +48,52 @@ let rec parse_perm_atom s : Policy.perm_expr =
     Policy.P_var id
   | _ -> fail_at s "expected permission expression"
 
-and parse_perm_expr s : Policy.perm_expr =
+and parse_perm_expr ?(depth = 0) s : Policy.perm_expr =
   let rec loop lhs =
-    if eat_kw s "MEET" then loop (Policy.P_meet (lhs, parse_perm_atom s))
-    else if eat_kw s "JOIN" then loop (Policy.P_join (lhs, parse_perm_atom s))
+    if eat_kw s "MEET" then loop (Policy.P_meet (lhs, parse_perm_atom s depth))
+    else if eat_kw s "JOIN" then
+      loop (Policy.P_join (lhs, parse_perm_atom s depth))
     else lhs
   in
-  loop (parse_perm_atom s)
+  loop (parse_perm_atom s depth)
 
 let parse_cmp s : Policy.cmp =
-  match next s with
-  | LE -> Policy.C_le
-  | LT -> Policy.C_lt
-  | GE -> Policy.C_ge
-  | GT -> Policy.C_gt
-  | EQ -> Policy.C_eq
-  | t -> raise (Parse_error (Fmt.str "expected comparison, got %a" pp_token t))
+  match peek s with
+  | LE ->
+    advance s;
+    Policy.C_le
+  | LT ->
+    advance s;
+    Policy.C_lt
+  | GE ->
+    advance s;
+    Policy.C_ge
+  | GT ->
+    advance s;
+    Policy.C_gt
+  | EQ ->
+    advance s;
+    Policy.C_eq
+  | _ -> fail_at s "expected comparison"
 
-let rec parse_assert_expr s : Policy.assert_expr =
+let rec parse_assert_expr ?(depth = 0) s : Policy.assert_expr =
   let rec or_loop lhs =
-    if eat_kw s "OR" then or_loop (Policy.A_or (lhs, parse_assert_and s))
+    if eat_kw s "OR" then or_loop (Policy.A_or (lhs, parse_assert_and s depth))
     else lhs
   in
-  or_loop (parse_assert_and s)
+  or_loop (parse_assert_and s depth)
 
-and parse_assert_and s =
+and parse_assert_and s depth =
   let rec and_loop lhs =
-    if eat_kw s "AND" then and_loop (Policy.A_and (lhs, parse_assert_unary s))
+    if eat_kw s "AND" then
+      and_loop (Policy.A_and (lhs, parse_assert_unary s depth))
     else lhs
   in
-  and_loop (parse_assert_unary s)
+  and_loop (parse_assert_unary s depth)
 
-and parse_assert_unary s =
-  if eat_kw s "NOT" then Policy.A_not (parse_assert_unary s)
+and parse_assert_unary s depth =
+  check_nesting s depth;
+  if eat_kw s "NOT" then Policy.A_not (parse_assert_unary s (depth + 1))
   else if peek s = LPAREN then begin
     (* "(" is ambiguous: it may open a parenthesised assert expression
        or a parenthesised perm expression that starts a comparison.
@@ -77,26 +102,28 @@ and parse_assert_unary s =
     let snapshot = s.toks in
     try
       advance s;
-      let e = parse_assert_expr s in
+      let e = parse_assert_expr ~depth:(depth + 1) s in
       expect s RPAREN;
       e
     with Parse_error _ ->
       s.toks <- snapshot;
-      parse_cmp_expr s
+      parse_cmp_expr s depth
   end
-  else parse_cmp_expr s
+  else parse_cmp_expr s depth
 
-and parse_cmp_expr s =
-  let lhs = parse_perm_expr s in
+and parse_cmp_expr s depth =
+  let lhs = parse_perm_expr ~depth s in
   let op = parse_cmp s in
-  let rhs = parse_perm_expr s in
+  let rhs = parse_perm_expr ~depth s in
   Policy.A_cmp (lhs, op, rhs)
 
 let parse_binding_rhs s : Policy.binding_rhs =
   if eat_kw s "APP" then
-    match next s with
-    | STRING name | IDENT name -> Policy.B_app name
-    | t -> raise (Parse_error (Fmt.str "expected app name, got %a" pp_token t))
+    match peek s with
+    | STRING name | IDENT name ->
+      advance s;
+      Policy.B_app name
+    | _ -> fail_at s "expected app name"
   else if peek s = LBRACE then begin
     match peek2 s with
     | IDENT id when String.uppercase_ascii id = "PERM" ->
@@ -105,13 +132,14 @@ let parse_binding_rhs s : Policy.binding_rhs =
       Policy.B_perm (parse_perm_expr s)
     | _ ->
       advance s;
-      let f = Perm_parser.parse_filter_expr s in
+      let f = Perm_parser.parse_filter_expr ~depth:1 s in
       expect s RBRACE;
       Policy.B_filter f
   end
   else Policy.B_perm (parse_perm_expr s)
 
 let parse_stmt s : Policy.stmt =
+  Budget.step ();
   if eat_kw s "LET" then begin
     let var = expect_ident s in
     expect s EQ;

@@ -17,6 +17,11 @@ type action =
   | Truncated_to_boundary
   | Truncated_exclusive
   | Alert_only  (** No automatic repair applicable. *)
+  | Policy_error
+      (** The statement itself could not be evaluated (unbound
+          variable, filter macro used as a permission set, cyclic
+          binding).  The statement is skipped and reported; the rest of
+          the policy is still verified and repaired. *)
 
 type violation = {
   stmt : Policy.stmt;
@@ -56,34 +61,55 @@ let set_app_manifest env name m =
 let expand env (m : Perm.manifest) =
   Perm.expand_macros (lookup_macro env) m
 
+(* A statement that cannot be evaluated (unbound variable, macro used
+   as a permission set, cyclic binding) must not abort reconciliation
+   of the remaining statements — policies are admitted from outside the
+   trust boundary (docs/VETTING.md).  Evaluation raises this internal
+   exception; the per-statement driver in [run] converts it into a
+   [Policy_error] violation and moves on. *)
+exception Policy_eval_error of string
+
 (** Evaluate a permission expression to a manifest under [env].  App
     references resolve to the app's *current* (possibly already
     repaired) manifest.  Returns the manifest and, when the expression
     is a direct reference to a single app, that app's name (the repair
-    target for boundary assertions). *)
-let rec eval_perm_expr env (pe : Policy.perm_expr) :
+    target for boundary assertions).  [seen] tracks the LET-variable
+    chain being resolved, so cyclic bindings (LET a = b; LET b = a)
+    fail with a report instead of looping. *)
+let rec eval_perm_expr ?(seen = []) env (pe : Policy.perm_expr) :
     Perm.manifest * string option =
+  Budget.step ();
   match pe with
   | Policy.P_block m -> (expand env m, None)
   | Policy.P_meet (a, b) ->
-    let ma, _ = eval_perm_expr env a and mb, _ = eval_perm_expr env b in
+    let ma, _ = eval_perm_expr ~seen env a
+    and mb, _ = eval_perm_expr ~seen env b in
     (Perm_ops.meet ma mb, None)
   | Policy.P_join (a, b) ->
-    let ma, _ = eval_perm_expr env a and mb, _ = eval_perm_expr env b in
+    let ma, _ = eval_perm_expr ~seen env a
+    and mb, _ = eval_perm_expr ~seen env b in
     (Perm_ops.join ma mb, None)
   | Policy.P_var v -> (
     match List.assoc_opt v env.app_vars with
     | Some app -> (app_manifest env app, Some app)
     | None -> (
       match List.assoc_opt v env.perm_vars with
-      | Some pe' -> eval_perm_expr env pe'
+      | Some pe' ->
+        if List.mem v seen then
+          raise
+            (Policy_eval_error (Printf.sprintf "policy: cyclic binding %s" v))
+        else eval_perm_expr ~seen:(v :: seen) env pe'
       | None -> (
         match lookup_macro env v with
         | Some _ ->
-          invalid_arg
-            (Printf.sprintf
-               "policy: %s is a filter macro, not a permission set" v)
-        | None -> invalid_arg (Printf.sprintf "policy: unbound variable %s" v))))
+          raise
+            (Policy_eval_error
+               (Printf.sprintf
+                  "policy: %s is a filter macro, not a permission set" v))
+        | None ->
+          raise
+            (Policy_eval_error
+               (Printf.sprintf "policy: unbound variable %s" v)))))
 
 let eval_cmp env lhs op rhs : bool =
   let ml, _ = eval_perm_expr env lhs and mr, _ = eval_perm_expr env rhs in
@@ -173,6 +199,7 @@ let run ~(apps : (string * Perm.manifest) list) (policy : Policy.t) : report =
       | Policy.Assert_exclusive _ | Policy.Assert _ -> ())
     policy;
   (* Pass 2: expand developer stubs in every manifest. *)
+  Budget.set_stage "expand";
   env.apps <- List.map (fun (name, m) -> (name, expand env m)) env.apps;
   let unresolved_macros =
     List.filter_map
@@ -180,15 +207,26 @@ let run ~(apps : (string * Perm.manifest) list) (policy : Policy.t) : report =
         match Perm.macros m with [] -> None | ms -> Some (name, ms))
       env.apps
   in
-  (* Pass 3: verify and repair constraints in order. *)
+  (* Pass 3: verify and repair constraints in order.  A statement that
+     cannot be evaluated is reported as a [Policy_error] violation and
+     skipped — it must not abort repair of the rest. *)
+  Budget.set_stage "reconcile";
   let violations =
     List.fold_left
       (fun acc stmt ->
-        match stmt with
-        | Policy.Let _ -> acc
-        | Policy.Assert_exclusive (p1, p2) ->
-          handle_exclusive env stmt p1 p2 acc
-        | Policy.Assert ae -> handle_assert env stmt ae acc)
+        Budget.step ();
+        match
+          match stmt with
+          | Policy.Let _ -> acc
+          | Policy.Assert_exclusive (p1, p2) ->
+            handle_exclusive env stmt p1 p2 acc
+          | Policy.Assert ae -> handle_assert env stmt ae acc
+        with
+        | acc' -> acc'
+        | exception Policy_eval_error msg ->
+          { stmt; app = None; message = msg; action = Policy_error;
+            before = []; after = [] }
+          :: acc)
       [] policy
     |> List.rev
   in
@@ -211,6 +249,7 @@ let pp_action ppf = function
   | Truncated_to_boundary -> Fmt.string ppf "truncated-to-boundary"
   | Truncated_exclusive -> Fmt.string ppf "truncated-exclusive"
   | Alert_only -> Fmt.string ppf "alert-only"
+  | Policy_error -> Fmt.string ppf "policy-error"
 
 let pp_violation ppf v =
   Fmt.pf ppf "@[<v2>[%a] %s%a@]" pp_action v.action v.message

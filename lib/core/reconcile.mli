@@ -9,6 +9,12 @@ type action =
   | Truncated_to_boundary
   | Truncated_exclusive
   | Alert_only  (** No automatic repair applicable. *)
+  | Policy_error
+      (** The statement itself could not be evaluated (unbound
+          variable, filter macro used as a permission set, cyclic
+          binding).  It is reported and skipped; the remaining
+          statements are still verified and repaired — one bad
+          statement cannot abort reconciliation. *)
 
 type violation = {
   stmt : Policy.stmt;

@@ -1,0 +1,144 @@
+(* Deterministic adversarial-input generators for admission vetting
+   (bench/vetting_lab.ml and test/test_vetting.ml).
+
+   Each generator reproduces one resource-exhaustion family from the
+   §III threat model — a malicious or buggy app submitting a manifest
+   built to hang, crash or balloon the vetting pipeline:
+
+   - depth bombs: linear chains of NOT / parentheses that overflow a
+     naive recursive parser or converter;
+   - cross-product bombs: AND of two wide ORs whose DNF has |A|·|B|
+     clauses;
+   - width bombs: one huge conjunction whose single DNF clause exceeds
+     any sane literal count;
+   - macro-chain bombs: LET chains where each macro doubles the next,
+     2^n nodes from n lines of policy;
+   - garbage: plain random bytes for the lexer.
+
+   Everything is seeded ([Prng]) so lab runs and CI failures are
+   reproducible.  AST builders use the raw [Filter] constructors on
+   purpose: the smart constructors ([Filter.neg] folds NOT NOT, [conj]
+   folds constants) would quietly defuse the bombs, and a hostile app
+   linking against the typed API is not obliged to use them. *)
+
+(* Source-text bombs --------------------------------------------------------- *)
+
+(** [depth_bomb_src ~depth] — ["PERM insert_flow LIMITING NOT NOT … TRUE"]
+    with [depth] NOTs. *)
+let depth_bomb_src ~depth =
+  let buf = Buffer.create ((4 * depth) + 32) in
+  Buffer.add_string buf "PERM insert_flow LIMITING ";
+  for _ = 1 to depth do
+    Buffer.add_string buf "NOT "
+  done;
+  Buffer.add_string buf "TRUE";
+  Buffer.contents buf
+
+(** [paren_bomb_src ~depth] — the same with [depth] nested parens. *)
+let paren_bomb_src ~depth =
+  let buf = Buffer.create ((2 * depth) + 32) in
+  Buffer.add_string buf "PERM insert_flow LIMITING ";
+  for _ = 1 to depth do
+    Buffer.add_char buf '('
+  done;
+  Buffer.add_string buf "TRUE";
+  for _ = 1 to depth do
+    Buffer.add_char buf ')'
+  done;
+  Buffer.contents buf
+
+(** [garbage ~seed ~len] — [len] uniformly random bytes. *)
+let garbage ~seed ~len =
+  let rng = Prng.of_int seed in
+  String.init len (fun _ -> Char.chr (Prng.int rng 256))
+
+(** [macro_chain_bomb ~links] — a [(manifest_src, policy_src)] pair
+    where the policy binds a doubling LET chain
+    [m0 = { m1 AND m1 }; …; m(n-1) = { mn AND mn }] over [links] links
+    and the manifest uses [m0]: full expansion is [2^links] nodes from
+    [O(links)] bytes of input. *)
+let macro_chain_bomb ~links =
+  let buf = Buffer.create (links * 32) in
+  for i = 0 to links - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "LET m%d = { m%d AND m%d }\n" i (i + 1) (i + 1))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "LET m%d = { IP_DST 10.0.0.0 MASK 255.0.0.0 }\n" links);
+  ("PERM insert_flow LIMITING m0", Buffer.contents buf)
+
+(* AST bombs ----------------------------------------------------------------- *)
+
+(** [ast_depth_bomb ~depth] — [Not (Not (… True))], [depth] deep, built
+    iteratively with the raw constructor ([Filter.neg] would fold the
+    whole chain to [True]/[Not True]). *)
+let ast_depth_bomb ~depth =
+  let e = ref Sdnshield.Filter.True in
+  for _ = 1 to depth do
+    e := Sdnshield.Filter.Not !e
+  done;
+  !e
+
+(* Distinct atoms so no merge/simplification can shrink the bombs. *)
+let port_atom i =
+  Sdnshield.Filter.Atom
+    (Sdnshield.Filter.Pred
+       { field = Sdnshield.Filter.F_tcp_dst;
+         value = Sdnshield.Filter.V_int (i land 0xffff);
+         mask = None })
+
+(* Balanced tree over atoms [lo..hi] — logarithmic depth, so the bombs
+   pass structural depth checks and hit the stage they target. *)
+let rec balanced node lo hi =
+  if lo = hi then port_atom lo
+  else
+    let mid = (lo + hi) / 2 in
+    node (balanced node lo mid) (balanced node (mid + 1) hi)
+
+let or_tree lo hi = balanced (fun a b -> Sdnshield.Filter.Or (a, b)) lo hi
+let and_tree lo hi = balanced (fun a b -> Sdnshield.Filter.And (a, b)) lo hi
+
+(** [cross_bomb ~atoms] — [AND] of two balanced ORs of [atoms] distinct
+    atoms each: its DNF has [atoms²] clauses (16.7M for the default
+    4096) while the expression itself is only [2·atoms] leaves and
+    [O(log atoms)] deep. *)
+let cross_bomb ~atoms =
+  Sdnshield.Filter.And (or_tree 0 (atoms - 1), or_tree atoms ((2 * atoms) - 1))
+
+(** [width_bomb ~atoms] — a balanced AND of [atoms] distinct atoms: its
+    DNF is a single clause of [atoms] literals. *)
+let width_bomb ~atoms = and_tree 0 (atoms - 1)
+
+(** Wrap a filter as a one-permission manifest AST. *)
+let manifest_of_filter filter =
+  [ { Sdnshield.Perm.token = Sdnshield.Token.Insert_flow; filter } ]
+
+(* Random hostile ASTs ------------------------------------------------------- *)
+
+(** [random_hostile_ast rng ~size] — a random expression of roughly
+    [size] nodes over the raw constructors (double negations, constant
+    subtrees and all), for never-raises property tests.  Recursion
+    depth is bounded by [size]; keep it modest (≤ a few thousand). *)
+let rec random_hostile_ast rng ~size =
+  let n = size in
+  (* [Sdnshield.Filter.size] would shadow the parameter past an open. *)
+  let open Sdnshield.Filter in
+  if n <= 1 then
+    match Prng.int rng 4 with
+    | 0 -> True
+    | 1 -> False
+    | 2 -> Atom (Macro (Printf.sprintf "stub%d" (Prng.int rng 4)))
+    | _ -> port_atom (Prng.int rng 1024)
+  else
+    match Prng.int rng 5 with
+    | 0 -> Not (random_hostile_ast rng ~size:(n - 1))
+    | 1 | 2 ->
+      let left = 1 + Prng.int rng (n - 1) in
+      And
+        ( random_hostile_ast rng ~size:left,
+          random_hostile_ast rng ~size:(n - left) )
+    | _ ->
+      let left = 1 + Prng.int rng (n - 1) in
+      Or
+        ( random_hostile_ast rng ~size:left,
+          random_hostile_ast rng ~size:(n - left) )

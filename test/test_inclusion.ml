@@ -183,6 +183,29 @@ let test_nf_too_large () =
   Alcotest.(check bool) "conservative fallback" false
     (Inclusion.filter_includes ~max_clauses:64 big (Filter.And (big, big)))
 
+let test_too_large_fail_closed () =
+  (* Pin the direction of every Too_large fallback (docs/VETTING.md):
+     a blow-up must never *widen* what an app may do.  [includes]
+     answers false (no permission granted on the strength of an
+     unfinished comparison); [satisfiable] and [overlap] answer true
+     (exclusion constraints stay armed). *)
+  let bomb = Shield_workload.Hostile_gen.cross_bomb ~atoms:128 in
+  (* Syntactically distinct operands: the reflexive fast path would
+     short-circuit [includes bomb bomb] before any conversion. *)
+  Alcotest.(check bool) "includes falls back to false" false
+    (Inclusion.filter_includes ~max_clauses:16 bomb (Filter.And (bomb, bomb)));
+  Alcotest.(check bool) "satisfiable falls back to true" true
+    (Inclusion.filter_satisfiable ~max_clauses:16 bomb);
+  let with_bomb =
+    [ { Perm.token = Token.Insert_flow; filter = bomb } ]
+  in
+  let with_bomb' =
+    [ { Perm.token = Token.Insert_flow;
+        filter = Filter.Not bomb } ]
+  in
+  Alcotest.(check bool) "overlap falls back to true" true
+    (Inclusion.manifests_overlap with_bomb with_bomb')
+
 (* Soundness properties (qcheck) --------------------------------------------------- *)
 
 let env = Filter_eval.pure_env
@@ -228,5 +251,7 @@ let suite =
     Alcotest.test_case "manifest overlap" `Quick test_manifest_overlap;
     Alcotest.test_case "satisfiability" `Quick test_satisfiability;
     Alcotest.test_case "normal-form shapes" `Quick test_nf_shapes;
-    Alcotest.test_case "normal-form size guard" `Quick test_nf_too_large ]
+    Alcotest.test_case "normal-form size guard" `Quick test_nf_too_large;
+    Alcotest.test_case "Too_large fallbacks fail closed" `Quick
+      test_too_large_fail_closed ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -19,5 +19,6 @@ let () =
       ("runtime-ext", Test_runtime_ext.suite);
       ("faults", Test_faults.suite);
       ("metrics", Test_metrics.suite);
+      ("vetting", Test_vetting.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("forensics", Test_forensics.suite) ]
