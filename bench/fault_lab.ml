@@ -81,7 +81,8 @@ let run_mode ~mode ~apps ~events : string list =
       failed = Atomic.make 0 }
   in
   let config =
-    { Runtime.call_deadline = Some 0.1;
+    { Runtime.default_config with
+      Runtime.call_deadline = Some 0.1;
       restart_budget = 1_000;
       ev_capacity = Some 256;
       ev_policy = Channel.Block;

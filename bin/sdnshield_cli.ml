@@ -162,7 +162,7 @@ let call_of_spec spec : (Api.call, string) result =
   | _ -> Error (Printf.sprintf "bad call spec %S" spec)
 
 let check_cmd =
-  let run use_cache manifest_path specs =
+  let run use_cache explain manifest_path specs =
     match Perm_parser.manifest_of_string (read_file manifest_path) with
     | Error e -> `Error (false, "parse error: " ^ e)
     | Ok manifest -> (
@@ -187,10 +187,25 @@ let check_cmd =
             | Error e ->
               had_error := true;
               Fmt.pr "ERROR  %s@." e
-            | Ok call -> (
-              match Engine.check engine call with
-              | Api.Allow -> Fmt.pr "ALLOW  %a@." Api.pp_call call
-              | Api.Deny why -> Fmt.pr "DENY   %a  (%s)@." Api.pp_call call why))
+            | Ok call ->
+              if explain then begin
+                let decision, info = Engine.check_explained engine call in
+                (match decision with
+                | Api.Allow -> Fmt.pr "ALLOW  %a@." Api.pp_call call
+                | Api.Deny why ->
+                  Fmt.pr "DENY   %a  (%s)@." Api.pp_call call why);
+                (match info.Api.explain with
+                | Some e -> Fmt.pr "       because: %s@." e
+                | None -> ());
+                if use_cache then
+                  Fmt.pr "       served: %s@."
+                    (Api.cache_outcome_to_string info.Api.cache)
+              end
+              else
+                match Engine.check engine call with
+                | Api.Allow -> Fmt.pr "ALLOW  %a@." Api.pp_call call
+                | Api.Deny why ->
+                  Fmt.pr "DENY   %a  (%s)@." Api.pp_call call why)
           specs;
         if use_cache then Fmt.pr "%a" Metrics.pp_cache_report ();
         if !had_error then `Error (false, "some call specs were invalid")
@@ -204,11 +219,20 @@ let check_cmd =
             "Enable the decision cache on the checking engine and print \
              the cache hit/miss report after the calls.")
   in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print, for each decision, which permission token and \
+             top-level filter clause decided it (and, with $(b,--cache), \
+             which cache level served it).")
+  in
   let manifest = Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST") in
   let specs = Arg.(value & pos_right 0 string [] & info [] ~docv:"CALL") in
   Cmd.v
     (Cmd.info "check" ~doc:"Check API call specs against a manifest")
-    Term.(ret (const run $ cache_arg $ manifest $ specs))
+    Term.(ret (const run $ cache_arg $ explain_arg $ manifest $ specs))
 
 (* vet ------------------------------------------------------------------------ *)
 
@@ -394,6 +418,118 @@ let faults_demo_cmd =
           (docs/RUNTIME.md)")
     Term.(ret (const run $ events $ seed))
 
+(* telemetry ------------------------------------------------------------------ *)
+
+(* A self-contained traced run: an engine-guarded app on the isolated
+   runtime, issuing a mix of allowed and denied calls, so the snapshot
+   has something in every section — histograms, cache counters, queue
+   gauges, fault counters and span accounting. *)
+let telemetry_cmd =
+  let demo_manifest =
+    "PERM insert_flow LIMITING MAX_PRIORITY 400 AND OWN_FLOWS\n\
+     PERM pkt_in_event\nPERM read_payload"
+  in
+  let run format events spans_to_show =
+    let open Shield_net in
+    let kernel = Kernel.create (Dataplane.create (Topology.linear 4)) in
+    let handled = ref 0 in
+    let app =
+      App.make
+        ~subscriptions:[ Api.E_packet_in ]
+        ~handle:(fun ctx ev ->
+          match ev with
+          | Events.Packet_in pi ->
+            incr handled;
+            (* Every 4th call breaches the MAX_PRIORITY 400 bound, so
+               the trace carries explained denials. *)
+            let priority = if !handled mod 4 = 0 then 1_000 else 100 in
+            let fm =
+              Flow_mod.add ~priority
+                ~match_:
+                  (Match_fields.make ~tp_dst:(1024 + (!handled mod 16)) ())
+                ~actions:[ Action.Output 1 ] ()
+            in
+            ignore (ctx.App.call (Api.Install_flow (pi.Message.dpid, fm)))
+          | _ -> ())
+        "demo"
+    in
+    let ownership = Ownership.create () in
+    let engine =
+      Engine.create ~cache_size:Decision_cache.default_max_entries ~ownership
+        ~app_name:"demo" ~cookie:1
+        (Perm_parser.manifest_exn demo_manifest)
+    in
+    let trace = Trace.create ~capacity:4096 () in
+    let config = { Runtime.default_config with Runtime.trace = Some trace } in
+    let rt =
+      Runtime.create ~config
+        ~mode:(Runtime.Isolated { ksd_threads = 2 })
+        kernel
+        [ (app, Engine.checker engine) ]
+    in
+    for i = 1 to events do
+      Runtime.feed rt
+        (Events.Packet_in
+           { Message.dpid = 1 + (i mod 4); in_port = 1;
+             packet = Packet.arp ~src:0xA ~dst:0xB ();
+             reason = Message.No_match; buffer_id = None })
+    done;
+    Runtime.drain rt;
+    let snap = Runtime.telemetry rt in
+    Runtime.shutdown rt;
+    (match format with
+    | "json" -> Fmt.pr "%s@." (Telemetry.to_json snap)
+    | "prometheus" -> Fmt.pr "%s" (Telemetry.to_prometheus snap)
+    | "text" -> Fmt.pr "%a" Telemetry.pp snap
+    | _ ->
+      Fmt.pr "# --- text ---@.%a" Telemetry.pp snap;
+      Fmt.pr "# --- json ---@.%s@." (Telemetry.to_json snap);
+      Fmt.pr "# --- prometheus ---@.%s" (Telemetry.to_prometheus snap));
+    (match spans_to_show with
+    | 0 -> ()
+    | n ->
+      let spans = Trace.spans trace in
+      let tail =
+        let len = List.length spans in
+        if len <= n then spans else List.filteri (fun i _ -> i >= len - n) spans
+      in
+      Fmt.pr "# --- last %d spans ---@." (List.length tail);
+      List.iter (fun s -> Fmt.pr "%a@." Trace.pp_span s) tail);
+    Metrics.unregister_cache "engine:demo";
+    `Ok ()
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("all", "all"); ("json", "json");
+                    ("prometheus", "prometheus"); ("text", "text") ])
+          "all"
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,json), $(b,prometheus), $(b,text), or \
+             $(b,all) (default).")
+  in
+  let events =
+    Arg.(
+      value & opt int 2_000
+      & info [ "events" ] ~docv:"N" ~doc:"Packet-in events to inject.")
+  in
+  let spans_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "spans" ] ~docv:"N"
+          ~doc:"Also print the last N recorded spans (0 = none).")
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Run a small traced workload on the isolated runtime and emit the \
+          unified telemetry snapshot — latency histograms, cache counters, \
+          queue gauges, fault counters and span accounting — as JSON, \
+          Prometheus text exposition, or a human-readable report \
+          (docs/OBSERVABILITY.md)")
+    Term.(ret (const run $ format $ events $ spans_arg))
+
 let () =
   let info =
     Cmd.info "sdnshield" ~version:"1.0.0"
@@ -403,4 +539,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; parse_policy_cmd; reconcile_cmd; check_cmd; vet_cmd;
-            faults_demo_cmd ]))
+            faults_demo_cmd; telemetry_cmd ]))

@@ -83,6 +83,36 @@ let is_denied = function Denied _ -> true | _ -> false
 (* Decisions produced by a permission checker. *)
 type decision = Allow | Deny of string
 
+(* Decision provenance (docs/OBSERVABILITY.md).  A checker that can
+   explain itself reports where the decision came from — which cache
+   level served it and, in prose, which permission token and filter
+   clause granted or denied the call — so traces and forensic reports
+   can show *why*, not just *what*. *)
+
+type cache_outcome =
+  | L1_hit  (** Served by the call-keyed fast path. *)
+  | L2_hit  (** Served by the canonical-signature table. *)
+  | Cache_miss  (** Evaluated, then cached. *)
+  | Cache_bypass  (** The cache refused the lookup (uncacheable). *)
+  | Uncached  (** No decision cache on this path. *)
+
+let cache_outcome_to_string = function
+  | L1_hit -> "l1-hit"
+  | L2_hit -> "l2-hit"
+  | Cache_miss -> "miss"
+  | Cache_bypass -> "bypass"
+  | Uncached -> "uncached"
+
+type check_info = {
+  cache : cache_outcome;
+  explain : string option;
+      (** Which token and top-level filter clause decided, e.g.
+          ["token insert_flow: clause 2/3 failed: nw_dst 10.0.0.0 MASK
+          255.0.0.0"]. *)
+}
+
+let no_check_info = { cache = Uncached; explain = None }
+
 (** Coarse capabilities an app consumes, declared on the app and
     verified at load time (the paper's OSGi-level check, §VIII-B: when
     the app lacks the required tokens entirely, it is caught before any
@@ -142,6 +172,14 @@ type checker = {
       (** Load-time token-presence test: does the policy grant the
           token(s) behind this capability at all?  Used by the
           runtime's load-time access control (§VIII-B). *)
+  explain : (call -> decision * check_info) option;
+      (** Explained variant of [check]: same decision (including any
+          state recording), plus provenance for traces and forensic
+          reports.  [None] means the checker cannot explain itself;
+          traced runtimes then fall back to [check] with
+          {!no_check_info}.  Implementations MUST decide exactly as
+          [check] would — the traced and untraced runtimes must be
+          behaviourally identical. *)
 }
 
 and state_change =
@@ -159,7 +197,8 @@ let allow_all =
     combine = default_combine;
     vet_result = (fun _ r -> r);
     observe = (fun _ -> ());
-    granted = (fun _ -> true) }
+    granted = (fun _ -> true);
+    explain = None }
 
 let deny_all =
   { allow_all with
@@ -190,6 +229,21 @@ let pp_call ppf = function
   | Read_payload_access -> Fmt.string ppf "read_payload"
   | Publish_event { tag; _ } -> Fmt.pf ppf "publish_event %s" tag
   | Syscall s -> pp_syscall ppf s
+
+(** Constant-string class of a call — the span label recorded on the
+    traced hot path, where pretty-printing the full call would cost
+    more than the mediation itself. *)
+let call_kind = function
+  | Install_flow _ -> "install_flow"
+  | Read_flow_table _ -> "read_flow_table"
+  | Read_topology -> "read_topology"
+  | Modify_topology _ -> "modify_topology"
+  | Read_stats _ -> "read_stats"
+  | Send_packet_out _ -> "packet_out"
+  | Receive_event _ -> "receive_event"
+  | Read_payload_access -> "read_payload"
+  | Publish_event _ -> "publish_event"
+  | Syscall _ -> "syscall"
 
 let pp_result ppf = function
   | Done -> Fmt.string ppf "done"

@@ -122,4 +122,12 @@ let wrap_checker (c : Api.checker) : Api.checker =
     Api.check_transaction =
       (fun calls ->
         point Checker;
-        c.Api.check_transaction calls) }
+        c.Api.check_transaction calls);
+    Api.explain =
+      (* The explained path is a decision entry point too: traced
+         runtimes must face the same fault schedule as untraced ones. *)
+      Option.map
+        (fun f call ->
+          point Checker;
+          f call)
+        c.Api.explain }

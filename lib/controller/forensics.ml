@@ -137,6 +137,34 @@ let suspicions ?(allowed_destinations = []) ~(sandbox : Sandbox.t)
       else None)
     (Sandbox.audit_log sandbox)
 
+(* Incident reports ---------------------------------------------------------- *)
+
+type incident_report = {
+  summaries : app_summary list;
+  suspicions : suspicion list;
+  faults : Sandbox.audit_entry list;
+  explained_denials : Trace.span list;
+      (** Denied spans from the trace store, each carrying the
+          decision explanation (which token / filter clause denied) —
+          the "why" the audit log's flat denial entries lack. *)
+}
+
+(** The full §VII analysis product: per-app summaries, the suspicion
+    heuristics, the runtime-fault log, and — when the runtime ran with
+    a trace store — every denied call with its decision explanation. *)
+let incident_report ?allowed_destinations ?trace ~(sandbox : Sandbox.t)
+    ~(kernel : Kernel.t) (apps : string list) : incident_report =
+  { summaries = List.map (summarize_app ~sandbox ~kernel) apps;
+    suspicions = suspicions ?allowed_destinations ~sandbox ~kernel apps;
+    faults = fault_log sandbox;
+    explained_denials =
+      (match trace with
+      | None -> []
+      | Some tr ->
+        List.filter
+          (fun (s : Trace.span) -> s.Trace.decision = Trace.Denied)
+          (Trace.spans tr)) }
+
 let pp_summary ppf s =
   Fmt.pf ppf
     "@[<h>%s: actions=%d denials=%d faults=%d net=%d(%d dsts) delivered=%d \
@@ -147,3 +175,26 @@ let pp_summary ppf s =
 
 let pp_suspicion ppf s =
   Fmt.pf ppf "@[<h>[class %d] %s: %s@]" s.attack_class s.suspect s.evidence
+
+let pp_incident_report ppf (r : incident_report) =
+  Fmt.pf ppf "activity summaries:@.";
+  List.iter (fun s -> Fmt.pf ppf "  %a@." pp_summary s) r.summaries;
+  (match r.suspicions with
+  | [] -> Fmt.pf ppf "no suspicions raised@."
+  | ss ->
+    Fmt.pf ppf "suspicions:@.";
+    List.iter (fun s -> Fmt.pf ppf "  %a@." pp_suspicion s) ss);
+  (match r.faults with
+  | [] -> ()
+  | faults ->
+    Fmt.pf ppf "runtime faults (%d):@." (List.length faults);
+    List.iter
+      (fun (e : Sandbox.audit_entry) ->
+        Fmt.pf ppf "  %s: %s (%s)@." e.Sandbox.app_name e.Sandbox.action
+          e.Sandbox.detail)
+      faults);
+  match r.explained_denials with
+  | [] -> ()
+  | denials ->
+    Fmt.pf ppf "explained denials (%d):@." (List.length denials);
+    List.iter (fun s -> Fmt.pf ppf "  %a@." Trace.pp_span s) denials

@@ -14,6 +14,16 @@
    register a stats thunk under a name; consumers call
    [cache_report]. *)
 
+(* Monotonic time -------------------------------------------------------- *)
+
+(* All latency measurement in the runtime goes through [now]: a
+   monotonic clock (CLOCK_MONOTONIC via the bechamel stub, already a
+   build dependency of the bench harness) whose epoch is arbitrary but
+   which never jumps backwards — an NTP step during a measured interval
+   cannot produce a negative span.  Only durations ([now () -. start])
+   are meaningful; never compare these values to wall-clock time. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 type t = {
   mutable buf : float array;  (** Seconds; first [count] slots valid. *)
   mutable count : int;
@@ -42,13 +52,16 @@ let count t =
   Mutex.unlock t.mutex;
   n
 
-(** A consistent copy of the recorded samples, newest first (the order
-    the old list representation exposed). *)
+(** A consistent copy of the recorded samples, in recording order
+    (oldest first).  The list representation this module once used
+    exposed newest-first; that inversion leaked into the interface and
+    callers treated the result as recording order anyway, so the
+    recording order is now the documented contract. *)
 let samples t =
   Mutex.lock t.mutex;
   let arr = Array.sub t.buf 0 t.count in
   Mutex.unlock t.mutex;
-  List.rev (Array.to_list arr)
+  Array.to_list arr
 
 (** [percentile_sorted p arr] with [arr] ascending and [p] in [0,100],
     by linear interpolation between the two closest ranks (the
@@ -92,7 +105,11 @@ let summarize t =
     { n = 0; median = nan; p10 = nan; p90 = nan; mean = nan; min = nan;
       max = nan }
   else begin
-    Array.sort compare arr;
+    (* [Float.compare], not polymorphic [compare]: same order on
+       ordinary floats, but monomorphic (no generic-compare dispatch
+       per element) and with a total, documented NaN order instead of
+       the polymorphic comparator's unspecified NaN behaviour. *)
+    Array.sort Float.compare arr;
     { n;
       median = percentile_sorted 50. arr;
       p10 = percentile_sorted 10. arr;
@@ -107,11 +124,12 @@ let summarize_list values =
   List.iter (record t) values;
   summarize t
 
-(** Wall-clock an action, recording the elapsed time. *)
+(** Time an action on the monotonic clock, recording the elapsed
+    seconds. *)
 let time t f =
-  let start = Unix.gettimeofday () in
+  let start = now () in
   let r = f () in
-  record t (Unix.gettimeofday () -. start);
+  record t (now () -. start);
   r
 
 let pp_summary ppf s =
@@ -214,3 +232,227 @@ let pp_gauge_report ppf () =
     (fun (name, g) ->
       Fmt.pf ppf "%-24s depth=%d high-water=%d@." name g.depth g.hwm)
     (gauge_report ())
+
+(* Bounded log-linear latency histograms ------------------------------------ *)
+
+(* [t] above keeps every sample, which is exact but unbounded: a
+   production runtime serving millions of calls cannot afford a float
+   per call just to answer "what is p90 latency?".  [Histogram] is the
+   constant-memory companion (HDR-histogram style): each power-of-two
+   octave of the 1µs..10s range is split into [sub] linear sub-buckets,
+   so the relative resolution is 1/sub (6.25%) everywhere and the whole
+   structure is one int array.  Histograms with the same geometry merge
+   by adding counts (the geometry is fixed per process), so per-domain
+   histograms can be combined without locks on the recording path of
+   other domains. *)
+module Histogram = struct
+  let sub_bits = 4
+  let sub = 1 lsl sub_bits  (** Linear sub-buckets per octave: 16. *)
+
+  let octaves = 24
+  (** 2^24 µs ≈ 16.8 s ≥ the 10 s design ceiling. *)
+
+  let buckets = octaves * sub
+
+  type t = {
+    counts : int array;  (** [buckets] in-range cells. *)
+    mutable underflow : int;  (** Samples below 1 µs. *)
+    mutable overflow : int;  (** Samples at or above 2^24 µs. *)
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+    hmutex : Mutex.t;
+  }
+
+  let create () =
+    { counts = Array.make buckets 0; underflow = 0; overflow = 0; sum = 0.;
+      vmin = infinity; vmax = neg_infinity; hmutex = Mutex.create () }
+
+  (** Bucket index of a duration [v] in seconds: [-1] = underflow,
+      [buckets] = overflow, else the in-range cell.  Non-finite and
+      negative values are treated as underflow (they cannot perturb
+      percentiles upward). *)
+  let bucket_index v =
+    let u = v *. 1e6 in
+    if not (Float.is_finite u) || u < 1. then -1
+    else begin
+      let m, e = Float.frexp u in
+      (* u >= 1, so e >= 1; u = m * 2^e with m in [0.5, 1). *)
+      let oct = e - 1 in
+      if oct >= octaves then buckets
+      else (oct * sub) + int_of_float ((m -. 0.5) *. float_of_int (2 * sub))
+    end
+
+  (** Closed-open bounds [(lo, hi)] of in-range bucket [i], seconds. *)
+  let bucket_bounds i =
+    let oct = i / sub and j = i mod sub in
+    let base = Float.ldexp 1e-6 oct in
+    ( base *. (1. +. (float_of_int j /. float_of_int sub)),
+      base *. (1. +. (float_of_int (j + 1) /. float_of_int sub)) )
+
+  (** Midpoint representative of bucket [i], seconds. *)
+  let bucket_mid i =
+    let lo, hi = bucket_bounds i in
+    (lo +. hi) /. 2.
+
+  let record t v =
+    Mutex.lock t.hmutex;
+    (match bucket_index v with
+    | -1 -> t.underflow <- t.underflow + 1
+    | i when i >= buckets -> t.overflow <- t.overflow + 1
+    | i -> t.counts.(i) <- t.counts.(i) + 1);
+    t.sum <- t.sum +. v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v;
+    Mutex.unlock t.hmutex
+
+  let count t =
+    Mutex.lock t.hmutex;
+    let n =
+      t.underflow + t.overflow + Array.fold_left ( + ) 0 t.counts
+    in
+    Mutex.unlock t.hmutex;
+    n
+
+  (** [merge a b] — a fresh histogram holding both datasets.  Merging
+      is associative and commutative (counts add, min/max combine), so
+      per-domain histograms fold into one in any order. *)
+  let merge a b =
+    let m = create () in
+    let add src =
+      Mutex.lock src.hmutex;
+      Array.iteri (fun i c -> m.counts.(i) <- m.counts.(i) + c) src.counts;
+      m.underflow <- m.underflow + src.underflow;
+      m.overflow <- m.overflow + src.overflow;
+      m.sum <- m.sum +. src.sum;
+      if src.vmin < m.vmin then m.vmin <- src.vmin;
+      if src.vmax > m.vmax then m.vmax <- src.vmax;
+      Mutex.unlock src.hmutex
+    in
+    add a;
+    add b;
+    m
+
+  (** Nearest-rank percentile estimate: the representative of the
+      bucket holding the ⌈p/100·n⌉-th smallest sample, clamped to the
+      observed min/max so under/overflow samples answer exactly.  The
+      true nearest-rank sample lies in the returned bucket, so the
+      estimate is within one bucket width (1/16 of an octave, 6.25%
+      relative) of it.  [nan] on an empty histogram; [p] outside
+      [0,100] is clamped. *)
+  let percentile t p =
+    Mutex.lock t.hmutex;
+    let in_range = Array.fold_left ( + ) 0 t.counts in
+    let n = t.underflow + t.overflow + in_range in
+    let r =
+      if n = 0 then nan
+      else begin
+        let p = Float.max 0. (Float.min 100. p) in
+        let rank =
+          Stdlib.max 1 (int_of_float (ceil (p /. 100. *. float_of_int n)))
+        in
+        if rank <= t.underflow then t.vmin
+        else begin
+          let rec walk i acc =
+            if i >= buckets then t.vmax
+            else
+              let acc = acc + t.counts.(i) in
+              if acc >= rank then
+                (* Clamp into the observed range: a bucket midpoint can
+                   overshoot the true max when the top sample sits low
+                   in its bucket. *)
+                Float.max t.vmin (Float.min t.vmax (bucket_mid i))
+              else walk (i + 1) acc
+          in
+          walk 0 t.underflow
+        end
+      end
+    in
+    Mutex.unlock t.hmutex;
+    r
+
+  (** A consistent snapshot for exporters: totals plus the non-empty
+      buckets as [(lo, hi, count)] in ascending order. *)
+  type export = {
+    n : int;
+    sum : float;
+    min : float;  (** [nan] when empty. *)
+    max : float;  (** [nan] when empty. *)
+    underflow : int;
+    overflow : int;
+    cells : (float * float * int) list;
+  }
+
+  let export t : export =
+    Mutex.lock t.hmutex;
+    let cells = ref [] in
+    for i = buckets - 1 downto 0 do
+      if t.counts.(i) > 0 then begin
+        let lo, hi = bucket_bounds i in
+        cells := (lo, hi, t.counts.(i)) :: !cells
+      end
+    done;
+    let in_range = Array.fold_left ( + ) 0 t.counts in
+    let n = t.underflow + t.overflow + in_range in
+    let e =
+      { n; sum = t.sum;
+        min = (if n = 0 then nan else t.vmin);
+        max = (if n = 0 then nan else t.vmax);
+        underflow = t.underflow; overflow = t.overflow; cells = !cells }
+    in
+    Mutex.unlock t.hmutex;
+    e
+
+  let pp ppf t =
+    let e = export t in
+    if e.n = 0 then Fmt.pf ppf "empty"
+    else
+      Fmt.pf ppf "n=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus"
+        e.n
+        (e.sum /. float_of_int e.n *. 1e6)
+        (percentile t 50. *. 1e6) (percentile t 90. *. 1e6)
+        (percentile t 99. *. 1e6) (e.max *. 1e6)
+end
+
+(* Histogram registry -------------------------------------------------------- *)
+
+(* Same shape as the cache and gauge registries: the runtimes record
+   per-stage and per-app latencies under stable names
+   (["lat:check"], ["lat:app:<name>"], …) and exporters snapshot them
+   all through [hist_report].  [hist] creates on first use so
+   instrumentation sites need no setup order. *)
+
+let hist_registry : (string, Histogram.t) Hashtbl.t = Hashtbl.create 8
+let hist_mutex = Mutex.create ()
+
+(** The histogram registered under [name], created empty on first
+    use. *)
+let hist name =
+  Mutex.lock hist_mutex;
+  let h =
+    match Hashtbl.find_opt hist_registry name with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create () in
+      Hashtbl.add hist_registry name h;
+      h
+  in
+  Mutex.unlock hist_mutex;
+  h
+
+let unregister_hist name =
+  Mutex.lock hist_mutex;
+  Hashtbl.remove hist_registry name;
+  Mutex.unlock hist_mutex
+
+(** Every registered histogram, sorted by name. *)
+let hist_report () : (string * Histogram.t) list =
+  Mutex.lock hist_mutex;
+  let hs = Hashtbl.fold (fun name h acc -> (name, h) :: acc) hist_registry [] in
+  Mutex.unlock hist_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) hs
+
+let pp_hist_report ppf () =
+  List.iter
+    (fun (name, h) -> Fmt.pf ppf "%-24s %a@." name Histogram.pp h)
+    (hist_report ())

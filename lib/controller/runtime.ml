@@ -61,11 +61,16 @@ type config = {
           exactly-once semantics, so a full request queue parks the
           calling app thread (saturating its own call loop) rather
           than dropping the call. *)
+  trace : Trace.t option;
+      (** Span store for end-to-end call tracing.  [None] (default)
+          keeps the mediation path exactly as untraced; with a store,
+          every sampled call records a {!Trace.span} and feeds the
+          [lat:*] histograms in {!Metrics}. *)
 }
 
 let default_config =
   { call_deadline = None; restart_budget = 8; ev_capacity = None;
-    ev_policy = Channel.Block; req_capacity = None }
+    ev_policy = Channel.Block; req_capacity = None; trace = None }
 
 (* Fault-tolerance observability: how often the safety nets fired. *)
 type fault_counters = {
@@ -104,12 +109,16 @@ type instance = {
 
 and ev_item = Deliver of Events.t * Channel.Latch.t option
 
+(* The [float option] is the monotonic enqueue timestamp of a call the
+   trace sampler selected ([None] = untraced): the deputy that pops the
+   request turns it into the span's queue-wait stage. *)
 type request =
-  | Call of instance * Api.call * Api.result Channel.Ivar.t
+  | Call of instance * Api.call * Api.result Channel.Ivar.t * float option
   | Txn of
       instance
       * Api.call list
       * (Api.result list, int * string) result Channel.Ivar.t
+      * float option
 
 type t = {
   kernel : Kernel.t;
@@ -233,6 +242,98 @@ let checked_txn t inst calls =
     audit_denial t inst (List.nth calls i) why;
     Error (i, why)
 
+(* Traced execution ---------------------------------------------------------
+
+   The traced twin of [checked_exec]: same counters, same audit, same
+   result — plus per-stage timing on the monotonic clock, the checker's
+   decision provenance (via its [explain] entry point when it has one),
+   a span in the store, and samples into the [lat:*] histograms.  Kept
+   separate so the untraced hot path pays nothing. *)
+
+let span_histograms inst ~queue_wait ~check_dur ~exec_dur =
+  Metrics.Histogram.record (Metrics.hist "lat:queue") queue_wait;
+  Metrics.Histogram.record (Metrics.hist "lat:check") check_dur;
+  Metrics.Histogram.record (Metrics.hist "lat:exec") exec_dur;
+  let total = queue_wait +. check_dur +. exec_dur in
+  Metrics.Histogram.record (Metrics.hist "lat:total") total;
+  Metrics.Histogram.record
+    (Metrics.hist ("lat:app:" ^ inst.app.App.name))
+    total
+
+let record_span tr inst ~call ~deputy ~queue_wait ~check_dur ~exec_dur
+    ~decision ~cache ~explain =
+  span_histograms inst ~queue_wait ~check_dur ~exec_dur;
+  Trace.span tr ~app:inst.app.App.name ~call ~deputy ~queue_wait ~check_dur
+    ~exec_dur ~decision ~cache ~explain
+
+let checked_exec_traced t inst call tr ~deputy ~queue_wait : Api.result =
+  incr_counter t (fun c -> c.calls <- c.calls + 1);
+  let call_str = Api.call_kind call in
+  let t0 = Metrics.now () in
+  let decision, info =
+    match inst.checker.Api.explain with
+    | Some explain -> explain call
+    | None -> (inst.checker.Api.check call, Api.no_check_info)
+  in
+  let check_dur = Metrics.now () -. t0 in
+  match decision with
+  | Api.Deny why ->
+    audit_denial t inst call why;
+    record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur
+      ~exec_dur:0. ~decision:Trace.Denied ~cache:info.Api.cache
+      ~explain:info.Api.explain;
+    Api.Denied why
+  | Api.Allow -> (
+    let t1 = Metrics.now () in
+    match
+      let concrete = inst.checker.Api.rewrite call in
+      let results = List.map (locked_exec t inst) concrete in
+      inst.checker.Api.vet_result call (inst.checker.Api.combine call results)
+    with
+    | result ->
+      let exec_dur = Metrics.now () -. t1 in
+      let cls =
+        match result with
+        | Api.Denied _ -> Trace.Denied
+        | Api.Failed _ -> Trace.Failed
+        | _ -> Trace.Allowed
+      in
+      record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur
+        ~exec_dur ~decision:cls ~cache:info.Api.cache
+        ~explain:info.Api.explain;
+      result
+    | exception exn ->
+      (* The span must not be lost to the deputy barrier: record the
+         failure here, then let the barrier shape the reply. *)
+      let exec_dur = Metrics.now () -. t1 in
+      record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur
+        ~exec_dur ~decision:Trace.Failed ~cache:info.Api.cache
+        ~explain:(Some ("exception: " ^ Printexc.to_string exn));
+      raise exn)
+
+(* Transactions trace as one span covering the whole group. *)
+let checked_txn_traced t inst calls tr ~deputy ~queue_wait =
+  let call_str = Printf.sprintf "txn(%d calls)" (List.length calls) in
+  let t0 = Metrics.now () in
+  match checked_txn t inst calls with
+  | r ->
+    let dur = Metrics.now () -. t0 in
+    let decision, explain =
+      match r with
+      | Ok _ -> (Trace.Allowed, None)
+      | Error (i, why) ->
+        (Trace.Denied, Some (Printf.sprintf "call %d of group: %s" i why))
+    in
+    record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur:dur
+      ~exec_dur:0. ~decision ~cache:Api.Uncached ~explain;
+    r
+  | exception exn ->
+    let dur = Metrics.now () -. t0 in
+    record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur:dur
+      ~exec_dur:0. ~decision:Trace.Failed ~cache:Api.Uncached
+      ~explain:(Some ("exception: " ^ Printexc.to_string exn));
+    raise exn
+
 (* Contexts ---------------------------------------------------------------- *)
 
 (* Wait for a KSD reply.  Without a configured deadline this blocks
@@ -249,18 +350,37 @@ let await_reply t ivar ~on_deadline =
       Atomic.incr t.faults.deadline_expiries;
       on_deadline)
 
+(* The trace sampler runs at the call site (app thread), before any
+   timestamping, so sampled-out calls pay one mutex-protected counter
+   bump and nothing else. *)
+let trace_enq t =
+  match t.config.trace with
+  | Some tr when Trace.sampled tr -> Some (Metrics.now ())
+  | _ -> None
+
 let make_ctx t inst : App.ctx =
   match t.mode with
   | Monolithic ->
     { App.app_name = inst.app.App.name;
-      call = (fun call -> checked_exec t inst call);
-      transaction = (fun calls -> checked_txn t inst calls) }
+      call =
+        (fun call ->
+          match t.config.trace with
+          | Some tr when Trace.sampled tr ->
+            (* Inline execution: no deputy, no queue wait. *)
+            checked_exec_traced t inst call tr ~deputy:(-1) ~queue_wait:0.
+          | _ -> checked_exec t inst call);
+      transaction =
+        (fun calls ->
+          match t.config.trace with
+          | Some tr when Trace.sampled tr ->
+            checked_txn_traced t inst calls tr ~deputy:(-1) ~queue_wait:0.
+          | _ -> checked_txn t inst calls) }
   | Isolated _ | Isolated_domains _ ->
     { App.app_name = inst.app.App.name;
       call =
         (fun call ->
           let ivar = Channel.Ivar.create () in
-          match Channel.push t.reqs (Call (inst, call, ivar)) with
+          match Channel.push t.reqs (Call (inst, call, ivar, trace_enq t)) with
           | () -> await_reply t ivar ~on_deadline:(Api.Failed "deadline")
           | exception Channel.Closed -> Api.Failed "runtime shut down"
           | exception Channel.Full ->
@@ -269,7 +389,7 @@ let make_ctx t inst : App.ctx =
       transaction =
         (fun calls ->
           let ivar = Channel.Ivar.create () in
-          match Channel.push t.reqs (Txn (inst, calls, ivar)) with
+          match Channel.push t.reqs (Txn (inst, calls, ivar, trace_enq t)) with
           | () -> await_reply t ivar ~on_deadline:(Error (-1, "deadline"))
           | exception Channel.Closed -> Error (-1, "runtime shut down")
           | exception Channel.Full ->
@@ -459,31 +579,41 @@ let ksd_failure t inst exn =
   Sandbox.record_audit (sandbox t) ~app:inst.app.App.name
     ~action:"ksd-exception" ~allowed:true ~detail:(Printexc.to_string exn)
 
-let serve_request t = function
-  | Call (inst, call, ivar) ->
+let serve_request t ~deputy = function
+  | Call (inst, call, ivar, enq) ->
     let r =
-      try checked_exec t inst call
+      try
+        match (t.config.trace, enq) with
+        | Some tr, Some enq_at ->
+          let queue_wait = Metrics.now () -. enq_at in
+          checked_exec_traced t inst call tr ~deputy ~queue_wait
+        | _ -> checked_exec t inst call
       with exn ->
         ksd_failure t inst exn;
         Api.Failed (Printexc.to_string exn)
     in
     Channel.Ivar.fill ivar r
-  | Txn (inst, calls, ivar) ->
+  | Txn (inst, calls, ivar, enq) ->
     let r =
-      try checked_txn t inst calls
+      try
+        match (t.config.trace, enq) with
+        | Some tr, Some enq_at ->
+          let queue_wait = Metrics.now () -. enq_at in
+          checked_txn_traced t inst calls tr ~deputy ~queue_wait
+        | _ -> checked_txn t inst calls
       with exn ->
         ksd_failure t inst exn;
         Error (-1, Printexc.to_string exn)
     in
     Channel.Ivar.fill ivar r
 
-let ksd_thread t () =
+let ksd_thread t deputy () =
   let rec loop () =
     match Channel.pop t.reqs with
     | None -> ()
     | Some req ->
       Faults.point Faults.Deputy;
-      serve_request t req;
+      serve_request t ~deputy req;
       loop ()
   in
   let rec supervise budget =
@@ -612,14 +742,15 @@ let create ?(load_check = Skip_load_check) ?(config = default_config) ~mode
   | Monolithic -> ()
   | Isolated { ksd_threads } ->
     t.ksd_pool <-
-      List.init (max 1 ksd_threads) (fun _ -> Thread.create (ksd_thread t) ());
+      List.init (max 1 ksd_threads) (fun i ->
+          Thread.create (ksd_thread t i) ());
     List.iter
       (fun inst -> inst.thread <- Some (Thread.create (app_thread t inst) ()))
       instances;
     register_queue_gauges t
   | Isolated_domains { ksd_domains } ->
     t.ksd_domains <-
-      List.init (max 1 ksd_domains) (fun _ -> Domain.spawn (ksd_thread t));
+      List.init (max 1 ksd_domains) (fun i -> Domain.spawn (ksd_thread t i));
     List.iter
       (fun inst -> inst.thread <- Some (Thread.create (app_thread t inst) ()))
       instances;
@@ -658,14 +789,30 @@ let pp_fault_report ppf r =
      backpressure-rejections=%d@."
     r.failures r.restarts r.deadlines r.rejections
 
-let pp_report ppf t =
+(** The runtime's slice of the unified telemetry snapshot
+    (docs/OBSERVABILITY.md): reference-monitor and fault counters from
+    this runtime, histograms/caches/gauges from the process-wide
+    {!Metrics} registries, span accounting from the configured trace
+    store (if any). *)
+let telemetry t : Telemetry.snapshot =
   let calls, denials, delivered, suppressed = stats t in
-  Fmt.pf ppf "calls=%d denials=%d events: delivered=%d suppressed=%d@." calls
-    denials delivered suppressed;
-  Fmt.pf ppf "kernel executions=%d@." (Kernel.exec_count t.kernel);
-  pp_fault_report ppf (fault_report t);
-  if is_isolated t.mode then Metrics.pp_gauge_report ppf ();
-  Metrics.pp_cache_report ppf ()
+  let fr = fault_report t in
+  Telemetry.snapshot
+    ~counters:
+      [ ("calls", calls); ("denials", denials);
+        ("events_delivered", delivered); ("events_suppressed", suppressed);
+        ("kernel_executions", Kernel.exec_count t.kernel);
+        ("ksd_failures", fr.failures); ("ksd_restarts", fr.restarts);
+        ("deadline_expiries", fr.deadlines);
+        ("backpressure_rejections", fr.rejections) ]
+    ?trace:t.config.trace ()
+
+let pp_report ppf t = Telemetry.pp ppf (telemetry t)
+
+(** The retained spans of the configured trace store, oldest first
+    (empty without one). *)
+let spans t =
+  match t.config.trace with None -> [] | Some tr -> Trace.spans tr
 
 let instance_ctx t name =
   match List.find_opt (fun i -> i.app.App.name = name) t.instances with

@@ -43,6 +43,14 @@ type config = {
   req_capacity : int option;
       (** KSD request channel bound; always blocking on full, so a
           flooding app parks its own call loop. *)
+  trace : Trace.t option;
+      (** Span store for end-to-end call tracing
+          (docs/OBSERVABILITY.md).  [None] (default) keeps the
+          mediation path exactly as untraced; with a store, every
+          sampled call records a {!Trace.span} — queue wait, check and
+          kernel-execution durations, cache outcome, decision and its
+          explanation — and feeds the [lat:*] histograms in
+          {!Metrics}. *)
 }
 
 val default_config : config
@@ -88,11 +96,12 @@ and instance = private {
 and ev_item = Deliver of Events.t * Channel.Latch.t option
 
 and request =
-  | Call of instance * Api.call * Api.result Channel.Ivar.t
+  | Call of instance * Api.call * Api.result Channel.Ivar.t * float option
   | Txn of
       instance
       * Api.call list
       * (Api.result list, int * string) result Channel.Ivar.t
+      * float option
 
 and counters = private {
   mutable calls : int;
@@ -160,9 +169,20 @@ val cache_report : t -> (string * Metrics.cache_stats) list
     per-engine decision caches and the normal-form / inclusion memo
     tables (see {!Metrics.register_cache}). *)
 
+val telemetry : t -> Telemetry.snapshot
+(** The runtime's slice of the unified telemetry snapshot: its
+    reference-monitor and fault counters, the process-wide
+    histogram/cache/gauge registries, and the configured trace store's
+    accounting.  Render with {!Telemetry.to_json} /
+    {!Telemetry.to_prometheus} / {!Telemetry.pp}. *)
+
+val spans : t -> Trace.span list
+(** Retained spans of the configured trace store, oldest first (empty
+    without one). *)
+
 val pp_report : Format.formatter -> t -> unit
-(** Human-readable observability report: reference-monitor counters,
-    kernel execution volume, and the cache report. *)
+(** Human-readable observability report — {!Telemetry.pp} of
+    {!telemetry}. *)
 
 val sandbox : t -> Sandbox.t
 val kernel : t -> Kernel.t

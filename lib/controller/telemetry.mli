@@ -1,0 +1,63 @@
+(** Unified telemetry export (docs/OBSERVABILITY.md).
+
+    {!snapshot} gathers one consistent view of everything the process
+    measures — the {!Metrics} histogram/cache/gauge registries, plus
+    caller-supplied runtime counters and a {!Trace} store — and renders
+    it as JSON ({!to_json}) or Prometheus text exposition format
+    ({!to_prometheus}).  [Runtime.telemetry] is the usual entry point;
+    this module itself never depends on the runtime. *)
+
+type snapshot = {
+  counters : (string * int) list;
+      (** Caller-supplied monotone counters, in the caller's order. *)
+  histograms : (string * Metrics.Histogram.export) list;
+  caches : (string * Metrics.cache_stats) list;
+  gauges : (string * Metrics.gauge) list;
+  trace : Trace.stats option;
+}
+
+val snapshot :
+  ?counters:(string * int) list -> ?trace:Trace.t -> unit -> snapshot
+(** Read the {!Metrics} registries now.  Each entry is internally
+    consistent; the snapshot as a whole is not a stop-the-world cut. *)
+
+(** A minimal JSON value — writer and parser — so round-trips are
+    testable without external dependencies.  Non-finite floats
+    serialize as [null]. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  val of_string : string -> (t, string) result
+  (** Parses what {!to_string} emits (and ordinary JSON: whitespace,
+      escapes; [\u] escapes outside ASCII are kept verbatim). *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+end
+
+val to_json_value : snapshot -> Json.t
+val to_json : snapshot -> string
+
+val to_prometheus : snapshot -> string
+(** Text exposition format 0.0.4: runtime counters as
+    [sdnshield_<name>_total], queue gauges as [sdnshield_queue_depth] /
+    [_high_water], cache counters as [sdnshield_cache_*_total],
+    histograms as cumulative [sdnshield_latency_seconds] bucket series
+    (registry names in the [stage] label), trace accounting as
+    [sdnshield_trace_spans]. *)
+
+val validate_prometheus : string -> (unit, string) result
+(** Shape-check exposition text: every non-comment line must be
+    [name[{labels}] value] with a parseable value.  Used by the
+    obs-smoke gate; not a full scrape parser. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable report (what [Runtime.pp_report] prints). *)

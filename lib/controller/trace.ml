@@ -1,0 +1,154 @@
+(* End-to-end call tracing: a bounded ring buffer of per-call spans.
+
+   The enforcement story (§VI) and the forensics claim (§VII) both
+   need to answer, per mediated API call, *why* it was allowed or
+   denied and *where* its latency went.  A span ties the stages of one
+   call together: queue wait between the app thread and the deputy
+   pool, permission-check duration (with the decision cache's verdict
+   on how it was served), kernel execution, and the decision itself
+   with its explanation.
+
+   The store is deliberately dumb and bounded: a fixed-capacity ring
+   under a mutex, overwriting oldest-first, with deterministic 1-in-N
+   sampling derived from a configured ratio.  Recording is a handful
+   of field writes — cheap enough to leave on in production at a
+   sampled rate (docs/OBSERVABILITY.md quantifies the overhead), and
+   memory is capacity-bounded no matter how long the process runs. *)
+
+type decision_class = Allowed | Denied | Failed
+
+let decision_class_to_string = function
+  | Allowed -> "allowed"
+  | Denied -> "denied"
+  | Failed -> "failed"
+
+type span = {
+  seq : int;  (** Monotone per-store sequence number of recorded spans. *)
+  app : string;
+  call : string;  (** Call-kind label ({!Api.call_kind}), e.g. ["install_flow"]. *)
+  deputy : int;  (** Serving deputy index; [-1] = inline (monolithic). *)
+  queue_wait : float;  (** Seconds between enqueue and deputy pop. *)
+  check_dur : float;  (** Permission-check duration, seconds. *)
+  exec_dur : float;  (** Kernel-execution (+ vetting) duration, seconds. *)
+  total : float;  (** Queue wait + check + exec, seconds. *)
+  decision : decision_class;
+  cache : Api.cache_outcome;
+  explain : string option;
+      (** Token/clause responsible for the decision, when the checker
+          can explain itself (always populated for engine denials). *)
+}
+
+type t = {
+  ring : span option array;
+  mutable recorded : int;  (** Spans written into the ring, ever. *)
+  seen : int Atomic.t;  (** Calls offered, including sampled-out ones. *)
+  stride : int;  (** Record every [stride]-th offered call. *)
+  mutex : Mutex.t;
+}
+
+type stats = {
+  capacity : int;
+  seen : int;
+  recorded : int;
+  sampled_out : int;
+  dropped : int;  (** Recorded spans overwritten by the ring. *)
+  stored : int;  (** Spans currently readable. *)
+  sampling : float;  (** Effective ratio: [1 / stride]. *)
+}
+
+let default_capacity = 4096
+
+(** [create ()] — a span store.  [capacity] bounds memory (default
+    4096 spans); [sampling] in (0, 1] is the fraction of calls to
+    record (default 1.0 = every call), realised as a deterministic
+    1-in-[round (1/sampling)] stride so the recorded subset is
+    reproducible. *)
+let create ?(capacity = default_capacity) ?(sampling = 1.0) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
+  if not (sampling > 0. && sampling <= 1.) then
+    invalid_arg "Trace.create: sampling must be in (0, 1]";
+  { ring = Array.make capacity None;
+    recorded = 0;
+    seen = Atomic.make 0;
+    stride = Stdlib.max 1 (int_of_float (Float.round (1. /. sampling)));
+    mutex = Mutex.create () }
+
+(** Offer one call: bumps the seen counter and says whether this call
+    should be recorded.  Call it once per mediated call, *before*
+    taking any timestamps, so sampled-out calls skip the measurement
+    cost entirely.  Lock-free — this runs on every call even when
+    almost all of them are sampled out. *)
+let sampled (t : t) = Atomic.fetch_and_add t.seen 1 mod t.stride = 0
+
+(** Record a span (the [seq] field of the argument is ignored and
+    reassigned under the store's lock). *)
+let record t (s : span) =
+  Mutex.lock t.mutex;
+  let seq = t.recorded in
+  t.ring.(seq mod Array.length t.ring) <- Some { s with seq };
+  t.recorded <- t.recorded + 1;
+  Mutex.unlock t.mutex
+
+(** Convenience over {!record}. *)
+let span t ~app ~call ~deputy ~queue_wait ~check_dur ~exec_dur ~decision
+    ~cache ~explain =
+  record t
+    { seq = 0; app; call; deputy; queue_wait; check_dur; exec_dur;
+      total = queue_wait +. check_dur +. exec_dur; decision; cache; explain }
+
+(** The retained spans, oldest first. *)
+let spans t =
+  Mutex.lock t.mutex;
+  let cap = Array.length t.ring in
+  let stored = Stdlib.min t.recorded cap in
+  let first = t.recorded - stored in
+  let out =
+    List.init stored (fun i ->
+        match t.ring.((first + i) mod cap) with
+        | Some s -> s
+        | None -> assert false (* slots below [recorded] are filled *))
+  in
+  Mutex.unlock t.mutex;
+  out
+
+let stats t : stats =
+  Mutex.lock t.mutex;
+  let cap = Array.length t.ring in
+  let stored = Stdlib.min t.recorded cap in
+  let seen = Atomic.get t.seen in
+  let s =
+    { capacity = cap;
+      seen;
+      recorded = t.recorded;
+      sampled_out = seen - ((seen + t.stride - 1) / t.stride);
+      dropped = t.recorded - stored;
+      stored;
+      sampling = 1. /. float_of_int t.stride }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let clear t =
+  Mutex.lock t.mutex;
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.recorded <- 0;
+  Atomic.set t.seen 0;
+  Mutex.unlock t.mutex
+
+let pp_span ppf s =
+  Fmt.pf ppf
+    "@[<h>#%d %s %s [%s] deputy=%d wait=%.1fus check=%.1fus exec=%.1fus \
+     total=%.1fus cache=%s%a@]"
+    s.seq s.app s.call
+    (decision_class_to_string s.decision)
+    s.deputy (s.queue_wait *. 1e6) (s.check_dur *. 1e6) (s.exec_dur *. 1e6)
+    (s.total *. 1e6)
+    (Api.cache_outcome_to_string s.cache)
+    Fmt.(option (any " — " ++ string))
+    s.explain
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "trace: capacity=%d stored=%d recorded=%d dropped=%d seen=%d \
+     sampled-out=%d sampling=%.3f"
+    s.capacity s.stored s.recorded s.dropped s.seen s.sampled_out s.sampling

@@ -65,6 +65,10 @@ type t = {
   slots : (Attrs.t -> bool) option array;
       (** Indexed by {!Token.index}; the environment is pre-bound so
           the hot path is pure closure application. *)
+  exprs : Filter.expr option array;
+      (** The source filters, kept for {!check_explained} — the
+          compiled closures cannot name the clause that decided. *)
+  env : Filter_eval.env;
   cache : Decision_cache.t option;
 }
 
@@ -77,10 +81,12 @@ type t = {
 let of_manifest ?(env = Filter_eval.pure_env) ?cache_size ?generation
     (manifest : Perm.manifest) : t =
   let slots = Array.make Token.count None in
+  let exprs = Array.make Token.count None in
   List.iter
     (fun (p : Perm.t) ->
       let fn = compile p.Perm.filter in
-      slots.(Token.index p.Perm.token) <- Some (fun attrs -> fn env attrs))
+      slots.(Token.index p.Perm.token) <- Some (fun attrs -> fn env attrs);
+      exprs.(Token.index p.Perm.token) <- Some p.Perm.filter)
     manifest;
   let cache =
     match cache_size with
@@ -88,7 +94,7 @@ let of_manifest ?(env = Filter_eval.pure_env) ?cache_size ?generation
     | Some max_entries ->
       Some (Decision_cache.create ~name:"compiled" ~max_entries ?generation manifest)
   in
-  { slots; cache }
+  { slots; exprs; env; cache }
 
 (** Check a call: token slot lookup + compiled closure application
     (memoized when a decision cache is attached). *)
@@ -109,5 +115,43 @@ let check (t : t) (call : Shield_controller.Api.call) :
       in
       if pass then Shield_controller.Api.Allow
       else Shield_controller.Api.Deny "filter rejects call")
+
+(** {!check} with provenance: the identical decision plus the cache
+    outcome and the deciding clause of the *source* filter (the
+    compiled closures are semantically equal to it — property-tested in
+    test/test_compiled.ml — so the interpreted explanation accounts for
+    the compiled verdict). *)
+let check_explained (t : t) (call : Shield_controller.Api.call) :
+    Shield_controller.Api.decision * Shield_controller.Api.check_info =
+  let module Api = Shield_controller.Api in
+  let info ?explain cache = { Api.cache; explain } in
+  match Engine.token_of_call call with
+  | None ->
+    (Api.Allow, info ~explain:"no permission token governs this call" Api.Uncached)
+  | Some token -> (
+    let tok = Token.to_string token in
+    match t.slots.(Token.index token) with
+    | None ->
+      ( Api.Deny ("missing permission " ^ tok),
+        info
+          ~explain:(Printf.sprintf "token %s: not granted by the manifest" tok)
+          Api.Uncached )
+    | Some eval ->
+      let pass, cache_outcome =
+        match t.cache with
+        | None -> (eval (Attrs.of_call call), Api.Uncached)
+        | Some cache ->
+          let pass, o = Decision_cache.check_outcome cache ~token ~call ~eval in
+          (pass, Decision_cache.to_cache_outcome o)
+      in
+      let expr =
+        match t.exprs.(Token.index token) with
+        | Some e -> e
+        | None -> Filter.False (* unreachable: slots and exprs agree *)
+      in
+      let _, why = Filter_eval.explain t.env expr (Attrs.of_call call) in
+      let explain = Printf.sprintf "token %s: %s" tok why in
+      if pass then (Api.Allow, info ~explain cache_outcome)
+      else (Api.Deny "filter rejects call", info ~explain cache_outcome))
 
 let cache_stats t = Option.map Decision_cache.stats t.cache

@@ -27,5 +27,13 @@ val of_manifest :
 
 val check : t -> Shield_controller.Api.call -> Shield_controller.Api.decision
 
+val check_explained :
+  t ->
+  Shield_controller.Api.call ->
+  Shield_controller.Api.decision * Shield_controller.Api.check_info
+(** {!check} with provenance: the identical decision plus the cache
+    outcome and the deciding clause of the source filter (via
+    {!Filter_eval.explain}). *)
+
 val cache_stats : t -> Shield_controller.Metrics.cache_stats option
 (** Decision-cache counters; [None] without [cache_size]. *)

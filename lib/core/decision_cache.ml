@@ -375,9 +375,19 @@ let clear t =
   Array.iter (fun slot -> Atomic.set slot None) t.l1;
   Mutex.unlock t.mutex
 
+(** How a lookup was served, for traces and decision explanations. *)
+type outcome = L1_hit | L2_hit | Miss | Bypass
+
+let to_cache_outcome : outcome -> Shield_controller.Api.cache_outcome =
+  function
+  | L1_hit -> Api.L1_hit
+  | L2_hit -> Api.L2_hit
+  | Miss -> Api.Cache_miss
+  | Bypass -> Api.Cache_bypass
+
 (* The L2 (canonical signature) path, taken on an L1 miss. *)
 let check_l2 t ~(slot : slot) ~token ~call ~hash ~gen ~l1_idx
-    ~(eval : Attrs.t -> bool) : bool =
+    ~(eval : Attrs.t -> bool) : bool * outcome =
   let attrs = Attrs.of_call call in
   let key = key_of ~token slot.fp attrs in
   Mutex.lock t.mutex;
@@ -397,7 +407,7 @@ let check_l2 t ~(slot : slot) ~token ~call ~hash ~gen ~l1_idx
   | Some pass ->
     Atomic.set t.l1.(l1_idx)
       (Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass });
-    pass
+    (pass, L2_hit)
   | None ->
     let pass = eval attrs in
     Mutex.lock t.mutex;
@@ -413,19 +423,19 @@ let check_l2 t ~(slot : slot) ~token ~call ~hash ~gen ~l1_idx
     Mutex.unlock t.mutex;
     Atomic.set t.l1.(l1_idx)
       (Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass });
-    pass
+    (pass, Miss)
 
-(** [check t ~token ~call ~eval] — the memoized filter decision for
-    [call] under [token]; [eval] computes it from the call's attributes
-    on a miss.  Tokens the manifest does not grant bypass the cache
-    (counted), since the engine decides those without evaluating any
-    filter. *)
-let check t ~(token : Token.t) ~(call : Api.call)
-    ~(eval : Attrs.t -> bool) : bool =
+(** [check_outcome t ~token ~call ~eval] — the memoized filter decision
+    for [call] under [token], plus how the lookup was served; [eval]
+    computes the decision from the call's attributes on a miss.  Tokens
+    the manifest does not grant bypass the cache (counted), since the
+    engine decides those without evaluating any filter. *)
+let check_outcome t ~(token : Token.t) ~(call : Api.call)
+    ~(eval : Attrs.t -> bool) : bool * outcome =
   match t.slots.(Token.index token) with
   | None ->
     Atomic.incr t.counters.bypasses;
-    eval (Attrs.of_call call)
+    (eval (Attrs.of_call call), Bypass)
   | Some slot -> (
     (* Capture the generation *before* any evaluation: if a mutation
        races with [eval], the entry lands tagged with the older
@@ -438,7 +448,7 @@ let check t ~(token : Token.t) ~(call : Api.call)
     | Some e when e.l1_hash = hash && call_equal e.call call ->
       if e.l1_gen = gen then begin
         Atomic.incr t.counters.hits;
-        e.l1_pass
+        (e.l1_pass, L1_hit)
       end
       else begin
         Atomic.incr t.counters.invalidations;
@@ -446,3 +456,29 @@ let check t ~(token : Token.t) ~(call : Api.call)
         check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval
       end
     | _ -> check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval)
+
+(** {!check_outcome} without the provenance.  The L1 hit path here is
+    allocation-free (no result pair), which matters on the hot path. *)
+let check t ~(token : Token.t) ~(call : Api.call)
+    ~(eval : Attrs.t -> bool) : bool =
+  match t.slots.(Token.index token) with
+  | None ->
+    Atomic.incr t.counters.bypasses;
+    eval (Attrs.of_call call)
+  | Some slot -> (
+    (* Generation captured before evaluation, as in [check_outcome]. *)
+    let gen = if slot.gated then t.generation () else 0 in
+    let hash = call_hash call in
+    let i = hash land t.l1_mask in
+    match Atomic.get t.l1.(i) with
+    | Some e when e.l1_hash = hash && call_equal e.call call ->
+      if e.l1_gen = gen then begin
+        Atomic.incr t.counters.hits;
+        e.l1_pass
+      end
+      else begin
+        Atomic.incr t.counters.invalidations;
+        Atomic.set t.l1.(i) None;
+        fst (check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval)
+      end
+    | _ -> fst (check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval))

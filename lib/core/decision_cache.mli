@@ -82,6 +82,15 @@ val create :
     up to a power of two), where colliding calls simply displace each
     other. *)
 
+(** How a lookup was served, for traces and decision explanations. *)
+type outcome =
+  | L1_hit  (** Call-keyed fast path. *)
+  | L2_hit  (** Canonical-signature table. *)
+  | Miss  (** Evaluated, then cached. *)
+  | Bypass  (** Token absent from the manifest: nothing to cache. *)
+
+val to_cache_outcome : outcome -> Shield_controller.Api.cache_outcome
+
 val check :
   t ->
   token:Token.t ->
@@ -92,7 +101,17 @@ val check :
     from the call's attributes on a miss and MUST be the pure filter
     evaluation (no side effects — the engine records ownership state
     outside the cached step).  Tokens absent from the manifest bypass
-    the cache. *)
+    the cache.  The fast-path hit is allocation-free; use
+    {!check_outcome} when provenance is wanted. *)
+
+val check_outcome :
+  t ->
+  token:Token.t ->
+  call:Shield_controller.Api.call ->
+  eval:(Attrs.t -> bool) ->
+  bool * outcome
+(** {!check} plus how the lookup was served.  Decides identically to
+    {!check} and maintains the same counters. *)
 
 val stats : t -> Shield_controller.Metrics.cache_stats
 (** Hit/miss/invalidation/eviction/bypass counters so far.  [hits]

@@ -246,6 +246,85 @@ let check_transaction t (calls : Api.call list) :
   Mutex.unlock t.mutex;
   r
 
+(* Explained checking --------------------------------------------------------
+
+   Same decision procedure as [check_unlocked] — same counters, same
+   cache consultation, same state recording, same [Deny] messages — but
+   additionally reporting provenance: which cache level served the
+   decision and which token/filter clause made it.  Kept separate so
+   the plain hot path stays allocation-light. *)
+
+let check_explained_unlocked t (call : Api.call) :
+    Api.decision * Api.check_info =
+  t.checks <- t.checks + 1;
+  let deny why =
+    t.denials <- t.denials + 1;
+    Api.Deny why
+  in
+  let info ?explain cache = { Api.cache; explain } in
+  if
+    match t.vtopo with
+    | None -> false
+    | Some _ -> not (vtopo_confined t (Attrs.of_call call))
+  then
+    ( deny "virtual topology: physical switches are not addressable",
+      info
+        ~explain:
+          "virtual-topology confinement: the call addresses a physical \
+           datapath outside the app's big-switch view"
+        Api.Uncached )
+  else
+  match token_of_call call with
+  | None ->
+    ( Api.Allow,
+      info ~explain:"no permission token governs this call" Api.Uncached )
+  | Some token -> (
+    let tok = Token.to_string token in
+    match t.evals.(Token.index token) with
+    | None ->
+      ( deny (Printf.sprintf "missing permission %s" tok),
+        info
+          ~explain:(Printf.sprintf "token %s: not granted by the manifest" tok)
+          Api.Uncached )
+    | Some eval ->
+      let pass, cache_outcome =
+        match t.cache with
+        | None -> (eval (Attrs.of_call call), Api.Uncached)
+        | Some cache ->
+          let pass, o = Decision_cache.check_outcome cache ~token ~call ~eval in
+          (pass, Decision_cache.to_cache_outcome o)
+      in
+      (* The clause-level account re-evaluates the filter.
+         [Filter_eval.explain] always agrees with [eval], and the cache
+         never disagrees with [eval] (docs/CACHING.md), so the verdict
+         reported is the verdict served. *)
+      let filter =
+        match Perm.find t.manifest token with
+        | Some p -> p.Perm.filter
+        | None -> Filter.False
+      in
+      let _, why = Filter_eval.explain t.env filter (Attrs.of_call call) in
+      let explain = Printf.sprintf "token %s: %s" tok why in
+      if pass then begin
+        record_state t call;
+        (Api.Allow, info ~explain cache_outcome)
+      end
+      else
+        ( deny ("permission filter rejects call: " ^ tok),
+          info ~explain cache_outcome ))
+
+(** {!check} with provenance: the same decision (bit-for-bit, including
+    ownership recording and counters) plus the cache outcome and a
+    prose account of the deciding token and filter clause. *)
+let check_explained t call =
+  if t.record_state && is_stateful call then begin
+    Mutex.lock t.mutex;
+    let d = check_explained_unlocked t call in
+    Mutex.unlock t.mutex;
+    d
+  end
+  else check_explained_unlocked t call
+
 (* Virtual-topology call translation ---------------------------------------- *)
 
 let rewrite t (call : Api.call) : Api.call list =
@@ -423,7 +502,8 @@ let checker (t : t) : Api.checker =
     combine = (fun call results -> merge_results call results);
     vet_result = (fun call result -> vet_result t call result);
     observe = (fun change -> observe t change);
-    granted = (fun cap -> granted t cap) }
+    granted = (fun cap -> granted t cap);
+    explain = Some (fun call -> check_explained t call) }
 
 let stats t = (t.checks, t.denials)
 

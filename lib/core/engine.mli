@@ -45,6 +45,13 @@ val check : t -> Api.call -> Api.decision
 (** Check one call.  Approved flow-mods update the ownership store
     (unless [record_state:false]). *)
 
+val check_explained : t -> Api.call -> Api.decision * Api.check_info
+(** {!check} with provenance: the identical decision (same ownership
+    recording, counters and [Deny] messages), plus which cache level
+    served it and a prose account of the deciding token and top-level
+    filter clause ({!Filter_eval.explain}).  This is what the engine's
+    {!checker} exposes as its [explain] entry point. *)
+
 val check_transaction : t -> Api.call list -> (unit, int * string) result
 (** Transactional check (§VI-B2): every call must pass; earlier calls'
     state is visible to later ones; everything rolls back on a denial.

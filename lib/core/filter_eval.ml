@@ -147,3 +147,59 @@ let rec eval env (expr : Filter.expr) (attrs : Attrs.t) =
   | Filter.And (a, b) -> eval env a attrs && eval env b attrs
   | Filter.Or (a, b) -> eval env a attrs || eval env b attrs
   | Filter.Not e -> not (eval env e attrs)
+
+(* Explanation ---------------------------------------------------------------
+
+   [explain] answers "which top-level clause decided?" in the
+   permission language's own concrete syntax.  The manifest reconciler
+   emits filters as a top-level disjunction of per-policy clauses (or a
+   conjunction, for intersected policies), so naming the first passing
+   disjunct / first failing conjunct points at the exact policy line
+   responsible.  The verdict is the same [eval] computes: a clause is
+   judged by [eval] itself, and or/and distribute over clause lists. *)
+
+let rec disjuncts = function
+  | Filter.Or (a, b) -> disjuncts a @ disjuncts b
+  | e -> [ e ]
+
+let rec conjuncts = function
+  | Filter.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(** [explain env expr attrs] — the {!eval} verdict plus a one-line
+    account of the deciding top-level clause, in re-parsable filter
+    syntax. *)
+let explain env (expr : Filter.expr) (attrs : Attrs.t) : bool * string =
+  match expr with
+  | Filter.True -> (true, "filter is TRUE (unconditional grant)")
+  | Filter.False -> (false, "filter is FALSE (granted nowhere)")
+  | Filter.Or _ ->
+    let cs = disjuncts expr in
+    let n = List.length cs in
+    let rec go i = function
+      | [] -> (false, Printf.sprintf "none of %d clauses passed" n)
+      | c :: rest ->
+        if eval env c attrs then
+          (true,
+           Printf.sprintf "clause %d/%d passed: %s" i n (Filter.to_string c))
+        else go (i + 1) rest
+    in
+    go 1 cs
+  | Filter.And _ ->
+    let cs = conjuncts expr in
+    let n = List.length cs in
+    let rec go i = function
+      | [] -> (true, Printf.sprintf "all %d clauses passed" n)
+      | c :: rest ->
+        if eval env c attrs then go (i + 1) rest
+        else
+          (false,
+           Printf.sprintf "clause %d/%d failed: %s" i n (Filter.to_string c))
+    in
+    go 1 cs
+  | e ->
+    let pass = eval env e attrs in
+    ( pass,
+      Printf.sprintf "filter %s: %s"
+        (if pass then "passed" else "failed")
+        (Filter.to_string e) )

@@ -33,3 +33,11 @@ val virtual_big_switch_dpid : int
 
 val eval_singleton : env -> Filter.singleton -> Attrs.t -> bool
 val eval : env -> Filter.expr -> Attrs.t -> bool
+
+val explain : env -> Filter.expr -> Attrs.t -> bool * string
+(** The {!eval} verdict (always identical to it) plus a one-line
+    account of the deciding top-level clause, in re-parsable filter
+    syntax: the first passing disjunct of an [Or]-rooted filter, the
+    first failing conjunct of an [And]-rooted one, or the whole
+    expression otherwise.  Intended for traces, [check --explain] and
+    forensic reports. *)

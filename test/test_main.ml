@@ -19,6 +19,7 @@ let () =
       ("runtime-ext", Test_runtime_ext.suite);
       ("faults", Test_faults.suite);
       ("metrics", Test_metrics.suite);
+      ("trace", Test_trace.suite);
       ("vetting", Test_vetting.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("forensics", Test_forensics.suite) ]

@@ -58,6 +58,21 @@ let test_summarize_list () =
   let s = Metrics.summarize_list [ 5.; 1. ] in
   Alcotest.(check (float 1e-9)) "median" 3. s.Metrics.median
 
+let test_samples_recording_order () =
+  let t = Metrics.create () in
+  List.iter (Metrics.record t) [ 3.; 1.; 2. ];
+  Alcotest.(check (list (float 1e-9))) "recording order" [ 3.; 1.; 2. ]
+    (Metrics.samples t)
+
+let test_now_monotonic () =
+  let a = Metrics.now () in
+  let b = ref (Metrics.now ()) in
+  (* Spin past clock granularity; a monotonic clock never goes back. *)
+  while !b = a do
+    b := Metrics.now ()
+  done;
+  Alcotest.(check bool) "strictly advances" true (!b > a)
+
 (* Regression for the growable-buffer rework: concurrent [record]s
    must neither lose samples nor corrupt the summary while the buffer
    doubles under contention. *)
@@ -102,5 +117,8 @@ let suite =
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
     Alcotest.test_case "time records" `Quick test_time_records;
     Alcotest.test_case "summarize list" `Quick test_summarize_list;
+    Alcotest.test_case "samples recording order" `Quick
+      test_samples_recording_order;
+    Alcotest.test_case "now monotonic" `Quick test_now_monotonic;
     Alcotest.test_case "concurrent record" `Quick test_concurrent_record ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

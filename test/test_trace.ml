@@ -1,0 +1,370 @@
+(* Observability layer: span store semantics, decision explanations,
+   log-linear histogram accuracy, and the telemetry exporters
+   (docs/OBSERVABILITY.md). *)
+
+open Shield_openflow
+open Shield_net
+open Shield_controller
+open Sdnshield
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains what ~sub s =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s contains %S (got %S)" what sub s)
+    true (contains ~sub s)
+
+let dummy_span i =
+  { Trace.seq = 0; app = "a"; call = "install_flow"; deputy = 0;
+    queue_wait = float_of_int i; check_dur = 0.; exec_dur = 0.;
+    total = float_of_int i; decision = Trace.Allowed; cache = Api.Uncached;
+    explain = None }
+
+(* Span store ---------------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.record t (dummy_span i)
+  done;
+  let st = Trace.stats t in
+  Alcotest.(check int) "recorded" 10 st.Trace.recorded;
+  Alcotest.(check int) "stored" 4 st.Trace.stored;
+  Alcotest.(check int) "dropped" 6 st.Trace.dropped;
+  (* Oldest first, and [seq] is the store's own numbering. *)
+  Alcotest.(check (list int)) "surviving seqs, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun (s : Trace.span) -> s.Trace.seq) (Trace.spans t));
+  Trace.clear t;
+  let st = Trace.stats t in
+  Alcotest.(check int) "cleared" 0 st.Trace.recorded;
+  Alcotest.(check (list int)) "no spans" []
+    (List.map (fun (s : Trace.span) -> s.Trace.seq) (Trace.spans t))
+
+let test_sampling_stride () =
+  (* sampling 0.25 -> deterministic 1-in-4 stride, starting with the
+     first offered call. *)
+  let t = Trace.create ~capacity:16 ~sampling:0.25 () in
+  let hits = List.init 10 (fun _ -> Trace.sampled t) in
+  Alcotest.(check (list bool)) "1-in-4 pattern"
+    [ true; false; false; false; true; false; false; false; true; false ]
+    hits;
+  let st = Trace.stats t in
+  Alcotest.(check int) "seen" 10 st.Trace.seen;
+  Alcotest.(check int) "sampled out" 7 st.Trace.sampled_out;
+  Alcotest.(check (float 1e-9)) "effective ratio" 0.25 st.Trace.sampling
+
+let test_create_validation () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument
+    "Trace.create: capacity must be > 0") (fun () ->
+      ignore (Trace.create ~capacity:0 ()));
+  Alcotest.check_raises "sampling 0" (Invalid_argument
+    "Trace.create: sampling must be in (0, 1]") (fun () ->
+      ignore (Trace.create ~sampling:0. ()))
+
+(* Decision explanations ----------------------------------------------------- *)
+
+let insert ~priority =
+  Api.Install_flow
+    ( 1,
+      Flow_mod.add ~priority
+        ~match_:(Match_fields.make ~tp_dst:80 ())
+        ~actions:[ Action.Output 1 ] () )
+
+let test_filter_explain_clauses () =
+  let env = Filter_eval.pure_env in
+  let explain f call = Filter_eval.explain env f (Attrs.of_call call) in
+  (* And-rooted: the first failing clause is named. *)
+  let conj = Test_util.filter_exn "MAX_PRIORITY 400 AND TCP_DST 80" in
+  let ok, why = explain conj (insert ~priority:1000) in
+  Alcotest.(check bool) "conj fails" false ok;
+  check_contains "conj why" ~sub:"clause 1/2 failed" why;
+  check_contains "conj why names the atom" ~sub:"MAX_PRIORITY 400" why;
+  let ok, why = explain conj (insert ~priority:100) in
+  Alcotest.(check bool) "conj passes" true ok;
+  check_contains "conj why" ~sub:"all 2 clauses passed" why;
+  (* Or-rooted: the first passing clause is named. *)
+  let disj = Test_util.filter_exn "TCP_DST 443 OR MAX_PRIORITY 400" in
+  let ok, why = explain disj (insert ~priority:100) in
+  Alcotest.(check bool) "disj passes" true ok;
+  check_contains "disj why" ~sub:"clause 2/2 passed" why;
+  let ok, why = explain disj (insert ~priority:1000) in
+  Alcotest.(check bool) "disj fails" false ok;
+  check_contains "disj why" ~sub:"none of 2 clauses" why
+
+(* [explain] must never disagree with [eval] — the span's verdict is
+   the verdict served. *)
+let test_filter_explain_agrees_with_eval () =
+  let env = Filter_eval.pure_env in
+  let filters =
+    List.map Test_util.filter_exn
+      [ "MAX_PRIORITY 400"; "MAX_PRIORITY 400 AND TCP_DST 80";
+        "TCP_DST 443 OR TCP_DST 80"; "ACTION FORWARD AND MAX_PRIORITY 200" ]
+    @ [ Filter.True; Filter.False ]
+  in
+  let calls = [ insert ~priority:100; insert ~priority:1000;
+                Api.Read_topology; Api.Read_payload_access ]
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun c ->
+          let attrs = Attrs.of_call c in
+          let verdict = Filter_eval.eval env f attrs in
+          let explained, _ = Filter_eval.explain env f attrs in
+          Alcotest.(check bool) "explain = eval" verdict explained)
+        calls)
+    filters
+
+let demo_manifest = "PERM insert_flow LIMITING MAX_PRIORITY 400"
+
+let test_engine_check_explained () =
+  let e =
+    Engine.create ~cache_size:256
+      ~ownership:(Ownership.create ())
+      ~app_name:"explained" ~cookie:1
+      (Perm_parser.manifest_exn demo_manifest)
+  in
+  (* Denied: explanation names the token and the failing clause. *)
+  (match Engine.check_explained e (insert ~priority:1000) with
+  | Api.Deny why, info ->
+    check_contains "deny reason" ~sub:"permission filter rejects call" why;
+    (match info.Api.explain with
+    | None -> Alcotest.fail "denial carries no explanation"
+    | Some ex ->
+      check_contains "explanation names token" ~sub:"token insert_flow" ex;
+      check_contains "explanation names clause" ~sub:"MAX_PRIORITY 400" ex)
+  | Api.Allow, _ -> Alcotest.fail "priority 1000 must be denied");
+  (* Allowed: still explained. *)
+  (match Engine.check_explained e (insert ~priority:100) with
+  | Api.Allow, info ->
+    Alcotest.(check bool) "allow explained" true (info.Api.explain <> None)
+  | Api.Deny why, _ -> Alcotest.failf "priority 100 denied: %s" why);
+  (* Missing permission. *)
+  (match Engine.check_explained e Api.Read_topology with
+  | Api.Deny why, info ->
+    check_contains "missing perm" ~sub:"missing permission visible_topology"
+      why;
+    (match info.Api.explain with
+    | Some ex -> check_contains "missing perm explained" ~sub:"not granted" ex
+    | None -> Alcotest.fail "missing-permission denial unexplained")
+  | Api.Allow, _ -> Alcotest.fail "ungranted read_topology must be denied");
+  (* Repeating a call is served from the cache, and the provenance
+     says so. *)
+  let _, info = Engine.check_explained e (insert ~priority:1000) in
+  (match info.Api.cache with
+  | Api.L1_hit | Api.L2_hit -> ()
+  | o ->
+    Alcotest.failf "repeat not served from cache: %s"
+      (Api.cache_outcome_to_string o));
+  (* [check_explained] and [check] agree. *)
+  List.iter
+    (fun call ->
+      let plain = Engine.check e call in
+      let explained, _ = Engine.check_explained e call in
+      Alcotest.(check bool) "explained = plain"
+        (plain = Api.Allow) (explained = Api.Allow))
+    [ insert ~priority:100; insert ~priority:1000; Api.Read_topology ];
+  Metrics.unregister_cache "engine:explained"
+
+let test_compiled_check_explained () =
+  let m = Perm_parser.manifest_exn demo_manifest in
+  let c = Compiled.of_manifest ~cache_size:256 m in
+  (match Compiled.check_explained c (insert ~priority:1000) with
+  | Api.Deny _, info ->
+    (match info.Api.explain with
+    | Some ex -> check_contains "compiled explains" ~sub:"MAX_PRIORITY 400" ex
+    | None -> Alcotest.fail "compiled denial unexplained")
+  | Api.Allow, _ -> Alcotest.fail "compiled must deny priority 1000");
+  List.iter
+    (fun call ->
+      let plain = Compiled.check c call in
+      let explained, _ = Compiled.check_explained c call in
+      Alcotest.(check bool) "compiled explained = plain" (plain = Api.Allow)
+        (explained = Api.Allow))
+    [ insert ~priority:100; insert ~priority:1000; Api.Read_topology ]
+
+(* Histograms ---------------------------------------------------------------- *)
+
+let hist_of values =
+  let h = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.record h) values;
+  h
+
+let test_histogram_merge_laws () =
+  let module H = Metrics.Histogram in
+  let a = hist_of [ 1e-6; 2e-5; 3e-4 ]
+  and b = hist_of [ 5e-6; 0.1; 2.0 ]
+  and c = hist_of [ 1e-7; 100.; 0.007 ] (* under- and overflow samples *) in
+  Alcotest.(check bool) "commutative" true
+    (H.export (H.merge a b) = H.export (H.merge b a));
+  Alcotest.(check bool) "associative" true
+    (H.export (H.merge (H.merge a b) c) = H.export (H.merge a (H.merge b c)));
+  let m = H.merge (H.merge a b) c in
+  Alcotest.(check int) "merged count" 9 (H.count m);
+  let e = H.export m in
+  Alcotest.(check (float 1e-12)) "merged min" 1e-7 e.H.min;
+  Alcotest.(check (float 1e-9)) "merged max" 100. e.H.max
+
+let test_histogram_edges () =
+  let module H = Metrics.Histogram in
+  let h = H.create () in
+  Alcotest.(check bool) "empty percentile nan" true
+    (Float.is_nan (H.percentile h 50.));
+  H.record h (-1.);
+  H.record h Float.nan;
+  let e = H.export h in
+  Alcotest.(check int) "negative and nan are underflow" 2 e.H.underflow
+
+(** Nearest-rank exact percentile, for the accuracy property. *)
+let exact_nearest_rank p samples =
+  let a = Array.of_list (List.sort Float.compare samples) in
+  let n = Array.length a in
+  let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))) in
+  a.(rank - 1)
+
+let qsuite =
+  [ QCheck.Test.make ~count:300
+      ~name:"histogram p50/p90 within one bucket of exact nearest-rank"
+      QCheck.(list_of_size (Gen.int_range 1 150) (float_range 2e-6 8.0))
+      (fun samples ->
+        let module H = Metrics.Histogram in
+        let h = hist_of samples in
+        List.for_all
+          (fun p ->
+            let exact = exact_nearest_rank p samples in
+            let est = H.percentile h p in
+            let lo, hi = H.bucket_bounds (H.bucket_index exact) in
+            lo <= est && est <= hi)
+          [ 50.; 90. ]) ]
+
+(* Telemetry export ---------------------------------------------------------- *)
+
+let test_telemetry_roundtrip () =
+  let h = Metrics.hist "test:lat" in
+  List.iter (Metrics.Histogram.record h) [ 1e-5; 2e-4; 5e-4; 0.5 ];
+  let tr = Trace.create ~capacity:8 () in
+  Trace.record tr (dummy_span 1);
+  let snap = Telemetry.snapshot ~counters:[ ("calls", 7) ] ~trace:tr () in
+  let json = Telemetry.to_json snap in
+  (match Telemetry.Json.of_string json with
+  | Error e -> Alcotest.failf "snapshot JSON does not parse: %s" e
+  | Ok v ->
+    Alcotest.(check bool) "JSON round-trips structurally" true
+      (v = Telemetry.to_json_value snap);
+    (match Telemetry.Json.member "counters" v with
+    | Some (Telemetry.Json.Obj fields) ->
+      Alcotest.(check bool) "counters present" true
+        (List.mem_assoc "calls" fields)
+    | _ -> Alcotest.fail "no counters object"));
+  (match Telemetry.validate_prometheus (Telemetry.to_prometheus snap) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "Prometheus exposition invalid: %s" e);
+  check_contains "prometheus has the counter" ~sub:"sdnshield_calls_total 7"
+    (Telemetry.to_prometheus snap);
+  Metrics.unregister_hist "test:lat"
+
+let test_json_parser_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Telemetry.Json.of_string s with
+      | Ok _ -> Alcotest.failf "parsed garbage %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nulll"; "\"unterminated" ]
+
+(* Traced runtime ------------------------------------------------------------ *)
+
+let pkt_in dpid =
+  Events.Packet_in
+    { Message.dpid; in_port = 1; packet = Packet.arp ~src:0xA ~dst:0xB ();
+      reason = Message.No_match; buffer_id = None }
+
+(* A monolithic traced run is fully deterministic: every call records
+   a span inline (deputy = -1, no queue wait), and every denial is
+   explained. *)
+let test_traced_runtime_denials_explained () =
+  let kernel = Kernel.create (Dataplane.create (Topology.linear 2)) in
+  let handled = ref 0 in
+  let app =
+    App.make
+      ~subscriptions:[ Api.E_packet_in ]
+      ~handle:(fun ctx ev ->
+        match ev with
+        | Events.Packet_in pi ->
+          incr handled;
+          let priority = if !handled mod 2 = 0 then 1_000 else 100 in
+          ignore
+            (ctx.App.call
+               (Api.Install_flow
+                  ( pi.Message.dpid,
+                    Flow_mod.add ~priority
+                      ~match_:(Match_fields.make ~tp_dst:(!handled mod 8) ())
+                      ~actions:[ Action.Output 1 ] () )))
+        | _ -> ())
+      "traced"
+  in
+  let engine =
+    Engine.create ~cache_size:256
+      ~ownership:(Ownership.create ())
+      ~app_name:"traced" ~cookie:1
+      (Perm_parser.manifest_exn
+         "PERM insert_flow LIMITING MAX_PRIORITY 400\nPERM pkt_in_event")
+  in
+  let trace = Trace.create ~capacity:64 () in
+  let config = { Runtime.default_config with Runtime.trace = Some trace } in
+  let rt =
+    Runtime.create ~config ~mode:Runtime.Monolithic kernel
+      [ (app, Engine.checker engine) ]
+  in
+  for _ = 1 to 20 do
+    Runtime.feed_sync rt (pkt_in 1)
+  done;
+  let spans = Runtime.spans rt in
+  Alcotest.(check int) "every install call has a span" 20 (List.length spans);
+  let denied =
+    List.filter (fun (s : Trace.span) -> s.Trace.decision = Trace.Denied) spans
+  in
+  Alcotest.(check int) "half denied" 10 (List.length denied);
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check string) "span call kind" "install_flow" s.Trace.call;
+      Alcotest.(check int) "inline deputy" (-1) s.Trace.deputy;
+      Alcotest.(check (float 0.)) "no queue wait inline" 0. s.Trace.queue_wait;
+      match s.Trace.explain with
+      | Some ex when s.Trace.decision = Trace.Denied ->
+        check_contains "denial explained" ~sub:"MAX_PRIORITY 400" ex
+      | Some _ -> ()
+      | None -> Alcotest.failf "span #%d has no explanation" s.Trace.seq)
+    spans;
+  (* The snapshot sees the trace store's accounting. *)
+  let snap = Runtime.telemetry rt in
+  (match snap.Telemetry.trace with
+  | Some st -> Alcotest.(check int) "snapshot trace recorded" 20 st.Trace.recorded
+  | None -> Alcotest.fail "telemetry snapshot lost the trace store");
+  Runtime.shutdown rt;
+  Metrics.unregister_cache "engine:traced";
+  List.iter Metrics.unregister_hist
+    [ "lat:queue"; "lat:check"; "lat:exec"; "lat:total"; "lat:app:traced" ]
+
+let suite =
+  [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "sampling stride" `Quick test_sampling_stride;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "filter explain clauses" `Quick
+      test_filter_explain_clauses;
+    Alcotest.test_case "filter explain agrees with eval" `Quick
+      test_filter_explain_agrees_with_eval;
+    Alcotest.test_case "engine check_explained" `Quick
+      test_engine_check_explained;
+    Alcotest.test_case "compiled check_explained" `Quick
+      test_compiled_check_explained;
+    Alcotest.test_case "histogram merge laws" `Quick test_histogram_merge_laws;
+    Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "telemetry roundtrip" `Quick test_telemetry_roundtrip;
+    Alcotest.test_case "json parser rejects garbage" `Quick
+      test_json_parser_rejects_garbage;
+    Alcotest.test_case "traced runtime explains denials" `Quick
+      test_traced_runtime_denials_explained ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite
