@@ -1,0 +1,225 @@
+(* Shield-lint lab: prove the static analyzer's contract on a known
+   corpus (docs/LINTING.md).
+
+   Invariants checked against the examples/lint corpus and the seeded
+   [Shield_workload] generators:
+
+   - every rule of the catalogue fires on the lint-dirty corpus
+     (manifest rules incl. the trace-driven over-privilege audit;
+     policy rules on the dirty policy);
+   - the lint-clean corpus produces zero findings — in particular
+     zero [Error] findings, the CI-blocking severity;
+   - the SARIF-shaped JSON renderer round-trips through the
+     observability stack's own parser with one result per finding;
+   - an exhausted budget degrades every rule to [Info] "unverified"
+     findings — lint never raises (fail-degraded, like vetting).
+
+   `lint-lab` runs the full report (more seeds, larger traces);
+   `lint-smoke` is the fast tier-1 gate wired into `dune runtest`. *)
+
+open Sdnshield
+module Hostile = Shield_workload.Hostile_gen
+module Pgen = Shield_workload.Perm_gen
+module Json = Shield_controller.Telemetry.Json
+
+let failures = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+(* The runtest rule runs from _build/default/bench; `dune exec
+   bench/main.exe` usually runs from the repo root.  Try both. *)
+let read_example name =
+  let candidates =
+    [ Filename.concat "examples/lint" name;
+      Filename.concat "../examples/lint" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None ->
+    fail "corpus file %s not found (tried: %s)" name
+      (String.concat ", " candidates);
+    ""
+  | Some path ->
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let manifest_of ~what src =
+  match Perm_parser.manifest_of_string src with
+  | Ok m -> m
+  | Error e ->
+    fail "%s: manifest does not parse: %s" what e;
+    []
+
+let policy_of ~what src =
+  match Policy_parser.of_string src with
+  | Ok p -> p
+  | Error e ->
+    fail "%s: policy does not parse: %s" what e;
+    []
+
+let check_rules ~what expected findings =
+  List.iter
+    (fun r ->
+      if not (Lint.has_rule r findings) then
+        fail "%s: rule %s did not fire" what (Lint.rule_id r))
+    expected
+
+let manifest_rules =
+  [ Lint.Unsatisfiable_filter; Lint.Vacuous_filter; Lint.Shadowed_clause;
+    Lint.Redundant_refinement; Lint.Over_privilege ]
+
+let policy_rules =
+  [ Lint.Dead_binding; Lint.Self_meet_join; Lint.Overlapping_exclusive ]
+
+let describe what findings =
+  Fmt.pr "%-28s %d error(s), %d warning(s), %d info@." what
+    (Lint.count Lint.Error findings)
+    (Lint.count Lint.Warn findings)
+    (Lint.count Lint.Info findings)
+
+(* Dirty corpus: all 8 rules ------------------------------------------------- *)
+
+let check_dirty_corpus ~trace =
+  let dirty_m =
+    manifest_of ~what:"dirty.manifest" (read_example "dirty.manifest")
+  in
+  let findings = Lint.lint_manifest ~trace dirty_m in
+  describe "dirty.manifest" findings;
+  check_rules ~what:"dirty.manifest" manifest_rules findings;
+  if Lint.count Lint.Error findings = 0 then
+    fail "dirty.manifest: expected at least one Error finding";
+  let dirty_p = policy_of ~what:"dirty.policy" (read_example "dirty.policy") in
+  let findings = Lint.lint_policy dirty_p in
+  describe "dirty.policy" findings;
+  check_rules ~what:"dirty.policy" policy_rules findings;
+  findings
+
+let check_generated_corpus ~seeds ~trace =
+  for seed = 1 to seeds do
+    let what = Printf.sprintf "hostile dirty manifest (seed %d)" seed in
+    let m = manifest_of ~what (Hostile.lint_dirty_manifest_src ~seed) in
+    check_rules ~what manifest_rules (Lint.lint_manifest ~trace m);
+    let what = Printf.sprintf "hostile dirty policy (seed %d)" seed in
+    let p = policy_of ~what (Hostile.lint_dirty_policy_src ~seed) in
+    check_rules ~what policy_rules (Lint.lint_policy p)
+  done
+
+let check_over_privileged ~n =
+  let manifest, trace = Pgen.over_privileged ~n () in
+  let findings = Lint.lint_manifest ~trace manifest in
+  describe "over-privileged pair" findings;
+  if not (Lint.has_rule Lint.Over_privilege findings) then
+    fail
+      "over-privileged pair: a widened manifest produced no over-privilege \
+       finding against its own trace"
+
+(* Clean corpus: silence ------------------------------------------------------ *)
+
+let check_clean_corpus ~trace:_ =
+  let clean_m =
+    manifest_of ~what:"clean.manifest" (read_example "clean.manifest")
+  in
+  let findings = Lint.lint_manifest clean_m in
+  describe "clean.manifest" findings;
+  if findings <> [] then
+    List.iter
+      (fun f -> fail "clean.manifest: unexpected finding: %s" f.Lint.message)
+      findings;
+  let clean_p = policy_of ~what:"clean.policy" (read_example "clean.policy") in
+  let findings = Lint.lint_policy clean_p in
+  describe "clean.policy" findings;
+  if findings <> [] then
+    List.iter
+      (fun f -> fail "clean.policy: unexpected finding: %s" f.Lint.message)
+      findings
+
+(* SARIF round-trip ----------------------------------------------------------- *)
+
+let check_sarif_roundtrip findings =
+  let sarif = Lint.to_sarif ~uri:"examples/lint/dirty.policy" findings in
+  match Json.of_string sarif with
+  | Error e -> fail "sarif: output does not re-parse: %s" e
+  | Ok json -> (
+    (match Json.member "version" json with
+    | Some (Json.Str "2.1.0") -> ()
+    | _ -> fail "sarif: missing or wrong version field");
+    match Json.member "runs" json with
+    | Some (Json.Arr [ run ]) -> (
+      match Json.member "results" run with
+      | Some (Json.Arr results) ->
+        if List.length results <> List.length findings then
+          fail "sarif: %d results for %d findings" (List.length results)
+            (List.length findings)
+      | _ -> fail "sarif: run carries no results array")
+    | _ -> fail "sarif: expected exactly one run")
+
+(* Budget degradation --------------------------------------------------------- *)
+
+let check_budget_degradation () =
+  let dirty_m =
+    manifest_of ~what:"dirty.manifest" (read_example "dirty.manifest")
+  in
+  let limits = { Budget.default_limits with Budget.max_steps = 1 } in
+  match Lint.lint_manifest ~limits dirty_m with
+  | findings ->
+    describe "exhausted budget" findings;
+    if findings = [] then
+      fail "budget: an exhausted budget produced no unverified findings";
+    List.iter
+      (fun f ->
+        if f.Lint.severity <> Lint.Info then
+          fail
+            "budget: finding %S under an exhausted budget has severity %s, \
+             not Info"
+            f.Lint.message
+            (Lint.severity_label f.Lint.severity))
+      findings
+  | exception exn ->
+    fail "budget: lint raised under an exhausted budget: %s"
+      (Printexc.to_string exn)
+
+(* Harness --------------------------------------------------------------------- *)
+
+let arm_watchdog seconds =
+  ignore
+    (Thread.create
+       (fun () ->
+         Thread.delay seconds;
+         Fmt.epr
+           "lint-lab WATCHDOG: still running after %.0fs — lint hung on the \
+            corpus@."
+           seconds;
+         exit 3)
+       ())
+
+let report_outcome ~gate failures =
+  Fmt.pr "@.lint counters:@.";
+  List.iter (fun (name, n) -> Fmt.pr "  %-36s %d@." name n) (Lint.stats ());
+  match failures with
+  | [] -> Fmt.pr "%s ok: rule coverage, clean corpus and renderers hold@." gate
+  | fs ->
+    List.iter (fun f -> Fmt.epr "%s FAILURE: %s@." gate f) fs;
+    exit 1
+
+let run_checks ~seeds ~trace_n =
+  failures := [];
+  Lint.reset_counters ();
+  let _, trace = Pgen.over_privileged ~n:trace_n () in
+  let dirty_policy_findings = check_dirty_corpus ~trace in
+  check_generated_corpus ~seeds ~trace;
+  check_over_privileged ~n:trace_n;
+  check_clean_corpus ~trace;
+  check_sarif_roundtrip dirty_policy_findings;
+  check_budget_degradation ();
+  !failures
+
+let run () =
+  Bench_util.hr "Shield-lint: rule coverage on the dirty/clean corpus";
+  arm_watchdog 300.;
+  report_outcome ~gate:"lint-lab" (run_checks ~seeds:16 ~trace_n:512)
+
+(** Tier-1 gate: same invariants, smaller volume. *)
+let smoke () =
+  Bench_util.hr "Shield-lint: smoke";
+  arm_watchdog 120.;
+  report_outcome ~gate:"lint-smoke" (run_checks ~seeds:3 ~trace_n:64)

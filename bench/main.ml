@@ -7,8 +7,9 @@
 
    Experiments: table1 effectiveness reconciliation fig5 fig6 fig7 fig8
                 reconcile-perf decision-cache cache-smoke faults
-                faults-smoke vetting-lab vet-smoke trace-lab obs-smoke
-                ablation-compile ablation-isolation ablation-inclusion *)
+                faults-smoke vetting-lab vet-smoke lint-lab lint-smoke
+                trace-lab obs-smoke ablation-compile ablation-isolation
+                ablation-inclusion *)
 
 let experiments : (string * (unit -> unit)) list =
   [ ("table1", Table1.run);
@@ -25,6 +26,8 @@ let experiments : (string * (unit -> unit)) list =
     ("faults-smoke", Fault_lab.smoke);
     ("vetting-lab", Vetting_lab.run);
     ("vet-smoke", Vetting_lab.smoke);
+    ("lint-lab", Lint_lab.run);
+    ("lint-smoke", Lint_lab.smoke);
     ("trace-lab", Trace_lab.run);
     ("obs-smoke", Trace_lab.smoke);
     ("ablation-compile", Ablations.run_compile);

@@ -28,6 +28,15 @@
          when admitted — degraded verdicts print their fallback notes —
          and 1 when rejected.
 
+     sdnshield lint <file> [--policy] [--json] [--deny SEV]
+               [--disable RULE]... [--call SPEC]...
+         Run shield-lint (docs/LINTING.md) over a manifest (or, with
+         --policy, a policy) and print structured findings as text or
+         SARIF-shaped JSON.  --call specs (check syntax) form a
+         behaviour trace enabling the over-privilege audit.  Exits
+         non-zero when any finding reaches the --deny severity
+         (default error); --deny warn promotes warnings for CI.
+
      sdnshield faults-demo [--events N] [--seed S]
          Drive the supervised isolated runtime under injected
          checker/kernel/deputy faults and print the fault-tolerance
@@ -249,6 +258,9 @@ let vet_cmd =
           (match deadline with Some _ -> deadline | None -> d.Budget.deadline) }
     in
     let manifest_src = read_file manifest_path in
+    let print_lint (fs : Lint.finding list) =
+      List.iter (fun f -> Fmt.pr "lint: @[<v>%a@]@." Lint.pp_finding f) fs
+    in
     let finish label notes rejection =
       List.iter (fun n -> Fmt.pr "note: %s@." n) notes;
       (match rejection with
@@ -268,11 +280,13 @@ let vet_cmd =
     match policy_path with
     | None -> (
       match Vetting.vet_manifest ~limits manifest_src with
-      | Vetting.Admitted m ->
+      | Vetting.Admitted { value = m; lint } ->
         Fmt.pr "%a@." Perm.pp m;
+        print_lint lint;
         finish "admitted" [] None
-      | Vetting.Degraded (m, notes) ->
+      | Vetting.Degraded ({ value = m; lint }, notes) ->
         Fmt.pr "%a@." Perm.pp m;
+        print_lint lint;
         finish "degraded" notes None
       | Vetting.Rejected r -> finish "rejected" [] (Some r))
     | Some policy_path -> (
@@ -290,11 +304,13 @@ let vet_cmd =
           ~apps:[ (app, manifest_src) ]
           policy_src
       with
-      | Vetting.Admitted report ->
+      | Vetting.Admitted { value = report; lint } ->
         print_report report;
+        print_lint lint;
         finish "admitted" [] None
-      | Vetting.Degraded (report, notes) ->
+      | Vetting.Degraded ({ value = report; lint }, notes) ->
         print_report report;
+        print_lint lint;
         finish "degraded" notes None
       | Vetting.Rejected r -> finish "rejected" [] (Some r))
   in
@@ -530,6 +546,129 @@ let telemetry_cmd =
           (docs/OBSERVABILITY.md)")
     Term.(ret (const run $ format $ events $ spans_arg))
 
+(* lint ----------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run path as_policy json deny disabled call_specs =
+    let deny_rank =
+      match deny with
+      | "error" -> 2
+      | "warn" -> 1
+      | "info" -> 0
+      | _ -> 2
+    in
+    let rules_result =
+      List.fold_left
+        (fun acc id ->
+          match acc with
+          | Error _ -> acc
+          | Ok rules -> (
+            match Lint.rule_of_id id with
+            | Some r -> Ok (List.filter (fun r' -> r' <> r) rules)
+            | None ->
+              Error
+                (Printf.sprintf "unknown rule %S (known: %s)" id
+                   (String.concat ", " (List.map Lint.rule_id Lint.all_rules)))))
+        (Ok Lint.all_rules) disabled
+    in
+    match rules_result with
+    | Error e -> `Error (false, e)
+    | Ok rules -> (
+      let src = read_file path in
+      let findings_result =
+        if as_policy then
+          match Policy_parser.of_string src with
+          | Error e -> Error ("parse error: " ^ e)
+          | Ok policy -> Ok (Lint.lint_policy ~rules policy)
+        else
+          match Perm_parser.manifest_of_string src with
+          | Error e -> Error ("parse error: " ^ e)
+          | Ok m -> (
+            match call_specs with
+            | [] -> Ok (Lint.lint_manifest ~rules m)
+            | specs -> (
+              let rec parse_calls acc = function
+                | [] -> Ok (List.rev acc)
+                | s :: rest -> (
+                  match call_of_spec s with
+                  | Ok c -> parse_calls (c :: acc) rest
+                  | Error e -> Error (Printf.sprintf "call %S: %s" s e))
+              in
+              match parse_calls [] specs with
+              | Error e -> Error e
+              | Ok trace -> Ok (Lint.lint_manifest ~rules ~trace m)))
+      in
+      match findings_result with
+      | Error e -> `Error (false, e)
+      | Ok findings ->
+        if json then Fmt.pr "%s@." (Lint.to_sarif ~uri:path findings)
+        else Fmt.pr "%a" Lint.pp_report findings;
+        let worst =
+          match Lint.max_severity findings with
+          | None -> -1
+          | Some Lint.Error -> 2
+          | Some Lint.Warn -> 1
+          | Some Lint.Info -> 0
+        in
+        if worst >= deny_rank then begin
+          Fmt.epr
+            "lint: findings at or above the --deny %s threshold (%d \
+             error(s), %d warning(s), %d info)@."
+            deny
+            (Lint.count Lint.Error findings)
+            (Lint.count Lint.Warn findings)
+            (Lint.count Lint.Info findings);
+          exit 1
+        end
+        else `Ok ())
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let as_policy =
+    Arg.(
+      value & flag
+      & info [ "policy" ]
+          ~doc:"Treat $(docv) as a security policy instead of a manifest.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit SARIF-shaped JSON instead of text.")
+  in
+  let deny =
+    Arg.(
+      value
+      & opt (enum [ ("error", "error"); ("warn", "warn"); ("info", "info") ])
+          "error"
+      & info [ "deny" ] ~docv:"SEVERITY"
+          ~doc:
+            "Exit non-zero when any finding is at or above $(docv) \
+             (default $(b,error)); $(b,--deny warn) promotes warnings for \
+             CI use.")
+  in
+  let disabled =
+    Arg.(
+      value & opt_all string []
+      & info [ "disable" ] ~docv:"RULE"
+          ~doc:"Disable a rule by id (repeatable), e.g. \
+                $(b,shadowed-clause).")
+  in
+  let calls =
+    Arg.(
+      value & opt_all string []
+      & info [ "call" ] ~docv:"SPEC"
+          ~doc:
+            "Behaviour-trace call spec (repeatable), same syntax as \
+             $(b,check); supplying a trace enables the over-privilege \
+             audit against the inferred least-privilege manifest.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run shield-lint over a manifest or policy and print structured \
+          findings (docs/LINTING.md); text or SARIF-shaped JSON output, \
+          with $(b,--deny) severity promotion for CI")
+    Term.(ret (const run $ path $ as_policy $ json $ deny $ disabled $ calls))
+
 let () =
   let info =
     Cmd.info "sdnshield" ~version:"1.0.0"
@@ -539,4 +678,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; parse_policy_cmd; reconcile_cmd; check_cmd; vet_cmd;
-            faults_demo_cmd; telemetry_cmd ]))
+            lint_cmd; faults_demo_cmd; telemetry_cmd ]))

@@ -147,6 +147,15 @@ let clause_includes (a : clause) (x : clause) =
   || conj_clause_contradictory x
   || List.exists (fun ai -> List.exists (fun xj -> lit_includes ai xj) x) a
 
+(** Conjunctive-clause inclusion: DNF clause [a] ⊇ DNF clause [x] —
+    viewing [a] as the CNF of its singleton clauses, every literal of
+    [a] must include some literal of [x].  Vacuously true for the
+    empty (True) clause; a contradictory [x] is included by
+    anything.  The lint shadowed-clause rule builds on this. *)
+let conj_clause_includes (a : clause) (x : clause) =
+  conj_clause_contradictory x
+  || List.for_all (fun ai -> List.exists (fun xj -> lit_includes ai xj) x) a
+
 (* Inclusion queries repeat heavily during reconciliation (every
    boundary assertion and lattice operation re-compares the same
    filters), so answers are memoized alongside the normal-form memo in

@@ -16,6 +16,13 @@ val singleton_disjoint : Filter.singleton -> Filter.singleton -> bool
     dimension satisfy both.  Exposed for diagnostics; the inclusion
     algorithm never uses it. *)
 
+val conj_clause_includes : Nf.clause -> Nf.clause -> bool
+(** [conj_clause_includes a x] — conjunctive (DNF) clause [a] allows
+    every behaviour conjunctive clause [x] allows: every literal of
+    [a] includes some literal of [x] (or [x] is contradictory).
+    Sound, incomplete.  The empty (True) clause includes everything.
+    Used by the lint shadowed-clause rule (docs/LINTING.md). *)
+
 val filter_includes : ?max_clauses:int -> Filter.expr -> Filter.expr -> bool
 (** [filter_includes a b] — filter [a] allows every behaviour [b]
     allows.  CNF(a) × DNF(b) clause-pairwise comparison; conservative

@@ -19,10 +19,11 @@
 module M = Shield_controller.Metrics
 
 type rejection = { stage : string; reason : string; spent : Budget.spent }
+type 'a admission = { value : 'a; lint : Lint.finding list }
 
 type 'a verdict =
-  | Admitted of 'a
-  | Degraded of 'a * string list
+  | Admitted of 'a admission
+  | Degraded of 'a admission * string list
   | Rejected of rejection
 
 (* Verdict counters ---------------------------------------------------------- *)
@@ -93,7 +94,12 @@ let reset_stats () =
 
 (* The guarded runner -------------------------------------------------------- *)
 
-let run ?limits (f : Budget.t -> ('a, rejection) result) : 'a verdict =
+(* [f] returns the vetted value together with its advisory lint
+   findings.  Lint installs its own nested budget scope, so a manifest
+   whose *analysis* is expensive degrades the lint report (to Info
+   "unverified" findings), never the admission verdict. *)
+let run ?limits (f : Budget.t -> ('a * Lint.finding list, rejection) result) :
+    'a verdict =
   let b = Budget.create ?limits () in
   let outcome =
     Budget.with_scope b (fun () ->
@@ -120,10 +126,11 @@ let run ?limits (f : Budget.t -> ('a, rejection) result) : 'a verdict =
   count_verdict
     (match outcome with
     | Error r -> Rejected r
-    | Ok v -> (
+    | Ok (v, lint) -> (
+      let adm = { value = v; lint } in
       match Budget.notes b with
-      | [] -> Admitted v
-      | notes -> Degraded (v, notes)))
+      | [] -> Admitted adm
+      | notes -> Degraded (adm, notes)))
 
 (* Pipeline stages ----------------------------------------------------------- *)
 
@@ -237,7 +244,8 @@ let check_policy_references (policy : Policy.t) =
 let vet_manifest_ast ?limits (m : Perm.manifest) : Perm.manifest verdict =
   run ?limits (fun _b ->
       check_manifest m;
-      Ok m)
+      Budget.set_stage "lint";
+      Ok (m, Lint.lint_manifest m))
 
 let vet_manifest ?limits (src : string) : Perm.manifest verdict =
   run ?limits (fun b ->
@@ -246,7 +254,8 @@ let vet_manifest ?limits (src : string) : Perm.manifest verdict =
       | Error e -> Error { stage = "parse"; reason = e; spent = Budget.spent b }
       | Ok m ->
         check_manifest m;
-        Ok m)
+        Budget.set_stage "lint";
+        Ok (m, Lint.lint_manifest m))
 
 let vet_policy ?limits (src : string) : Policy.t verdict =
   run ?limits (fun b ->
@@ -256,7 +265,8 @@ let vet_policy ?limits (src : string) : Policy.t verdict =
       | Ok policy ->
         check_policy_structure policy;
         check_policy_references policy;
-        Ok policy)
+        Budget.set_stage "lint";
+        Ok (policy, Lint.lint_policy policy))
 
 let vet_and_reconcile ?limits ~(apps : (string * string) list)
     (policy : string) : Reconcile.report verdict =
@@ -308,7 +318,18 @@ let vet_and_reconcile ?limits ~(apps : (string * string) list)
                    app
                    (String.concat ", " stubs)))
             report.Reconcile.unresolved_macros;
-          Ok report))
+          Budget.set_stage "lint";
+          let manifest_macros =
+            List.concat_map (fun (_, m) -> Perm.macros m) parsed
+          in
+          let lint =
+            Lint.lint_policy ~manifest_macros pol
+            @ List.concat_map
+                (fun (name, m) ->
+                  Lint.lint_manifest ~label:("app " ^ name) m)
+                parsed
+          in
+          Ok (report, lint)))
 
 (* Reporting ----------------------------------------------------------------- *)
 

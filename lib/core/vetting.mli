@@ -34,9 +34,20 @@ type rejection = {
   spent : Budget.spent;  (** Resources consumed up to the cut-off. *)
 }
 
+type 'a admission = {
+  value : 'a;
+  lint : Lint.finding list;
+      (** Advisory shield-lint findings (docs/LINTING.md), computed
+          after the structural stages under lint's own nested budget
+          scope.  Findings never change the verdict: a lint-dirty but
+          well-formed input is still admitted, and lint analysis that
+          exhausts its budget degrades to [Info] "unverified" findings
+          rather than to a [Degraded]/[Rejected] verdict. *)
+}
+
 type 'a verdict =
-  | Admitted of 'a
-  | Degraded of 'a * string list
+  | Admitted of 'a admission
+  | Degraded of 'a admission * string list
       (** Usable result, but conservative fallbacks were taken; the
           notes (oldest first) say which. *)
   | Rejected of rejection
@@ -74,7 +85,10 @@ val vet_and_reconcile :
     [Degraded] when any stage fell back conservatively or any policy
     statement was skipped as a [Policy_error]; violations that the
     engine repaired are part of the admitted report, not a
-    degradation.  Never raises. *)
+    degradation.  The [lint] field aggregates the policy findings
+    (with the app manifests' stub macros counted as live bindings)
+    and each app's manifest findings (locations prefixed
+    ["app <name>"]).  Never raises. *)
 
 (** {1 Metrics} *)
 

@@ -142,3 +142,49 @@ let rec random_hostile_ast rng ~size =
       Or
         ( random_hostile_ast rng ~size:left,
           random_hostile_ast rng ~size:(n - left) )
+
+(* Lint-dirty corpus ---------------------------------------------------------- *)
+
+(* Parseable, structurally tame sources that are nonetheless full of
+   the semantic defects shield-lint (lib/core/lint.ml) hunts:
+   unsatisfiable conjunctions, tautologies, shadowed clauses,
+   refinements on dimensions the token never carries, dead LET
+   bindings, self-MEET/JOIN, overlapping ASSERT EITHER sides.  The
+   seed varies the concrete ports/subnets so tests don't pin one
+   constant, while the defect inventory is fixed — every manifest
+   (resp. policy) rule fires on every seed. *)
+
+(** [lint_dirty_manifest_src ~seed] — a manifest that triggers
+    unsatisfiable-filter, vacuous-filter, shadowed-clause and
+    redundant-refinement (plus over-privilege excess tokens when
+    linted against a trace that only installs flows). *)
+let lint_dirty_manifest_src ~seed =
+  let rng = Prng.of_int seed in
+  let p1 = 1 + Prng.int rng 30_000 in
+  let p2 = p1 + 1 + Prng.int rng 30_000 in
+  let octet = Prng.int rng 256 in
+  Printf.sprintf
+    "PERM insert_flow LIMITING TCP_DST %d AND TCP_DST %d\n\
+     PERM delete_flow LIMITING OWN_FLOWS OR NOT OWN_FLOWS\n\
+     PERM read_flow_table LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0 OR \
+     (IP_DST 10.%d.0.0 MASK 255.255.0.0 AND OWN_FLOWS)\n\
+     PERM read_statistics LIMITING MAX_PRIORITY %d\n\
+     PERM send_pkt_out\n"
+    p1 p2 octet
+    (100 + Prng.int rng 1000)
+
+(** [lint_dirty_policy_src ~seed] — a policy that triggers
+    dead-binding (both a dead perm binding and an unreferenced stub
+    macro), self-meet-join and overlapping-exclusive. *)
+let lint_dirty_policy_src ~seed =
+  let rng = Prng.of_int seed in
+  let octet = 1 + Prng.int rng 254 in
+  Printf.sprintf
+    "LET unused = { PERM read_payload }\n\
+     LET ghost_macro = { IP_DST 192.168.%d.0 MASK 255.255.255.0 }\n\
+     LET a = { PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0 }\n\
+     LET b = { PERM insert_flow LIMITING IP_DST 10.%d.0.0 MASK 255.255.0.0 }\n\
+     ASSERT a MEET a <= b\n\
+     ASSERT EITHER a OR b\n"
+    octet
+    (Prng.int rng 256)

@@ -130,3 +130,33 @@ let filter_count (m : Sdnshield.Perm.manifest) =
     (fun n (p : Sdnshield.Perm.t) ->
       n + Sdnshield.Filter.fold_atoms (fun k _ -> k + 1) 0 p.Sdnshield.Perm.filter)
     0 m
+
+(* Over-privileged manifest/trace pairs --------------------------------------- *)
+
+(** [over_privileged ?seed ~n ()] — a (manifest, trace) pair where the
+    manifest strictly exceeds the least-privilege manifest
+    [Infer.of_trace] synthesises from the trace: the insert grant is
+    widened to unrestricted where the trace only needs a narrow
+    envelope, and one granted token never appears in the trace at
+    all.  Feed it to [Lint.lint_manifest ~trace] to exercise the
+    over-privilege audit. *)
+let over_privileged ?(seed = 17) ~n () :
+    Sdnshield.Perm.manifest * Shield_controller.Api.call list =
+  let trace =
+    Api_trace.generate ~seed ~violation_rate:0. ~focus:`Insert ~n ()
+    |> Array.to_list |> List.map fst
+  in
+  let least = Sdnshield.Infer.of_trace trace in
+  let widened =
+    List.map
+      (fun (p : Sdnshield.Perm.t) ->
+        if p.Sdnshield.Perm.token = Sdnshield.Token.Insert_flow then
+          { p with Sdnshield.Perm.filter = Sdnshield.Filter.True }
+        else p)
+      least
+  in
+  ( Sdnshield.Perm.normalize
+      (widened
+      @ [ { Sdnshield.Perm.token = Sdnshield.Token.Read_payload;
+            filter = Sdnshield.Filter.True } ]),
+    trace )

@@ -26,6 +26,56 @@ let test_pred_inclusion () =
   let p = filter "IP_DST 192.168.1.0 MASK 255.255.255.0" in
   Alcotest.(check bool) "reflexive" true (includes p p)
 
+(* [singleton_disjoint] pins *range* disjointness on one dimension,
+   NOT semantic emptiness of the conjunction: under the vacuous-pass
+   convention (§IV-B) a call that lacks the dimension satisfies both
+   singletons, so a disjoint pair can still admit behaviour.  The
+   inclusion algorithm never consults it; the lint unsatisfiable-filter
+   rule does (docs/LINTING.md). *)
+let test_singleton_disjoint () =
+  let open Filter in
+  let disjoint = Inclusion.singleton_disjoint in
+  let tcp n = Pred { field = F_tcp_dst; value = V_int n; mask = None } in
+  let subnet a m =
+    Pred
+      { field = F_ip_dst;
+        value = V_ip (Test_util.ip a);
+        mask = Some (Test_util.ip m) }
+  in
+  Alcotest.(check bool) "two tcp ports" true (disjoint (tcp 80) (tcp 443));
+  Alcotest.(check bool) "same tcp port" false (disjoint (tcp 80) (tcp 80));
+  Alcotest.(check bool) "disjoint /16 subnets" true
+    (disjoint
+       (subnet "10.1.0.0" "255.255.0.0")
+       (subnet "10.2.0.0" "255.255.0.0"));
+  Alcotest.(check bool) "nested /8 ⊇ /16 not disjoint" false
+    (disjoint
+       (subnet "10.0.0.0" "255.0.0.0")
+       (subnet "10.1.0.0" "255.255.0.0"));
+  (* Cross-dimension pairs are incomparable, never "disjoint". *)
+  Alcotest.(check bool) "cross-dimension" false
+    (disjoint (tcp 80) (subnet "10.0.0.0" "255.0.0.0"));
+  (* Scalar bound dimensions overlap structurally (both bound ranges
+     contain small values), so no disjointness is claimed. *)
+  Alcotest.(check bool) "priority bounds" false
+    (disjoint (Max_priority 10) (Max_priority 900));
+  Alcotest.(check bool) "drop vs forward" true
+    (disjoint (Action_f A_drop) (Action_f A_forward));
+  Alcotest.(check bool) "stats levels" true
+    (disjoint
+       (Stats_level Shield_openflow.Stats.Flow_level)
+       (Stats_level Shield_openflow.Stats.Port_level));
+  (* The range-disjointness-is-not-emptiness caveat, demonstrated: a
+     call without the TCP dimension passes the conjunction of two
+     "disjoint" port singletons (vacuous pass). *)
+  let conj = Filter.conj (Atom (tcp 80)) (Atom (tcp 443)) in
+  let stats_call =
+    Shield_controller.Api.Read_stats
+      (Shield_openflow.Stats.request Shield_openflow.Stats.Flow_level)
+  in
+  Alcotest.(check bool) "vacuous pass through a disjoint pair" true
+    (Filter_eval.eval Filter_eval.pure_env conj (Attrs.of_call stats_call))
+
 let test_cross_dimension_incomparable () =
   Alcotest.(check bool) "ip_dst vs ip_src" false
     (includes (filter "IP_DST 10.0.0.0 MASK 255.0.0.0")
@@ -241,6 +291,8 @@ let qsuite =
 
 let suite =
   [ Alcotest.test_case "pred inclusion" `Quick test_pred_inclusion;
+    Alcotest.test_case "singleton disjointness (range, not emptiness)" `Quick
+      test_singleton_disjoint;
     Alcotest.test_case "cross-dimension incomparable" `Quick test_cross_dimension_incomparable;
     Alcotest.test_case "scalar inclusions" `Quick test_scalar_inclusions;
     Alcotest.test_case "wildcard inclusion" `Quick test_wildcard_inclusion;

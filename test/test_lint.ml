@@ -1,0 +1,379 @@
+(* Shield-lint: the rule catalogue, counters, renderers and the
+   fail-degraded budget discipline (docs/LINTING.md).
+
+   The qcheck properties pin the two ISSUE invariants: manifests
+   synthesised by [Infer.of_trace] are lint-clean against their own
+   trace (no over-privilege findings — inference IS the least
+   privilege), and lint never raises on hostile inputs. *)
+
+open Shield_controller
+open Sdnshield
+module Hostile = Shield_workload.Hostile_gen
+module Pgen = Shield_workload.Perm_gen
+module Prng = Shield_workload.Prng
+module Json = Telemetry.Json
+
+let filter = Test_util.filter_exn
+let manifest = Test_util.manifest_exn
+
+let policy src =
+  match Policy_parser.of_string src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "policy parse: %s" e
+
+let perm token f = { Perm.token; filter = f }
+
+let read_example name =
+  let candidates =
+    [ Filename.concat "examples/lint" name;
+      Filename.concat "../examples/lint" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.failf "corpus file %s not found" name
+  | Some path ->
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Catalogue ------------------------------------------------------------------- *)
+
+let test_rule_ids () =
+  Alcotest.(check int) "eight rules" 8 (List.length Lint.all_rules);
+  List.iter
+    (fun r ->
+      match Lint.rule_of_id (Lint.rule_id r) with
+      | Some r' when r' = r -> ()
+      | _ -> Alcotest.failf "rule id %s does not round-trip" (Lint.rule_id r))
+    Lint.all_rules;
+  Alcotest.(check bool) "unknown id" true (Lint.rule_of_id "bogus" = None);
+  List.iter
+    (fun s ->
+      match Lint.severity_of_label (Lint.severity_label s) with
+      | Some s' when s' = s -> ()
+      | _ -> Alcotest.fail "severity label does not round-trip")
+    [ Lint.Error; Lint.Warn; Lint.Info ]
+
+(* Manifest rules -------------------------------------------------------------- *)
+
+let test_unsatisfiable () =
+  let fs =
+    Lint.lint_manifest [ perm Token.Insert_flow (filter "TCP_DST 80 AND TCP_DST 443") ]
+  in
+  Alcotest.(check bool) "fires" true (Lint.has_rule Lint.Unsatisfiable_filter fs);
+  Alcotest.(check int) "is an Error" 1 (Lint.count Lint.Error fs);
+  (* Cross-dimension conjunctions are fine. *)
+  let fs =
+    Lint.lint_manifest
+      [ perm Token.Insert_flow (filter "TCP_DST 80 AND IP_DST 10.0.0.1") ]
+  in
+  Alcotest.(check bool) "cross-dimension silent" false
+    (Lint.has_rule Lint.Unsatisfiable_filter fs);
+  (* Complementary literals within one clause. *)
+  let fs =
+    Lint.lint_manifest
+      [ perm Token.Insert_flow (filter "OWN_FLOWS AND NOT OWN_FLOWS") ]
+  in
+  Alcotest.(check bool) "complementary literals fire" true
+    (Lint.has_rule Lint.Unsatisfiable_filter fs)
+
+let test_vacuous () =
+  let fs =
+    Lint.lint_manifest
+      [ perm Token.Delete_flow (filter "OWN_FLOWS OR NOT OWN_FLOWS") ]
+  in
+  Alcotest.(check bool) "tautology fires" true
+    (Lint.has_rule Lint.Vacuous_filter fs);
+  let fs = Lint.lint_manifest [ perm Token.Delete_flow (filter "OWN_FLOWS") ] in
+  Alcotest.(check bool) "single atom silent" false
+    (Lint.has_rule Lint.Vacuous_filter fs)
+
+let test_shadowed () =
+  let fs =
+    Lint.lint_manifest
+      [ perm Token.Insert_flow
+          (filter
+             "IP_DST 10.0.0.0 MASK 255.0.0.0 OR (IP_DST 10.1.0.0 MASK \
+              255.255.0.0 AND OWN_FLOWS)") ]
+  in
+  Alcotest.(check bool) "narrower later clause fires" true
+    (Lint.has_rule Lint.Shadowed_clause fs);
+  let fs =
+    Lint.lint_manifest
+      [ perm Token.Insert_flow
+          (filter
+             "IP_DST 10.0.0.0 MASK 255.0.0.0 OR IP_DST 11.0.0.0 MASK \
+              255.0.0.0") ]
+  in
+  Alcotest.(check bool) "disjoint clauses silent" false
+    (Lint.has_rule Lint.Shadowed_clause fs)
+
+let test_redundant () =
+  let fs =
+    Lint.lint_manifest
+      [ perm Token.Read_statistics (filter "MAX_PRIORITY 100") ]
+  in
+  Alcotest.(check bool) "stats vs priority fires" true
+    (Lint.has_rule Lint.Redundant_refinement fs);
+  let fs =
+    Lint.lint_manifest [ perm Token.Read_statistics (filter "FLOW_LEVEL") ]
+  in
+  Alcotest.(check bool) "stats level relevant" false
+    (Lint.has_rule Lint.Redundant_refinement fs);
+  (* A macro might expand to anything: never claim redundancy. *)
+  let fs =
+    Lint.lint_manifest [ perm Token.Read_statistics (filter "some_stub") ]
+  in
+  Alcotest.(check bool) "macro counts as relevant" false
+    (Lint.has_rule Lint.Redundant_refinement fs)
+
+let test_over_privilege () =
+  let m, trace = Pgen.over_privileged ~n:64 () in
+  (* Without a trace the audit cannot run. *)
+  Alcotest.(check bool) "no trace, no audit" false
+    (Lint.has_rule Lint.Over_privilege (Lint.lint_manifest m));
+  let fs = Lint.lint_manifest ~trace m in
+  let op = List.filter (fun f -> f.Lint.rule = Lint.Over_privilege) fs in
+  Alcotest.(check bool) "unused token reported" true
+    (List.exists
+       (fun f -> Test_vetting.contains ~affix:"read_payload" f.Lint.location)
+       op);
+  Alcotest.(check bool) "strictly-wider filter reported" true
+    (List.exists
+       (fun f -> Test_vetting.contains ~affix:"insert_flow" f.Lint.location)
+       op)
+
+(* Policy rules ---------------------------------------------------------------- *)
+
+let dirty_policy () = policy (read_example "dirty.policy")
+
+let test_dead_binding () =
+  let fs = Lint.lint_policy (dirty_policy ()) in
+  let dead = List.filter (fun f -> f.Lint.rule = Lint.Dead_binding) fs in
+  Alcotest.(check bool) "dead perm binding is a Warn" true
+    (List.exists
+       (fun f ->
+         f.Lint.severity = Lint.Warn
+         && Test_vetting.contains ~affix:"unused" f.Lint.message)
+       dead);
+  Alcotest.(check bool) "unreferenced stub is Info without manifests" true
+    (List.exists
+       (fun f ->
+         f.Lint.severity = Lint.Info
+         && Test_vetting.contains ~affix:"ghost_macro" f.Lint.message)
+       dead);
+  (* With the app manifests' stubs supplied, a used stub is live... *)
+  let fs =
+    Lint.lint_policy ~manifest_macros:[ "ghost_macro" ] (dirty_policy ())
+  in
+  Alcotest.(check bool) "stub in a manifest is live" false
+    (List.exists
+       (fun f -> Test_vetting.contains ~affix:"ghost_macro" f.Lint.message)
+       fs);
+  (* ...and a stub no manifest mentions is a definite Warn. *)
+  let fs = Lint.lint_policy ~manifest_macros:[] (dirty_policy ()) in
+  Alcotest.(check bool) "stub absent everywhere is a Warn" true
+    (List.exists
+       (fun f ->
+         f.Lint.severity = Lint.Warn
+         && Test_vetting.contains ~affix:"ghost_macro" f.Lint.message)
+       fs)
+
+let test_self_meet_join () =
+  let fs = Lint.lint_policy (dirty_policy ()) in
+  Alcotest.(check bool) "a MEET a fires" true
+    (Lint.has_rule Lint.Self_meet_join fs);
+  let fs =
+    Lint.lint_policy
+      (policy
+         "LET a = { PERM read_statistics }\n\
+          LET b = { PERM read_payload }\n\
+          ASSERT a MEET b <= a")
+  in
+  Alcotest.(check bool) "a MEET b silent" false
+    (Lint.has_rule Lint.Self_meet_join fs)
+
+let test_overlapping_exclusive () =
+  let fs = Lint.lint_policy (dirty_policy ()) in
+  Alcotest.(check bool) "overlapping sides fire" true
+    (Lint.has_rule Lint.Overlapping_exclusive fs);
+  let fs =
+    Lint.lint_policy
+      (policy
+         "LET a = { PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK \
+          255.0.0.0 }\n\
+          LET b = { PERM read_statistics }\n\
+          ASSERT EITHER a OR b")
+  in
+  Alcotest.(check bool) "token-disjoint sides silent" false
+    (Lint.has_rule Lint.Overlapping_exclusive fs)
+
+(* Toggles, budget, counters, renderers ---------------------------------------- *)
+
+let test_rule_toggle () =
+  let m = manifest (read_example "dirty.manifest") in
+  let fs = Lint.lint_manifest ~rules:[ Lint.Unsatisfiable_filter ] m in
+  Alcotest.(check bool) "selected rule runs" true
+    (Lint.has_rule Lint.Unsatisfiable_filter fs);
+  Alcotest.(check bool) "others off" true
+    (List.for_all (fun f -> f.Lint.rule = Lint.Unsatisfiable_filter) fs)
+
+let test_budget_degrades_to_info () =
+  let m = manifest (read_example "dirty.manifest") in
+  let limits = { Budget.default_limits with Budget.max_steps = 1 } in
+  let fs = Lint.lint_manifest ~limits m in
+  Alcotest.(check bool) "some unverified findings" true (fs <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "severity is info" "info"
+        (Lint.severity_label f.Lint.severity);
+      Alcotest.(check bool) "message says unverified" true
+        (Test_vetting.contains ~affix:"unverified" f.Lint.message))
+    fs
+
+let test_counters_reach_telemetry () =
+  Lint.reset_counters ();
+  let m = manifest (read_example "dirty.manifest") in
+  ignore (Lint.lint_manifest m);
+  let stats = Lint.stats () in
+  let count name =
+    match List.assoc_opt name stats with Some n -> n | None -> 0
+  in
+  Alcotest.(check bool) "error counter bumped" true
+    (count "lint-error:unsatisfiable-filter" >= 1);
+  Alcotest.(check bool) "warn counter bumped" true
+    (count "lint-warn:vacuous-filter" >= 1);
+  (* The counters are ordinary registry gauges, so they flow into
+     Metrics.gauge_report, Telemetry.snapshot and the Prometheus
+     export without further wiring. *)
+  let gauges = Metrics.gauge_report () in
+  Alcotest.(check bool) "registered as a gauge" true
+    (List.mem_assoc "lint-error:unsatisfiable-filter" gauges);
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check bool) "prometheus export carries lint" true
+    (Test_vetting.contains ~affix:"unsatisfiable_filter"
+       (Telemetry.to_prometheus snap)
+    || Test_vetting.contains ~affix:"unsatisfiable-filter"
+         (Telemetry.to_prometheus snap))
+
+let test_sarif_roundtrip () =
+  let m = manifest (read_example "dirty.manifest") in
+  let fs = Lint.lint_manifest m in
+  let sarif = Lint.to_sarif ~uri:"dirty.manifest" fs in
+  match Json.of_string sarif with
+  | Error e -> Alcotest.failf "sarif does not re-parse: %s" e
+  | Ok json -> (
+    match Json.member "runs" json with
+    | Some (Json.Arr [ run ]) -> (
+      match Json.member "results" run with
+      | Some (Json.Arr results) ->
+        Alcotest.(check int) "one result per finding" (List.length fs)
+          (List.length results);
+        let levels =
+          List.filter_map
+            (fun r ->
+              match Json.member "level" r with
+              | Some (Json.Str l) -> Some l
+              | _ -> None)
+            results
+        in
+        Alcotest.(check bool) "error level present" true
+          (List.mem "error" levels);
+        List.iter
+          (fun l ->
+            if not (List.mem l [ "error"; "warning"; "note" ]) then
+              Alcotest.failf "non-SARIF level %s" l)
+          levels
+      | _ -> Alcotest.fail "no results array")
+    | _ -> Alcotest.fail "expected one run")
+
+(* Vetting integration --------------------------------------------------------- *)
+
+let test_vetting_carries_lint () =
+  match Vetting.vet_manifest (read_example "dirty.manifest") with
+  | Vetting.Admitted { Vetting.lint; _ } ->
+    Alcotest.(check bool) "dirty manifest admitted with findings" true
+      (Lint.count Lint.Error lint >= 1)
+  | v -> Alcotest.failf "expected admitted, got %s" (Vetting.verdict_label v)
+
+let test_vet_and_reconcile_counts_stubs_live () =
+  (* The policy's stub macro is referenced by the app manifest, so the
+     aggregated pipeline must not report it dead. *)
+  let policy_src =
+    "LET guard = { IP_DST 10.0.0.0 MASK 255.0.0.0 }\n\
+     LET a = APP app\n\
+     ASSERT a <= { PERM insert_flow }"
+  in
+  let app_src = "PERM insert_flow LIMITING guard" in
+  match Vetting.vet_and_reconcile ~apps:[ ("app", app_src) ] policy_src with
+  | Vetting.Admitted { Vetting.lint; _ }
+  | Vetting.Degraded ({ Vetting.lint; _ }, _) ->
+    Alcotest.(check bool) "stub used by the app manifest is live" false
+      (List.exists
+         (fun f -> Test_vetting.contains ~affix:"guard" f.Lint.message)
+         lint)
+  | Vetting.Rejected r ->
+    Alcotest.failf "rejected: %s" (Fmt.str "%a" Vetting.pp_rejection r)
+
+(* Properties ------------------------------------------------------------------ *)
+
+let qsuite =
+  [ QCheck.Test.make ~count:200
+      ~name:"Infer.of_trace is lint-clean against its own trace"
+      (QCheck.list_of_size (QCheck.Gen.int_range 1 20) Test_filters.call_arb)
+      (fun trace ->
+        let m = Infer.of_trace trace in
+        not (Lint.has_rule Lint.Over_privilege (Lint.lint_manifest ~trace m)));
+    QCheck.Test.make ~count:200 ~name:"lint never raises on hostile ASTs"
+      QCheck.(pair small_nat (int_range 1 200))
+      (fun (seed, size) ->
+        let rng = Prng.of_int seed in
+        let f = Hostile.random_hostile_ast rng ~size in
+        let m = Hostile.manifest_of_filter f in
+        ignore (Lint.lint_manifest m);
+        true);
+    QCheck.Test.make ~count:50
+      ~name:"lint-dirty generators always cover their rules"
+      QCheck.small_nat
+      (fun seed ->
+        let m =
+          Test_util.manifest_exn (Hostile.lint_dirty_manifest_src ~seed)
+        in
+        let p =
+          match
+            Policy_parser.of_string (Hostile.lint_dirty_policy_src ~seed)
+          with
+          | Ok p -> p
+          | Error e -> QCheck.Test.fail_reportf "policy parse: %s" e
+        in
+        let mf = Lint.lint_manifest m and pf = Lint.lint_policy p in
+        List.for_all
+          (fun r -> Lint.has_rule r mf)
+          [ Lint.Unsatisfiable_filter; Lint.Vacuous_filter;
+            Lint.Shadowed_clause; Lint.Redundant_refinement ]
+        && List.for_all
+             (fun r -> Lint.has_rule r pf)
+             [ Lint.Dead_binding; Lint.Self_meet_join;
+               Lint.Overlapping_exclusive ]) ]
+
+let suite =
+  [ Alcotest.test_case "rule ids and severities" `Quick test_rule_ids;
+    Alcotest.test_case "unsatisfiable filter" `Quick test_unsatisfiable;
+    Alcotest.test_case "vacuous filter" `Quick test_vacuous;
+    Alcotest.test_case "shadowed clause" `Quick test_shadowed;
+    Alcotest.test_case "redundant refinement" `Quick test_redundant;
+    Alcotest.test_case "over-privilege audit" `Quick test_over_privilege;
+    Alcotest.test_case "dead bindings" `Quick test_dead_binding;
+    Alcotest.test_case "self MEET/JOIN" `Quick test_self_meet_join;
+    Alcotest.test_case "overlapping EITHER" `Quick test_overlapping_exclusive;
+    Alcotest.test_case "rule toggles" `Quick test_rule_toggle;
+    Alcotest.test_case "budget degrades to Info" `Quick
+      test_budget_degrades_to_info;
+    Alcotest.test_case "counters reach telemetry" `Quick
+      test_counters_reach_telemetry;
+    Alcotest.test_case "SARIF round-trip" `Quick test_sarif_roundtrip;
+    Alcotest.test_case "vetting carries lint" `Quick test_vetting_carries_lint;
+    Alcotest.test_case "pipeline sees app stubs as live" `Quick
+      test_vet_and_reconcile_counts_stubs_live ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

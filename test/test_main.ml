@@ -21,5 +21,6 @@ let () =
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("vetting", Test_vetting.suite);
+      ("lint", Test_lint.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("forensics", Test_forensics.suite) ]

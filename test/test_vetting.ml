@@ -29,8 +29,10 @@ let rejection_of = function
 
 let test_clean_admitted () =
   match Vetting.vet_manifest clean_manifest_src with
-  | Vetting.Admitted m ->
-    Alcotest.(check int) "two permissions" 2 (List.length m)
+  | Vetting.Admitted { Vetting.value = m; lint } ->
+    Alcotest.(check int) "two permissions" 2 (List.length m);
+    Alcotest.(check int) "clean manifest has no lint findings" 0
+      (List.length lint)
   | v -> Alcotest.failf "expected admitted, got %s" (label v)
 
 let test_depth_bomb_rejected () =
@@ -129,7 +131,7 @@ let test_macro_cycle_fail_closed () =
 let test_macro_bomb_degrades () =
   let manifest_src, policy_src = Hostile.macro_chain_bomb ~links:48 in
   match Vetting.vet_and_reconcile ~apps:[ ("bomb", manifest_src) ] policy_src with
-  | Vetting.Degraded (report, notes) ->
+  | Vetting.Degraded ({ Vetting.value = report; _ }, notes) ->
     Alcotest.(check bool) "notes the node cap" true
       (List.exists (contains ~affix:"node cap") notes);
     Alcotest.(check bool) "stubs reported unresolved" true
