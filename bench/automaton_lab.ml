@@ -1,0 +1,325 @@
+(* Automaton lab — the decision DAG against the rest of the check
+   path, plus the batched entry point (docs/AUTOMATON.md).
+
+   Same methodology as the decision-cache bench (EXPERIMENTS.md): the
+   large Figure-5 manifest, insert-focused traces, stateless checking
+   as in the paper's single-core microbenchmark.  The two access
+   patterns bracket the cache's behaviour — skewed is its home turf,
+   uniform (32768 distinct calls churning a 16384-entry cache) is its
+   worst case and the automaton's motivating workload.  A batch-size
+   sweep measures what [check_batch] buys over call-at-a-time
+   dispatch.
+
+   `run` persists its measurements to BENCH_AUTOMATON.json at the repo
+   root (the perf trajectory lives in the tree); `smoke` is the tier-1
+   gate — equivalence over the generated corpus and the examples/lint
+   manifest plus a deliberately conservative single-core throughput
+   floor, no file writes. *)
+
+open Shield_workload
+open Sdnshield
+module J = Bench_util.Json
+
+let manifest () = Perm_gen.generate ~complexity:Perm_gen.Large ~focus:`Insert ()
+
+(* Workloads are shared with the cache bench (same executable):
+   [Cache_bench.base_calls] and [.skewed_trace].  Measurement is not:
+   the automaton runs at tens of M ops/s, where [Cache_bench.
+   throughput]'s four fixed passes give a ~3 ms timed region that
+   drowns in timer jitter.  Scale the repeat count so every number
+   comes from a region of comparable (generous) length. *)
+
+let target_region = 0.25 (* seconds *)
+
+let adaptive_repeats dt =
+  max 2 (min 512 (int_of_float (target_region /. Float.max 1e-6 dt)))
+
+(** Ops/s of [check] over [trace]: one warm (and calibration) pass,
+    then enough timed passes to fill [target_region]. *)
+let throughput check trace =
+  let pass () =
+    Array.iter (fun call -> ignore (Sys.opaque_identity (check call))) trace
+  in
+  let (), dt = Bench_util.timed pass in
+  let repeats = adaptive_repeats dt in
+  let (), total =
+    Bench_util.timed (fun () ->
+        for _ = 1 to repeats do
+          pass ()
+        done)
+  in
+  float_of_int (repeats * Array.length trace) /. total
+
+(** The check path's four rungs over one manifest, stateless. *)
+let checkers ~tag m =
+  let engine ?cache_size name =
+    let e =
+      Engine.create ~record_state:false ?cache_size
+        ~ownership:(Ownership.create ())
+        ~app_name:(tag ^ "-" ^ name) ~cookie:1 m
+    in
+    fun call -> Engine.check e call
+  in
+  let compiled =
+    let c = Compiled.of_manifest m in
+    fun call -> Compiled.check c call
+  in
+  let automaton =
+    let a = Automaton.of_manifest m in
+    fun call -> Automaton.check a call
+  in
+  [ ("interpreted", engine "raw");
+    ("compiled", compiled);
+    ("engine + cache",
+     engine ~cache_size:Decision_cache.default_max_entries "cached");
+    ("automaton", automaton) ]
+
+(** One workload row set: ops/s per checker plus speedups. *)
+let workload_section ~title ~label ~trace m =
+  Bench_util.subhr title;
+  let measured =
+    List.map
+      (fun (name, check) -> (name, throughput check trace))
+      (checkers ~tag:label m)
+  in
+  let base = List.assoc "interpreted" measured in
+  Bench_util.table
+    [ "checker"; "throughput"; "vs interpreted" ]
+    (List.map
+       (fun (name, ops) ->
+         [ name;
+           Printf.sprintf "%.2f M ops/s" (ops /. 1e6);
+           Printf.sprintf "%.2fx" (ops /. base) ])
+       measured);
+  J.Obj
+    [ ("workload", J.Str label);
+      ("accesses", J.Int (Array.length trace));
+      ( "checkers",
+        J.Arr
+          (List.map
+             (fun (name, ops) ->
+               J.Obj
+                 [ ("checker", J.Str name);
+                   ("mops", J.Float (ops /. 1e6));
+                   ("vs_interpreted", J.Float (ops /. base)) ])
+             measured) ) ]
+
+(** Ops/s over [trace] cut into [batch]-sized chunks, producing one
+    verdict array per chunk — via [check_batch], or via the per-call
+    loop a caller would write in its place ([Array.map check]).  Both
+    sides pay for materializing the verdicts, so the ratio isolates
+    what the batched entry point actually buys (hoisted dispatch and
+    bookkeeping); result-array costs are identical by construction.
+    One warm (and calibration) pass, then adaptive timed passes. *)
+let chunked_throughput a ~batch ~batched trace =
+  let n = Array.length trace in
+  let chunks =
+    Array.init
+      ((n + batch - 1) / batch)
+      (fun i -> Array.sub trace (i * batch) (min batch (n - (i * batch))))
+  in
+  let pass =
+    if batched then fun () ->
+      Array.iter
+        (fun chunk ->
+          ignore (Sys.opaque_identity (Automaton.check_batch a chunk)))
+        chunks
+    else fun () ->
+      Array.iter
+        (fun chunk ->
+          ignore
+            (Sys.opaque_identity (Array.map (fun c -> Automaton.check a c) chunk)))
+        chunks
+  in
+  let (), dt = Bench_util.timed pass in
+  let repeats = adaptive_repeats dt in
+  let (), total =
+    Bench_util.timed (fun () ->
+        for _ = 1 to repeats do
+          pass ()
+        done)
+  in
+  float_of_int (repeats * n) /. total
+
+let batch_sweep m trace =
+  Bench_util.subhr "check_batch: batch-size sweep (uniform trace)";
+  let a = Automaton.of_manifest m in
+  let per_call = throughput (Automaton.check a) trace in
+  let rows =
+    List.map
+      (fun batch ->
+        let ops = chunked_throughput a ~batch ~batched:true trace in
+        let loop = chunked_throughput a ~batch ~batched:false trace in
+        (batch, ops, loop, ops /. loop))
+      [ 1; 4; 16; 64; 256; 1024; 4096 ]
+  in
+  Bench_util.table
+    [ "batch"; "check_batch"; "per-call loop"; "speedup" ]
+    ([ "(bare check, no verdict array)";
+       "";
+       Printf.sprintf "%.2f M ops/s" (per_call /. 1e6);
+       "" ]
+    :: List.map
+         (fun (batch, ops, loop, rel) ->
+           [ string_of_int batch;
+             Printf.sprintf "%.2f M ops/s" (ops /. 1e6);
+             Printf.sprintf "%.2f M ops/s" (loop /. 1e6);
+             Printf.sprintf "%.2fx" rel ])
+         rows);
+  ( J.Arr
+      (List.map
+         (fun (batch, ops, loop, rel) ->
+           J.Obj
+             [ ("batch", J.Int batch);
+               ("mops", J.Float (ops /. 1e6));
+               ("per_call_loop_mops", J.Float (loop /. 1e6));
+               ("vs_per_call", J.Float rel) ])
+         rows),
+    J.Float (per_call /. 1e6) )
+
+let build_stats_json m =
+  let s = Automaton.build_stats (Automaton.of_manifest m) in
+  J.Obj
+    [ ("nodes", J.Int s.Automaton.nodes);
+      ("shared", J.Int s.Automaton.shared);
+      ("collapsed", J.Int s.Automaton.collapsed);
+      ("tokens", J.Int s.Automaton.tokens) ]
+
+let run () =
+  Bench_util.hr
+    "Automaton: decision-DAG checking vs the rest of the check path";
+  let m = manifest () in
+  let skewed =
+    workload_section ~title:"skewed (64 distinct calls, 90% to hot 8)"
+      ~label:"skewed"
+      ~trace:(Cache_bench.skewed_trace ~base:(Cache_bench.base_calls 64) ~n:65536)
+      m
+  in
+  let uniform_trace = Cache_bench.base_calls 32768 in
+  let uniform =
+    workload_section
+      ~title:"uniform (32768 distinct calls vs 16384-entry cache)"
+      ~label:"uniform" ~trace:uniform_trace m
+  in
+  let sweep, per_call = batch_sweep m uniform_trace in
+  Fmt.pr
+    "@.note: uniform is the decision cache's worst case (flush churn) and@.";
+  Fmt.pr
+    "      the automaton's motivating workload; see docs/CACHING.md@.";
+  Bench_util.write_json "BENCH_AUTOMATON.json"
+    (J.Obj
+       [ ("bench", J.Str "automaton-lab");
+         ("manifest", J.Str "perm_gen large/insert (Figure-5 shape)");
+         ("build", build_stats_json m);
+         ("workloads", J.Arr [ skewed; uniform ]);
+         ("batch_per_call_mops", per_call);
+         ("batch_sweep", sweep) ])
+
+(* Smoke gate ------------------------------------------------------------- *)
+
+let failures = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+let same_verdict d1 d2 =
+  match (d1, d2) with
+  | Shield_controller.Api.Allow, Shield_controller.Api.Allow -> true
+  | Shield_controller.Api.Deny _, Shield_controller.Api.Deny _ -> true
+  | _ -> false
+
+(** Automaton == Engine == Compiled call-for-call on [m]. *)
+let equivalence ~what m trace =
+  let e =
+    Engine.create ~record_state:false
+      ~ownership:(Ownership.create ())
+      ~app_name:("smoke-" ^ what) ~cookie:1 m
+  in
+  let c = Compiled.of_manifest m in
+  let a = Automaton.of_manifest m in
+  Array.iteri
+    (fun i call ->
+      let de = Engine.check e call in
+      if not (same_verdict de (Automaton.check a call)) then
+        fail "%s: automaton diverges from engine at call %d" what i;
+      if not (same_verdict de (Compiled.check c call)) then
+        fail "%s: compiled diverges from engine at call %d" what i)
+    trace;
+  (* Batched verdicts must be the one-at-a-time verdicts. *)
+  let b = Automaton.of_manifest m in
+  let batched = Automaton.check_batch b trace in
+  Array.iteri
+    (fun i call ->
+      if not (same_verdict (Automaton.check a call) batched.(i)) then
+        fail "%s: check_batch diverges at call %d" what i)
+    trace
+
+let read_example name =
+  (* The runtest rule runs from _build/default/bench; `dune exec
+     bench/main.exe` usually runs from the repo root.  Try both. *)
+  let candidates =
+    [ Filename.concat "examples/lint" name;
+      Filename.concat "../examples/lint" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None ->
+    fail "corpus file %s not found (tried: %s)" name
+      (String.concat ", " candidates);
+    None
+  | Some path ->
+    let ic = open_in_bin path in
+    Some
+      (Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+
+let smoke () =
+  Bench_util.hr "Automaton: smoke";
+  (* 1. Equivalence over the generated corpus: every complexity × focus
+     shape, with a violation rate high enough to exercise denials. *)
+  List.iter
+    (fun complexity ->
+      List.iter
+        (fun focus ->
+          let m = Perm_gen.generate ~complexity ~focus () in
+          let trace =
+            Array.map fst
+              (Api_trace.generate ~focus ~violation_rate:0.3 ~n:2048 ())
+          in
+          let what =
+            Printf.sprintf "%s/%s"
+              (Perm_gen.complexity_to_string complexity)
+              (match focus with `Insert -> "insert" | `Stats -> "stats")
+          in
+          equivalence ~what m trace)
+        [ `Insert; `Stats ])
+    [ Perm_gen.Small; Perm_gen.Medium; Perm_gen.Large ];
+  (* Mixed-call traces against the large manifest: covers call kinds a
+     focused trace never issues. *)
+  equivalence ~what:"large/mixed" (manifest ())
+    (Array.map fst (Api_trace.generate_mixed ~violation_rate:0.3 ~n:2048 ()));
+  (* 2. A real manifest from the examples corpus, not a generated one. *)
+  (match read_example "clean.manifest" with
+  | None -> ()
+  | Some src -> (
+    match Perm_parser.manifest_of_string src with
+    | Error e -> fail "clean.manifest does not parse: %s" e
+    | Ok m ->
+      equivalence ~what:"examples/clean"
+        m
+        (Array.map fst (Api_trace.generate_mixed ~violation_rate:0.3 ~n:2048 ()))));
+  Fmt.pr "equivalence (engine = compiled = automaton = batched): %s@."
+    (if !failures = [] then "ok" else "FAIL");
+  (* 3. Conservative single-core throughput floor on the uniform
+     workload — catches an automaton that silently fell back to
+     something interpretive, not a benchmark. *)
+  let m = manifest () in
+  let a = Automaton.of_manifest m in
+  let trace = Cache_bench.base_calls 8192 in
+  let ops = Cache_bench.throughput ~repeats:2 (Automaton.check a) trace in
+  Fmt.pr "uniform single-core throughput: %.2f M ops/s (floor 1.00)@."
+    (ops /. 1e6);
+  if ops < 1e6 then fail "throughput %.2f M ops/s under the 1M floor" (ops /. 1e6);
+  match !failures with
+  | [] -> Fmt.pr "smoke ok@."
+  | fs ->
+    List.iter (fun f -> Fmt.epr "smoke FAILURE: %s@." f) fs;
+    exit 1

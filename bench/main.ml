@@ -6,10 +6,10 @@
      dune exec bench/main.exe -- fig5     # one experiment
 
    Experiments: table1 effectiveness reconciliation fig5 fig6 fig7 fig8
-                reconcile-perf decision-cache cache-smoke faults
-                faults-smoke vetting-lab vet-smoke lint-lab lint-smoke
-                trace-lab obs-smoke ablation-compile ablation-isolation
-                ablation-inclusion *)
+                reconcile-perf decision-cache cache-smoke automaton-lab
+                automaton-smoke faults faults-smoke vetting-lab
+                vet-smoke lint-lab lint-smoke trace-lab obs-smoke
+                ablation-compile ablation-isolation ablation-inclusion *)
 
 let experiments : (string * (unit -> unit)) list =
   [ ("table1", Table1.run);
@@ -22,6 +22,8 @@ let experiments : (string * (unit -> unit)) list =
     ("reconcile-perf", Reconcile_perf.run);
     ("decision-cache", Cache_bench.run);
     ("cache-smoke", Cache_bench.smoke);
+    ("automaton-lab", Automaton_lab.run);
+    ("automaton-smoke", Automaton_lab.smoke);
     ("faults", Fault_lab.run);
     ("faults-smoke", Fault_lab.smoke);
     ("vetting-lab", Vetting_lab.run);

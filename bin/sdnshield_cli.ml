@@ -171,7 +171,7 @@ let call_of_spec spec : (Api.call, string) result =
   | _ -> Error (Printf.sprintf "bad call spec %S" spec)
 
 let check_cmd =
-  let run use_cache explain manifest_path specs =
+  let run use_cache use_automaton explain manifest_path specs =
     match Perm_parser.manifest_of_string (read_file manifest_path) with
     | Error e -> `Error (false, "parse error: " ^ e)
     | Ok manifest -> (
@@ -185,10 +185,17 @@ let check_cmd =
         let cache_size =
           if use_cache then Some Decision_cache.default_max_entries else None
         in
+        let strategy = if use_automaton then `Automaton else `Interpreted in
         let engine =
-          Engine.create ?cache_size ~ownership:(Ownership.create ())
+          Engine.create ?cache_size ~strategy ~ownership:(Ownership.create ())
             ~app_name:"cli" ~cookie:1 manifest
         in
+        (match Engine.automaton_stats engine with
+        | Some s ->
+          Fmt.pr "automaton: %d nodes (%d shared, %d collapsed) for %d tokens@."
+            s.Automaton.nodes s.Automaton.shared s.Automaton.collapsed
+            s.Automaton.tokens
+        | None -> ());
         let had_error = ref false in
         List.iter
           (fun spec ->
@@ -228,6 +235,17 @@ let check_cmd =
             "Enable the decision cache on the checking engine and print \
              the cache hit/miss report after the calls.")
   in
+  let automaton_arg =
+    Arg.(
+      value & flag
+      & info [ "automaton" ]
+          ~doc:
+            "Compile the manifest into a flat decision automaton \
+             (docs/AUTOMATON.md) and decide with it instead of \
+             interpreting the filters; also prints the compiled DAG's \
+             node and sharing counts.  Decisions are identical either \
+             way — this flag trades compile time for per-check speed.")
+  in
   let explain_arg =
     Arg.(
       value & flag
@@ -241,7 +259,8 @@ let check_cmd =
   let specs = Arg.(value & pos_right 0 string [] & info [] ~docv:"CALL") in
   Cmd.v
     (Cmd.info "check" ~doc:"Check API call specs against a manifest")
-    Term.(ret (const run $ cache_arg $ explain_arg $ manifest $ specs))
+    Term.(
+      ret (const run $ cache_arg $ automaton_arg $ explain_arg $ manifest $ specs))
 
 (* vet ------------------------------------------------------------------------ *)
 

@@ -151,6 +151,15 @@ let capability_to_string = function
     filtering of flow tables, topology and statistics). *)
 type checker = {
   check : call -> decision;
+  check_batch : (call array -> decision array) option;
+      (** Batched variant of [check] for event storms and replayed
+          traces: one verdict per call, in order, each decided exactly
+          as [check] would decide it at that position (a batch is not a
+          snapshot or a transaction).  [None] means the checker has no
+          batch fast path; callers then loop over [check].
+          Implementations amortize per-call overhead (dispatch,
+          scratch setup, cache probes) across the array — see
+          {!Sdnshield.Automaton.check_batch}. *)
   check_transaction : call list -> (unit, int * string) Stdlib.result;
       (** All-or-nothing pre-check of a call group; [Error (i, why)]
           identifies the first offending call. *)
@@ -192,6 +201,10 @@ let default_combine _call = function
 
 let allow_all =
   { check = (fun _ -> Allow);
+    (* Deliberately [None]: checkers built with [{ allow_all with
+       check = … }] must not inherit a batch path that contradicts
+       their overridden [check]. *)
+    check_batch = None;
     check_transaction = (fun _ -> Ok ());
     rewrite = (fun call -> [ call ]);
     combine = default_combine;

@@ -119,6 +119,14 @@ let wrap_checker (c : Api.checker) : Api.checker =
       (fun call ->
         point Checker;
         c.Api.check call);
+    Api.check_batch =
+      (* One fault point per batch: the burst is one decision entry
+         into the checker, mirroring how the runtime uses it. *)
+      Option.map
+        (fun f calls ->
+          point Checker;
+          f calls)
+        c.Api.check_batch;
     Api.check_transaction =
       (fun calls ->
         point Checker;

@@ -405,8 +405,12 @@ let ctx_of inst =
 
 (** Apply the reference-monitor checks that precede event delivery.
     Returns [None] when delivery is suppressed, or the (possibly
-    payload-stripped) event to deliver. *)
-let vet_event t inst ev : Events.t option =
+    payload-stripped) event to deliver.  [?pre] supplies decisions a
+    batched checker already made for this (instance, event) — the
+    [Receive_event] verdict and the [Read_payload_access] verdict —
+    so burst injection ({!feed_burst}) skips the per-event checker
+    round-trips while keeping the audit/suppression behaviour here. *)
+let vet_event ?pre t inst ev : Events.t option =
   let kind = Events.kind ev in
   (* These checks run in the *dispatcher's* thread, outside the deputy
      barrier, so a raising checker is converted to a denial here:
@@ -416,7 +420,12 @@ let vet_event t inst ev : Events.t option =
     try inst.checker.Api.check call
     with exn -> Api.Deny ("checker fault: " ^ Printexc.to_string exn)
   in
-  match checked (Api.Receive_event kind) with
+  let receive_verdict =
+    match pre with
+    | Some (d, _) -> d
+    | None -> checked (Api.Receive_event kind)
+  in
+  match receive_verdict with
   | Api.Deny why ->
     incr_counter t (fun c -> c.events_suppressed <- c.events_suppressed + 1);
     audit_denial t inst (Api.Receive_event kind) why;
@@ -424,7 +433,12 @@ let vet_event t inst ev : Events.t option =
   | Api.Allow -> (
     match ev with
     | Events.Packet_in pi -> (
-      match checked Api.Read_payload_access with
+      let payload_verdict =
+        match pre with
+        | Some (_, d) -> d
+        | None -> checked Api.Read_payload_access
+      in
+      match payload_verdict with
       | Api.Allow -> Some ev
       | Api.Deny _ ->
         (* pkt_in_event without read_payload: deliver headers only. *)
@@ -443,8 +457,8 @@ let handle_in_instance t inst ev =
       ~action:"handler-exception" ~allowed:true
       ~detail:(Printexc.to_string exn)
 
-let dispatch_one t inst ev latch =
-  match vet_event t inst ev with
+let dispatch_one ?pre t inst ev latch =
+  match vet_event ?pre t inst ev with
   | None -> (match latch with Some l -> Channel.Latch.count_down l | None -> ())
   | Some ev -> (
     match t.mode with
@@ -510,6 +524,82 @@ let feed t ev =
   notify_observers t ev;
   List.iter (fun inst -> dispatch_one t inst ev None) (subscribers t ev);
   process_pending t
+
+(** Burst injection: like [List.iter (feed t)] — same delivery order,
+    same audit and suppression behaviour — but the pre-delivery
+    permission checks ([Receive_event] per event, [Read_payload_access]
+    for packet-ins) of every subscriber with a batched checker are
+    decided in one [check_batch] call per subscriber up front, which is
+    where packet-in storms spend their checking budget.  Subscribers
+    without a batch entry point (or whose batch call raises) fall back
+    to the per-event path unchanged.  Sound because the event-delivery
+    checks are stateless — their verdicts don't depend on interleaved
+    approvals — and a raising batched checker degrades to the
+    fail-closed per-event handling in [vet_event]. *)
+let feed_burst t (evs : Events.t list) =
+  match evs with
+  | [] -> ()
+  | [ ev ] -> feed t ev
+  | evs ->
+    let evs = Array.of_list evs in
+    let n = Array.length evs in
+    (* One boxed call per event kind, so a batched checker's
+       adjacent-repeat coalescing sees physically equal calls. *)
+    let recv_calls =
+      let by_kind = Hashtbl.create 8 in
+      Array.map
+        (fun ev ->
+          let k = Events.kind ev in
+          match Hashtbl.find_opt by_kind k with
+          | Some call -> call
+          | None ->
+            let call = Api.Receive_event k in
+            Hashtbl.add by_kind k call;
+            call)
+        evs
+    in
+    let pre_for inst =
+      match inst.checker.Api.check_batch with
+      | None -> None
+      | Some batch -> (
+        let idxs = ref [] in
+        for i = n - 1 downto 0 do
+          if App.subscribes inst.app (Events.kind evs.(i)) then
+            idxs := i :: !idxs
+        done;
+        match Array.of_list !idxs with
+        | [||] -> None
+        | idxs -> (
+          (* First half: Receive_event per subscribed event; second
+             half: the (constant) payload-access call, coalesced by the
+             batch into essentially one evaluation. *)
+          let m = Array.length idxs in
+          let calls = Array.make (2 * m) Api.Read_payload_access in
+          Array.iteri (fun j i -> calls.(j) <- recv_calls.(i)) idxs;
+          match batch calls with
+          | exception _ ->
+            (* Fall back to the per-event path, which fail-closes each
+               event individually and keeps the audit trail. *)
+            None
+          | ds when Array.length ds <> 2 * m ->
+            None (* malformed checker: per-event path decides *)
+          | ds ->
+            let map = Array.make n None in
+            Array.iteri (fun j i -> map.(i) <- Some (ds.(j), ds.(m + j))) idxs;
+            Some map))
+    in
+    let pres = List.map (fun inst -> (inst, pre_for inst)) t.instances in
+    Array.iteri
+      (fun i ev ->
+        notify_observers t ev;
+        List.iter
+          (fun (inst, map) ->
+            if App.subscribes inst.app (Events.kind ev) then
+              let pre = match map with None -> None | Some m -> m.(i) in
+              dispatch_one ?pre t inst ev None)
+          pres;
+        process_pending t)
+      evs
 
 (** Inject [ev] and block until every subscribed app has finished
     handling it, including cascaded events (latency mode). *)

@@ -145,6 +145,16 @@ val feed : t -> Events.t -> unit
 (** Fire-and-forget event injection (throughput mode); cascaded events
     are dispatched opportunistically. *)
 
+val feed_burst : t -> Events.t list -> unit
+(** Inject a burst of events.  Delivery order, auditing, and
+    suppression match [List.iter (feed t)], but each subscriber's
+    pre-delivery permission checks ([Receive_event],
+    [Read_payload_access]) are decided up front with one
+    {!Api.checker.check_batch} call per subscriber when the checker
+    offers one — the batched hot path for packet-in storms.
+    Subscribers without a batch entry point are vetted per event,
+    unchanged. *)
+
 val feed_sync : t -> Events.t -> unit
 (** Inject an event and block until every subscribed app has finished
     handling it, including cascaded events (latency mode). *)

@@ -100,7 +100,7 @@ let of_manifest ?(env = Filter_eval.pure_env) ?cache_size ?generation
     (memoized when a decision cache is attached). *)
 let check (t : t) (call : Shield_controller.Api.call) :
     Shield_controller.Api.decision =
-  match Engine.token_of_call call with
+  match Dispatch.token_of_call call with
   | None -> Shield_controller.Api.Allow
   | Some token -> (
     match t.slots.(Token.index token) with
@@ -125,7 +125,7 @@ let check_explained (t : t) (call : Shield_controller.Api.call) :
     Shield_controller.Api.decision * Shield_controller.Api.check_info =
   let module Api = Shield_controller.Api in
   let info ?explain cache = { Api.cache; explain } in
-  match Engine.token_of_call call with
+  match Dispatch.token_of_call call with
   | None ->
     (Api.Allow, info ~explain:"no permission token governs this call" Api.Uncached)
   | Some token -> (

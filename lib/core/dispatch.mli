@@ -1,0 +1,35 @@
+(** Shared check-path plumbing: the call→token mapping and the
+    ownership-backed evaluation environment used by every checker on
+    the permission hot path ({!Engine}, {!Compiled}, {!Automaton}).
+
+    Factored out of {!Engine} so the compiled checkers can dispatch on
+    tokens without depending on the interpreting engine (and so the
+    engine can, in turn, delegate its evaluation to them without a
+    dependency cycle).  See docs/ARCHITECTURE.md for the layer map. *)
+
+open Shield_controller
+
+val token_of_call : Api.call -> Token.t option
+(** Which permission token a call requires.  [None] = no permission
+    needed (inter-app publications and their receipt are governed by
+    subscription, not tokens). *)
+
+val token_index_of_call : Api.call -> int
+(** [Token.index]-encoded {!token_of_call} for hot paths: the index of
+    the required token, or [-1] when no permission is needed.
+    Allocation-free (the option above is a statically-allocated [Some],
+    but an index slots straight into token-indexed dispatch arrays). *)
+
+val token_of_index : int -> Token.t
+(** Inverse of {!Token.index}.  Raises [Invalid_argument] outside
+    [0, Token.count). *)
+
+val is_stateful_call : Api.call -> bool
+(** Does checking this call read or write the ownership store when
+    approved?  (Flow-mods: the engine records approved ones and the
+    OWN_FLOWS / MAX_RULE_COUNT filters read existing state.) *)
+
+val env_of_ownership : ownership:Ownership.t -> cookie:int -> Filter_eval.env
+(** The evaluation environment answering the stateful filter dimensions
+    (OWN_FLOWS, MAX_RULE_COUNT) from a shared {!Ownership} store on
+    behalf of the app identified by [cookie]. *)

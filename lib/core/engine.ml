@@ -32,6 +32,9 @@ type t = {
       (** Per-token filter evaluators, indexed by {!Token.index} —
           filter and environment pre-bound so the hot path does no
           manifest scan or closure construction. *)
+  automaton : Automaton.t option;
+      (** With [~strategy:`Automaton], the decision DAG the [evals]
+          slots delegate to; also serves {!check_batch}'s fast path. *)
   mutex : Mutex.t;  (** Guards stateful check/record sequences. *)
   mutable checks : int;
   mutable denials : int;
@@ -66,28 +69,15 @@ let find_virt_members (manifest : Perm.manifest) =
 (* Evaluation environment ---------------------------------------------------- *)
 
 let env_of ~ownership ~cookie : Filter_eval.env =
-  { Filter_eval.owns_all_targeted =
-      (fun attrs ->
-        match attrs.Attrs.cookie with
-        | Some c ->
-          (* Vetting an existing entry: owned iff tagged with our
-             cookie. *)
-          c = cookie
-        | None -> (
-          match (attrs.Attrs.dpid, attrs.Attrs.match_, attrs.Attrs.flow_command)
-          with
-          | Some dpid, Some match_, Some command ->
-            Ownership.owns_all_targeted ownership ~cookie ~dpid ~command
-              ~match_
-          | _ -> true));
-    rule_count = (fun dpid -> Ownership.count ownership ~cookie ~dpid) }
+  Dispatch.env_of_ownership ~ownership ~cookie
 
 (** Build an engine for [app_name].  [ownership] must be shared across
     all engines of one deployment; [topo] enables virtual-topology
     translation when the manifest requests it.  Manifests containing
     unexpanded macros are rejected: reconciliation must run first. *)
-let create ?topo ?(record_state = true) ?cache_size ~ownership ~app_name
-    ~cookie (manifest : Perm.manifest) : t =
+let create ?topo ?(record_state = true) ?cache_size
+    ?(strategy = `Interpreted) ~ownership ~app_name ~cookie
+    (manifest : Perm.manifest) : t =
   (match Perm.macros manifest with
   | [] -> ()
   | ms ->
@@ -116,44 +106,38 @@ let create ?topo ?(record_state = true) ?cache_size ~ownership ~app_name
   in
   let env = env_of ~ownership ~cookie in
   let evals = Array.make Token.count None in
-  List.iter
-    (fun (p : Perm.t) ->
-      let filter = p.Perm.filter in
-      evals.(Token.index p.Perm.token) <-
-        Some (fun attrs -> Filter_eval.eval env filter attrs))
-    manifest;
+  let automaton =
+    match strategy with
+    | `Interpreted ->
+      List.iter
+        (fun (p : Perm.t) ->
+          let filter = p.Perm.filter in
+          evals.(Token.index p.Perm.token) <-
+            Some (fun attrs -> Filter_eval.eval env filter attrs))
+        manifest;
+      None
+    | `Automaton ->
+      (* One shared DAG; the per-token slots dispatch into it so the
+         rest of the engine (cache, vtopo, recording, explanations) is
+         strategy-agnostic. *)
+      let a = Automaton.of_manifest ~env manifest in
+      List.iter
+        (fun (p : Perm.t) ->
+          let token = p.Perm.token in
+          evals.(Token.index token) <-
+            Some (fun attrs -> Automaton.eval_token a token attrs))
+        manifest;
+      Some a
+  in
   { app_name; cookie; manifest; ownership; vtopo; record_state; cache; env;
-    evals; mutex = Mutex.create (); checks = 0; denials = 0 }
+    evals; automaton; mutex = Mutex.create (); checks = 0; denials = 0 }
 
 (* Token resolution --------------------------------------------------------- *)
 
-(** Which token a call requires.  [None] = no permission needed
-    (inter-app publications and their receipt are governed by
-    subscription, not tokens). *)
-let token_of_call (call : Api.call) : Token.t option =
-  match call with
-  | Api.Install_flow (_, fm) -> (
-    match fm.Flow_mod.command with
-    | Flow_mod.Add | Flow_mod.Modify -> Some Token.Insert_flow
-    | Flow_mod.Delete -> Some Token.Delete_flow)
-  | Api.Read_flow_table _ -> Some Token.Read_flow_table
-  | Api.Read_topology -> Some Token.Visible_topology
-  | Api.Modify_topology _ -> Some Token.Modify_topology
-  | Api.Read_stats _ -> Some Token.Read_statistics
-  | Api.Send_packet_out _ -> Some Token.Send_pkt_out
-  | Api.Receive_event k -> (
-    match k with
-    | Api.E_packet_in -> Some Token.Pkt_in_event
-    | Api.E_flow -> Some Token.Flow_event
-    | Api.E_topology -> Some Token.Topology_event
-    | Api.E_error -> Some Token.Error_event
-    | Api.E_stats -> Some Token.Read_statistics
-    | Api.E_app _ -> None)
-  | Api.Read_payload_access -> Some Token.Read_payload
-  | Api.Publish_event _ -> None
-  | Api.Syscall (Api.Net_connect _) -> Some Token.Host_network
-  | Api.Syscall (Api.File_open _) -> Some Token.File_system
-  | Api.Syscall (Api.Spawn_process _) -> Some Token.Process_runtime
+(** Which token a call requires (see {!Dispatch.token_of_call};
+    re-exported here because the engine is where most callers already
+    look for it). *)
+let token_of_call = Dispatch.token_of_call
 
 (* Evaluation environment --------------------------------------------------- *)
 
@@ -225,6 +209,25 @@ let check t call =
     d
   end
   else check_unlocked t call
+
+(** Batched checking: one verdict per call, in order, each decided as
+    {!check} would at that position.  When the automaton alone decides
+    — [`Automaton] strategy with no decision cache, no virtual
+    topology, and no state recording — the whole array goes through
+    {!Automaton.check_batch} (shared scratch, coalesced repeats);
+    otherwise each element takes the ordinary {!check} path, so the
+    batch is merely a loop and stays bit-for-bit compatible. *)
+let check_batch t (calls : Api.call array) : Api.decision array =
+  match t.automaton with
+  | Some a
+    when (not t.record_state) && t.vtopo = None && t.cache = None ->
+    let out = Automaton.check_batch a calls in
+    t.checks <- t.checks + Array.length calls;
+    Array.iter
+      (function Api.Deny _ -> t.denials <- t.denials + 1 | Api.Allow -> ())
+      out;
+    out
+  | _ -> Array.map (fun call -> check t call) calls
 
 (** Transactional check (§VI-B2): every call in the group must pass;
     state updates from earlier calls in the group are visible to later
@@ -497,6 +500,7 @@ let granted t (cap : Api.capability) : bool =
 (** The engine as a controller-pluggable checker. *)
 let checker (t : t) : Api.checker =
   { Api.check = (fun call -> check t call);
+    check_batch = Some (fun calls -> check_batch t calls);
     check_transaction = (fun calls -> check_transaction t calls);
     rewrite = (fun call -> rewrite t call);
     combine = (fun call results -> merge_results call results);
@@ -508,6 +512,8 @@ let checker (t : t) : Api.checker =
 let stats t = (t.checks, t.denials)
 
 let cache_stats t = Option.map Decision_cache.stats t.cache
+
+let automaton_stats t = Option.map Automaton.build_stats t.automaton
 
 let reset_stats t =
   t.checks <- 0;

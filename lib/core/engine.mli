@@ -17,6 +17,7 @@ val create :
   ?topo:Topology.t ->
   ?record_state:bool ->
   ?cache_size:int ->
+  ?strategy:[ `Interpreted | `Automaton ] ->
   ownership:Ownership.t ->
   app_name:string ->
   cookie:int ->
@@ -33,6 +34,15 @@ val create :
     mutations via its generation counter — decisions are bit-for-bit
     identical with the uncached engine (see docs/CACHING.md).
 
+    [strategy] selects how per-token filters are evaluated:
+    [`Interpreted] (default) walks the filter AST via
+    {!Filter_eval.eval}; [`Automaton] compiles the manifest once into
+    an {!Automaton} decision DAG and dispatches into it — same
+    decisions (property-tested), faster hot path, and a batched fast
+    path for {!check_batch}.  Everything else (cache, virtual
+    topology, ownership recording, explanations) is
+    strategy-agnostic.
+
     @raise Invalid_argument on manifests with unresolved stub macros
     (reconciliation must run first) and on virtual-topology manifests
     without a [topo]. *)
@@ -44,6 +54,14 @@ val token_of_call : Api.call -> Token.t option
 val check : t -> Api.call -> Api.decision
 (** Check one call.  Approved flow-mods update the ownership store
     (unless [record_state:false]). *)
+
+val check_batch : t -> Api.call array -> Api.decision array
+(** Check a burst of calls: one verdict per call, in order, each
+    decided exactly as {!check} would at that position (same counters,
+    same deny messages).  With [`Automaton] strategy and no cache,
+    virtual topology, or state recording, the burst is decided by one
+    {!Automaton.check_batch} pass, which amortizes per-call dispatch
+    and scratch setup; otherwise it degrades to a loop over {!check}. *)
 
 val check_explained : t -> Api.call -> Api.decision * Api.check_info
 (** {!check} with provenance: the identical decision (same ownership
@@ -87,5 +105,9 @@ val stats : t -> int * int
 val cache_stats : t -> Metrics.cache_stats option
 (** Decision-cache counters; [None] when the engine was created without
     [cache_size]. *)
+
+val automaton_stats : t -> Automaton.build_stats option
+(** Decision-DAG construction stats (node/sharing counts); [None]
+    unless the engine was created with [~strategy:`Automaton]. *)
 
 val reset_stats : t -> unit
