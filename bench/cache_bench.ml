@@ -77,22 +77,24 @@ let variants ~tag m =
 
 let workload_section ~title ~trace m =
   Bench_util.subhr title;
-  let rows, baseline =
+  let rows, measures, baseline =
     List.fold_left
-      (fun (rows, baseline) (name, (check, stats)) ->
+      (fun (rows, measures, baseline) (name, (check, stats)) ->
         let ops = throughput check trace in
         let baseline = match baseline with None -> Some ops | s -> s in
         let speedup = ops /. Option.get baseline in
+        let hit_rate = Option.map M.hit_rate (stats ()) in
         let hit =
           match stats () with None -> "-" | Some s -> fmt_rate s
         in
-        (rows @ [ [ name; fmt_mops ops; Printf.sprintf "%.2fx" speedup; hit ] ],
-         baseline))
-      ([], None) (variants ~tag:title m)
+        ( rows @ [ [ name; fmt_mops ops; Printf.sprintf "%.2fx" speedup; hit ] ],
+          measures @ [ (name, ops, hit_rate) ],
+          baseline ))
+      ([], [], None) (variants ~tag:title m)
   in
   ignore baseline;
   Bench_util.table [ "checker"; "throughput"; "vs interpreted"; "hit rate" ] rows;
-  rows
+  (rows, measures)
 
 (** Speedup of the cached engine over the interpreted one, read back
     out of a section's rows (used by the smoke gate). *)
@@ -147,7 +149,21 @@ let memo_section () =
   let n = List.length filters in
   Fmt.pr "%dx%d inclusion queries: cold %s, warm %s (%.0fx)@." n n
     (Bench_util.fmt_us cold) (Bench_util.fmt_us warm)
-    (cold /. max warm 1e-9)
+    (cold /. max warm 1e-9);
+  (cold, warm)
+
+let json_of_workload label measures =
+  let module J = Bench_util.Json in
+  ( label,
+    J.Arr
+      (List.map
+         (fun (name, ops, hit_rate) ->
+           J.Obj
+             [ ("checker", J.Str name);
+               ("mops", J.Float (ops /. 1e6));
+               ( "hit_rate",
+                 match hit_rate with None -> J.Null | Some r -> J.Float r ) ])
+         measures) )
 
 (* Entry points ----------------------------------------------------------- *)
 
@@ -155,16 +171,31 @@ let run () =
   Bench_util.hr
     "Decision cache: checking throughput, hit rates, invalidation";
   let m = manifest () in
-  ignore
-    (workload_section ~title:"skewed (64 distinct calls, 90% to hot 8)"
-       ~trace:(skewed_trace ~base:(base_calls 64) ~n:65536)
-       m);
-  ignore
-    (workload_section
-       ~title:"uniform (32768 distinct calls vs 16384-entry cache)"
-       ~trace:(base_calls 32768) m);
+  let _, skewed =
+    workload_section ~title:"skewed (64 distinct calls, 90% to hot 8)"
+      ~trace:(skewed_trace ~base:(base_calls 64) ~n:65536)
+      m
+  in
+  let _, uniform =
+    workload_section
+      ~title:"uniform (32768 distinct calls vs 16384-entry cache)"
+      ~trace:(base_calls 32768) m
+  in
   stateful_section ();
-  memo_section ();
+  let cold, warm = memo_section () in
+  let module J = Bench_util.Json in
+  Bench_util.write_json "BENCH_CACHE.json"
+    (J.Obj
+       [ ("bench", J.Str "decision-cache");
+         ("manifest", J.Str "perm_gen large/insert (Figure-5 shape)");
+         ( "workloads",
+           J.Obj
+             [ json_of_workload "skewed" skewed;
+               json_of_workload "uniform" uniform ] );
+         ( "memo_us",
+           J.Obj
+             [ ("cold", J.Float (cold *. 1e6));
+               ("warm", J.Float (warm *. 1e6)) ] ) ]);
   Fmt.pr "@.%a" M.pp_cache_report ();
   Fmt.pr
     "@.note: the comparable shape against the paper is the hit rate and@.";
@@ -207,7 +238,17 @@ let smoke () =
   | Some s ->
     let rate = M.hit_rate s in
     Fmt.pr "skewed stateless hit rate: %.1f %%@." (100. *. rate);
-    if rate <= 0.5 then fail "hit rate %.2f <= 0.5 on skewed workload" rate);
+    if rate <= 0.5 then fail "hit rate %.2f <= 0.5 on skewed workload" rate;
+    (* Keep the artifact fresh from the tier-1 path too: the smoke
+       gate has no timing section, so it records the shape that must
+       not regress (agreement + hit rate) rather than throughput. *)
+    let module J = Bench_util.Json in
+    Bench_util.write_json "BENCH_CACHE.json"
+      (J.Obj
+         [ ("bench", J.Str "cache-smoke");
+           ("checks", J.Int (Array.length trace));
+           ("cached_equals_uncached", J.Bool (!failures = []));
+           ("skewed_hit_rate", J.Float rate) ]));
   match !failures with
   | [] -> Fmt.pr "smoke ok@."
   | fs ->

@@ -72,8 +72,8 @@ let pkt_in dpid =
 
 (** Drive [events] packet-ins through [apps] apps under [mode] with all
     three fault sites armed.  Returns the list of violated invariants
-    (empty = pass). *)
-let run_mode ~mode ~apps ~events : string list =
+    (empty = pass) and the mode's measurements for BENCH_FAULTS.json. *)
+let run_mode ~mode ~apps ~events : string list * Bench_util.Json.t =
   let topo = Topology.linear 4 in
   let kernel = Kernel.create (Dataplane.create topo) in
   let y =
@@ -134,7 +134,19 @@ let run_mode ~mode ~apps ~events : string list =
       (Atomic.get y.handled) suppressed (events * apps);
   if Faults.injected Faults.Deputy > 0 && fr.Runtime.restarts = 0 then
     fail "%s: deputies were killed but never restarted" (mode_name mode);
-  !failures
+  let module J = Bench_util.Json in
+  ( !failures,
+    J.Obj
+      [ ("mode", J.Str (mode_name mode));
+        ("events", J.Int (events * apps));
+        ("handled", J.Int (Atomic.get y.handled));
+        ("done", J.Int (Atomic.get y.done_));
+        ("denied", J.Int (Atomic.get y.denied));
+        ("failed", J.Int (Atomic.get y.failed));
+        ("delivered", J.Int delivered);
+        ("suppressed", J.Int suppressed);
+        ("restarts", J.Int fr.Runtime.restarts);
+        ("deputy_faults", J.Int (Faults.injected Faults.Deputy)) ] )
 
 let modes = [ Runtime.Isolated { ksd_threads = 4 };
               Runtime.Isolated_domains { ksd_domains = 2 } ]
@@ -153,15 +165,18 @@ let arm_watchdog seconds =
          exit 3)
        ())
 
+let emit_json ~gate per_mode =
+  let module J = Bench_util.Json in
+  Bench_util.write_json "BENCH_FAULTS.json"
+    (J.Obj [ ("bench", J.Str gate); ("modes", J.Arr per_mode) ])
+
 let run () =
   Bench_util.hr
     "Fault injection: supervised KSD pool under checker/kernel/deputy faults";
   arm_watchdog 300.;
-  let failures =
-    List.concat_map
-      (fun mode -> run_mode ~mode ~apps:4 ~events:2500)
-      modes
-  in
+  let results = List.map (fun mode -> run_mode ~mode ~apps:4 ~events:2500) modes in
+  let failures = List.concat_map fst results in
+  emit_json ~gate:"fault-lab" (List.map snd results);
   (match failures with
   | [] -> Fmt.pr "@.fault-lab: all liveness invariants held (10k calls/mode)@."
   | fs -> List.iter (fun f -> Fmt.epr "fault-lab FAILURE: %s@." f) fs);
@@ -171,11 +186,9 @@ let run () =
 let smoke () =
   Bench_util.hr "Fault injection: smoke";
   arm_watchdog 120.;
-  let failures =
-    List.concat_map
-      (fun mode -> run_mode ~mode ~apps:4 ~events:600)
-      modes
-  in
+  let results = List.map (fun mode -> run_mode ~mode ~apps:4 ~events:600) modes in
+  let failures = List.concat_map fst results in
+  emit_json ~gate:"faults-smoke" (List.map snd results);
   match failures with
   | [] -> Fmt.pr "@.faults-smoke ok@."
   | fs ->

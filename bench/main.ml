@@ -8,8 +8,9 @@
    Experiments: table1 effectiveness reconciliation fig5 fig6 fig7 fig8
                 reconcile-perf decision-cache cache-smoke automaton-lab
                 automaton-smoke faults faults-smoke vetting-lab
-                vet-smoke lint-lab lint-smoke trace-lab obs-smoke
-                ablation-compile ablation-isolation ablation-inclusion *)
+                vet-smoke lint-lab lint-smoke verify-lab verify-smoke
+                trace-lab obs-smoke ablation-compile ablation-isolation
+                ablation-inclusion *)
 
 let experiments : (string * (unit -> unit)) list =
   [ ("table1", Table1.run);
@@ -30,6 +31,8 @@ let experiments : (string * (unit -> unit)) list =
     ("vet-smoke", Vetting_lab.smoke);
     ("lint-lab", Lint_lab.run);
     ("lint-smoke", Lint_lab.smoke);
+    ("verify-lab", Verify_lab.run);
+    ("verify-smoke", Verify_lab.smoke);
     ("trace-lab", Trace_lab.run);
     ("obs-smoke", Trace_lab.smoke);
     ("ablation-compile", Ablations.run_compile);

@@ -37,6 +37,13 @@
          non-zero when any finding reaches the --deny severity
          (default error); --deny warn promotes warnings for CI.
 
+     sdnshield verify <manifest-file> <policy-file> [--app NAME]
+               [--json] [--deny] [budget flags as for vet]
+         Reconcile and then certify the repaired manifest against every
+         policy obligation (docs/VERIFY.md).  Refuted obligations carry
+         concrete counterexample calls; --deny fails CI on anything but
+         a certified verdict.
+
      sdnshield faults-demo [--events N] [--seed S]
          Drive the supervised isolated runtime under injected
          checker/kernel/deputy faults and print the fault-tolerance
@@ -299,11 +306,11 @@ let vet_cmd =
     match policy_path with
     | None -> (
       match Vetting.vet_manifest ~limits manifest_src with
-      | Vetting.Admitted { value = m; lint } ->
+      | Vetting.Admitted { value = m; lint; _ } ->
         Fmt.pr "%a@." Perm.pp m;
         print_lint lint;
         finish "admitted" [] None
-      | Vetting.Degraded ({ value = m; lint }, notes) ->
+      | Vetting.Degraded ({ value = m; lint; _ }, notes) ->
         Fmt.pr "%a@." Perm.pp m;
         print_lint lint;
         finish "degraded" notes None
@@ -323,11 +330,11 @@ let vet_cmd =
           ~apps:[ (app, manifest_src) ]
           policy_src
       with
-      | Vetting.Admitted { value = report; lint } ->
+      | Vetting.Admitted { value = report; lint; _ } ->
         print_report report;
         print_lint lint;
         finish "admitted" [] None
-      | Vetting.Degraded ({ value = report; lint }, notes) ->
+      | Vetting.Degraded ({ value = report; lint; _ }, notes) ->
         print_report report;
         print_lint lint;
         finish "degraded" notes None
@@ -596,9 +603,19 @@ let lint_cmd =
       let src = read_file path in
       let findings_result =
         if as_policy then
-          match Policy_parser.of_string src with
-          | Error e -> Error ("parse error: " ^ e)
-          | Ok policy -> Ok (Lint.lint_policy ~rules policy)
+          (* The over-privilege audit is manifest-only: a behaviour
+             trace has no meaning against a policy, so rejecting the
+             combination loudly beats silently dropping the specs the
+             user typed. *)
+          if call_specs <> [] then
+            Error
+              "--call builds a behaviour trace for the manifest \
+               over-privilege audit and cannot be combined with --policy; \
+               lint the app manifest instead"
+          else
+            match Policy_parser.of_string src with
+            | Error e -> Error ("parse error: " ^ e)
+            | Ok policy -> Ok (Lint.lint_policy ~rules policy)
         else
           match Perm_parser.manifest_of_string src with
           | Error e -> Error ("parse error: " ^ e)
@@ -688,6 +705,93 @@ let lint_cmd =
           with $(b,--deny) severity promotion for CI")
     Term.(ret (const run $ path $ as_policy $ json $ deny $ disabled $ calls))
 
+(* verify --------------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run app manifest_path policy_path json deny max_steps max_clauses
+      max_nodes max_depth deadline =
+    let d = Budget.default_limits in
+    let limits =
+      { Budget.max_steps = Option.value max_steps ~default:d.Budget.max_steps;
+        max_clauses = Option.value max_clauses ~default:d.Budget.max_clauses;
+        max_nodes = Option.value max_nodes ~default:d.Budget.max_nodes;
+        max_depth = Option.value max_depth ~default:d.Budget.max_depth;
+        deadline =
+          (match deadline with Some _ -> deadline | None -> d.Budget.deadline) }
+    in
+    match
+      Vetting.vet_and_reconcile ~limits
+        ~apps:[ (app, read_file manifest_path) ]
+        (read_file policy_path)
+    with
+    | Vetting.Rejected r ->
+      `Error (false, Fmt.str "%a" Vetting.pp_rejection r)
+    | Vetting.Admitted { certificate; _ }
+    | Vetting.Degraded ({ certificate; _ }, _) -> (
+      match certificate with
+      | None ->
+        (* vet_and_reconcile always certifies; a missing certificate is
+           a pipeline bug, and --deny must treat it as not certified. *)
+        if deny then `Error (false, "no certificate produced") else `Ok ()
+      | Some cert ->
+        if json then
+          Fmt.pr "%s@." (Telemetry.Json.to_string (Verify.json_of_certificate cert))
+        else Fmt.pr "%a@." Verify.pp_certificate cert;
+        if deny && not (Verify.certified cert) then begin
+          Fmt.epr "verify: %s — failing (--deny)@." (Verify.verdict_label cert);
+          exit 1
+        end
+        else `Ok ())
+  in
+  let app_arg =
+    Arg.(value & opt string "app" & info [ "app" ] ~docv:"NAME" ~doc:"App name")
+  in
+  let manifest =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST")
+  in
+  let policy =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"POLICY")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the certificate as JSON instead of a text report.")
+  in
+  let deny =
+    Arg.(
+      value & flag
+      & info [ "deny" ]
+          ~doc:
+            "Exit non-zero unless the verdict is $(b,certified) — for CI: \
+             refuted and unverified (budget-degraded) runs both fail.")
+  in
+  let opt_int names doc =
+    Arg.(value & opt (some int) None & info names ~docv:"N" ~doc)
+  in
+  let max_steps = opt_int [ "max-steps" ] "Work-tick budget." in
+  let max_clauses = opt_int [ "max-clauses" ] "Clause-allocation budget." in
+  let max_nodes = opt_int [ "max-nodes" ] "Macro-expansion node budget." in
+  let max_depth = opt_int [ "max-depth" ] "Nesting-depth budget." in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Reconcile an app manifest against a policy and certify that the \
+          repaired manifest satisfies every obligation (docs/VERIFY.md); \
+          refuted obligations come with concrete counterexample calls. \
+          Exits 0 unless $(b,--deny) is given and the verdict is not \
+          certified")
+    Term.(
+      ret
+        (const run $ app_arg $ manifest $ policy $ json $ deny $ max_steps
+       $ max_clauses $ max_nodes $ max_depth $ deadline))
+
 let () =
   let info =
     Cmd.info "sdnshield" ~version:"1.0.0"
@@ -697,4 +801,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; parse_policy_cmd; reconcile_cmd; check_cmd; vet_cmd;
-            lint_cmd; faults_demo_cmd; telemetry_cmd ]))
+            lint_cmd; verify_cmd; faults_demo_cmd; telemetry_cmd ]))

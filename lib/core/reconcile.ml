@@ -184,10 +184,8 @@ let handle_assert env stmt ae acc =
         action = Alert_only; before = []; after = [] }
       :: acc
 
-(** Reconcile [apps]' manifests against [policy]. *)
-let run ~(apps : (string * Perm.manifest) list) (policy : Policy.t) : report =
-  let env = { filter_macros = []; perm_vars = []; app_vars = []; apps } in
-  (* Pass 1: collect bindings (they may appear anywhere in the file). *)
+(* Binding collection (LETs may appear anywhere in the file). *)
+let collect_bindings env (policy : Policy.t) =
   List.iter
     (function
       | Policy.Let (v, Policy.B_filter f) ->
@@ -197,7 +195,13 @@ let run ~(apps : (string * Perm.manifest) list) (policy : Policy.t) : report =
       | Policy.Let (v, Policy.B_perm pe) ->
         env.perm_vars <- (v, pe) :: env.perm_vars
       | Policy.Assert_exclusive _ | Policy.Assert _ -> ())
-    policy;
+    policy
+
+(** Reconcile [apps]' manifests against [policy]. *)
+let run ~(apps : (string * Perm.manifest) list) (policy : Policy.t) : report =
+  let env = { filter_macros = []; perm_vars = []; app_vars = []; apps } in
+  (* Pass 1: collect bindings. *)
+  collect_bindings env policy;
   (* Pass 2: expand developer stubs in every manifest. *)
   Budget.set_stage "expand";
   env.apps <- List.map (fun (name, m) -> (name, expand env m)) env.apps;
@@ -244,6 +248,29 @@ let run_strings ~app_name ~manifest_src ~policy_src :
     | Ok policy ->
       let report = run ~apps:[ (app_name, manifest) ] policy in
       Ok (List.assoc app_name report.manifests, report))
+
+(* Read-only policy evaluation — the handle {!Verify} uses to resolve
+   permission expressions against a fixed (already reconciled) set of
+   manifests with the same LET-binding, macro-expansion and
+   cycle-detection machinery the repair passes use.  Evaluation never
+   mutates the manifests: verification must observe the manifests as
+   given, not repair them again. *)
+module Env = struct
+  type nonrec t = env
+
+  let create ~(apps : (string * Perm.manifest) list) (policy : Policy.t) : t =
+    let env = { filter_macros = []; perm_vars = []; app_vars = []; apps } in
+    collect_bindings env policy;
+    env
+
+  let apps (env : t) = env.apps
+
+  let manifest_of (env : t) (pe : Policy.perm_expr) :
+      (Perm.manifest * string option, string) result =
+    match eval_perm_expr env pe with
+    | m, target -> Ok (m, target)
+    | exception Policy_eval_error msg -> Error msg
+end
 
 let pp_action ppf = function
   | Truncated_to_boundary -> Fmt.string ppf "truncated-to-boundary"

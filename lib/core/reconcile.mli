@@ -46,6 +46,30 @@ val run_strings :
   (Perm.manifest * report, string) result
 (** Parse-and-reconcile convenience for a single app. *)
 
+(** Read-only policy evaluation over a fixed set of manifests: the
+    same LET-binding resolution, stub expansion and cycle detection the
+    repair passes use, exposed so {!Verify} can resolve the permission
+    expressions of [ASSERT] obligations against already-reconciled
+    manifests without re-running (or re-triggering) any repair. *)
+module Env : sig
+  type t
+
+  val create : apps:(string * Perm.manifest) list -> Policy.t -> t
+  (** Collect the policy's bindings over [apps].  The manifests are
+      taken as given — normally the [manifests] of a {!report}. *)
+
+  val apps : t -> (string * Perm.manifest) list
+
+  val manifest_of :
+    t -> Policy.perm_expr -> (Perm.manifest * string option, string) result
+  (** Evaluate a permission expression: the denoted manifest plus the
+      app name when the expression directly references one app (the
+      repair-target convention of {!run}).  [Error] carries the
+      evaluation failure (unbound variable, cyclic binding, filter
+      macro used as a permission set) instead of raising.  Ticks the
+      ambient {!Budget}. *)
+end
+
 val pp_action : Format.formatter -> action -> unit
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,923 @@
+(* shield-verify: certify that (reconciled) manifests satisfy their
+   policy obligations.  See verify.mli / docs/VERIFY.md.
+
+   Architecture of one obligation check:
+
+     1. lattice pass — Algorithm 1 ([Inclusion]) proves the obligation
+        where it can.  Positive answers are sound (property-tested
+        against the evaluation semantics), so they certify.
+     2. witness pass — where the lattice answers "no", that answer is
+        conservative and proves nothing.  We synthesize candidate
+        calls from the atoms of the filters under test, and accept a
+        candidate only when [Filter_eval] semantically confirms it
+        (admitted by the manifest side, escaping the bound).  Only a
+        confirmed call refutes.
+     3. neither — unknown, which degrades the certificate to
+        [Unverified].  The checker never certifies from a negative
+        lattice answer and never refutes without a confirmed call.
+
+   Assertions combine in three-valued logic: the lattice's
+   conservative "false" must not flip into a false positive under
+   [NOT] (the repair engine's boolean [eval_assert] is unsound there —
+   which is precisely why verification cannot reuse it). *)
+
+open Shield_openflow
+module M = Shield_controller.Metrics
+module Api = Shield_controller.Api
+module J = Shield_controller.Telemetry.Json
+
+type witness = {
+  token : Token.t;
+  call : Api.call;
+  admitted_by : Perm.manifest;
+  escapes : Perm.manifest option;
+  explanation : string;
+}
+
+type counterexample = {
+  stmt : Policy.stmt;
+  app : string option;
+  witnesses : witness list;
+  detail : string;
+}
+
+type status = Holds | Refuted_by of counterexample list | Unknown of string
+
+type obligation = { index : int; stmt : Policy.stmt; status : status }
+
+type crosscheck = {
+  replayed : int;
+  checkers_agree : bool;
+  infer_consistent : bool;
+  infer_traced : int;
+  crosscheck_notes : string list;
+}
+
+type verdict =
+  | Certified
+  | Refuted of counterexample list
+  | Unverified of string
+
+type certificate = {
+  verdict : verdict;
+  obligations : obligation list;
+  crosscheck : crosscheck;
+  spent : Budget.spent;
+  notes : string list;
+}
+
+let pure = Filter_eval.pure_env
+let eval_f f attrs = Filter_eval.eval pure f attrs
+
+(* Candidate synthesis ------------------------------------------------------
+
+   A witness search enumerates concrete calls and keeps the first one
+   [Filter_eval] confirms.  The candidate space is seeded from the
+   atoms of the filters under comparison: every predicate contributes
+   its exact value, its subnet form and a value just outside its
+   range; priority bounds contribute their boundary and the first
+   value past it; topology sets contribute members and a non-member;
+   and so on.  For a violated obligation the violating region is
+   almost always delimited by the atoms of the two filters, so this
+   small atom-derived frontier finds the witness without anything like
+   SMT.  Every candidate costs one budget tick; searches are also
+   hard-capped, so adversarial filters degrade to Unknown instead of
+   to a scan. *)
+
+type cand_val = C_ipm of Match_fields.ip_match | C_int of int
+
+type cands = {
+  mutable per_field : (Filter.field * cand_val) list;
+  mutable prios : int list;
+  mutable dpids : int list;
+  mutable actsets : Action.t list list;
+  mutable levels : Stats.level list;
+}
+
+let add_uniq x xs = if List.mem x xs then xs else xs @ [ x ]
+
+let set_field_for (f : Filter.field) : Action.set_field option =
+  match f with
+  | Filter.F_eth_src -> Some (Action.Set_dl_src 0xBEEF)
+  | Filter.F_eth_dst -> Some (Action.Set_dl_dst 0xBEEF)
+  | Filter.F_ip_src -> Some (Action.Set_nw_src 0x0A000063l)
+  | Filter.F_ip_dst -> Some (Action.Set_nw_dst 0x0A000063l)
+  | Filter.F_tcp_src -> Some (Action.Set_tp_src 4242)
+  | Filter.F_tcp_dst -> Some (Action.Set_tp_dst 4242)
+  | _ -> None
+
+let harvest (filters : Filter.expr list) : cands =
+  let c =
+    { per_field = []; prios = []; dpids = []; actsets = []; levels = [] }
+  in
+  let add_field f v = c.per_field <- add_uniq (f, v) c.per_field in
+  let one (s : Filter.singleton) =
+    match s with
+    | Filter.Pred { field; value = Filter.V_ip a; mask } ->
+      let m = Option.value mask ~default:0xFFFFFFFFl in
+      add_field field (C_ipm (Match_fields.exact_ip a));
+      add_field field (C_ipm { Match_fields.addr = Int32.logand a m; mask = m });
+      (* A value just outside the range: flip one bit the mask fixes. *)
+      if m <> 0l then begin
+        let bit = Int32.logand m (Int32.neg m) in
+        add_field field (C_ipm (Match_fields.exact_ip (Int32.logxor a bit)))
+      end
+    | Filter.Pred { field; value = Filter.V_int v; _ } ->
+      add_field field (C_int v);
+      add_field field (C_int (v + 1))
+    | Filter.Wildcard { field; mask } when Filter.is_ip_field field ->
+      (* Constrains the field while keeping the mask bits wildcarded. *)
+      add_field field
+        (C_ipm { Match_fields.addr = 0l; mask = Int32.lognot mask })
+    | Filter.Wildcard _ -> ()
+    | Filter.Max_priority n ->
+      c.prios <- add_uniq n c.prios;
+      if n < 65535 then c.prios <- add_uniq (n + 1) c.prios
+    | Filter.Min_priority n ->
+      c.prios <- add_uniq n c.prios;
+      if n > 0 then c.prios <- add_uniq (n - 1) c.prios
+    | Filter.Phys_topo { switches; _ } ->
+      Option.iter
+        (fun d -> c.dpids <- add_uniq d c.dpids)
+        (Filter.Int_set.min_elt_opt switches);
+      Option.iter
+        (fun d ->
+          c.dpids <- add_uniq d c.dpids;
+          c.dpids <- add_uniq (d + 1) c.dpids)
+        (Filter.Int_set.max_elt_opt switches)
+    | Filter.Virt_topo Filter.Single_big_switch ->
+      c.dpids <- add_uniq Filter_eval.virtual_big_switch_dpid c.dpids
+    | Filter.Virt_topo (Filter.Switch_groups groups) ->
+      List.iter (fun (_, vid) -> c.dpids <- add_uniq vid c.dpids) groups
+    | Filter.Stats_level l -> c.levels <- add_uniq l c.levels
+    | Filter.Action_f Filter.A_drop -> c.actsets <- add_uniq [] c.actsets
+    | Filter.Action_f Filter.A_forward ->
+      c.actsets <- add_uniq [ Action.Output 2 ] c.actsets
+    | Filter.Action_f (Filter.A_modify f) ->
+      let set =
+        match set_field_for f with
+        | Some sf -> [ Action.Set sf; Action.Output 2 ]
+        | None -> [ Action.Output 2 ]
+      in
+      c.actsets <- add_uniq set c.actsets
+    | Filter.Max_rule_count _ | Filter.Pkt_out _ | Filter.Owner _
+    | Filter.Callback _ | Filter.Macro _ ->
+      ()
+  in
+  List.iter (fun f -> Filter.fold_atoms (fun () s -> one s) () f) filters;
+  (* Defaults keep every dimension inhabited even when no atom names
+     it, so unconstrained sides still yield candidates. *)
+  c.prios <- add_uniq 100 c.prios;
+  c.dpids <- add_uniq 1 c.dpids;
+  c.actsets <- add_uniq [ Action.Output 2 ] c.actsets;
+  c.actsets <- add_uniq [] c.actsets;
+  c.actsets <- add_uniq [ Action.To_controller ] c.actsets;
+  c.levels <- add_uniq Stats.Flow_level c.levels;
+  c.levels <- add_uniq Stats.Switch_level c.levels;
+  c
+
+(* Match-record assignments: the cartesian product of {absent, each
+   candidate value} over the fields that have candidates.  Lazy
+   ([Seq]), widest dimension last, capped by the search driver. *)
+let match_seq (c : cands) : Match_fields.t Seq.t =
+  let fields =
+    List.fold_left
+      (fun acc (f, _) -> if List.mem f acc then acc else acc @ [ f ])
+      [] c.per_field
+  in
+  let fields = List.filteri (fun i _ -> i < 6) fields in
+  let values f =
+    List.filter_map
+      (fun (f', v) -> if f' = f then Some v else None)
+      c.per_field
+  in
+  let apply (m : Match_fields.t) f (v : cand_val) : Match_fields.t =
+    match (f, v) with
+    | Filter.F_ip_src, C_ipm im -> { m with Match_fields.nw_src = Some im }
+    | Filter.F_ip_dst, C_ipm im -> { m with Match_fields.nw_dst = Some im }
+    | Filter.F_tcp_src, C_int v -> { m with Match_fields.tp_src = Some v }
+    | Filter.F_tcp_dst, C_int v -> { m with Match_fields.tp_dst = Some v }
+    | Filter.F_eth_src, C_int v -> { m with Match_fields.dl_src = Some v }
+    | Filter.F_eth_dst, C_int v -> { m with Match_fields.dl_dst = Some v }
+    | Filter.F_in_port, C_int v -> { m with Match_fields.in_port = Some v }
+    | Filter.F_eth_type, C_int v ->
+      { m with Match_fields.dl_type = Some (Types.eth_type_of_code v) }
+    | Filter.F_ip_proto, C_int v ->
+      { m with Match_fields.nw_proto = Some (Types.ip_proto_of_code v) }
+    | Filter.F_vlan, C_int v -> { m with Match_fields.dl_vlan = Some v }
+    | _ -> m
+  in
+  let rec go fields (m : Match_fields.t) : Match_fields.t Seq.t =
+    match fields with
+    | [] -> Seq.return m
+    | f :: rest ->
+      Seq.concat_map
+        (fun v_opt ->
+          let m' = match v_opt with None -> m | Some v -> apply m f v in
+          go rest m')
+        (List.to_seq (None :: List.map Option.some (values f)))
+  in
+  go fields Match_fields.wildcard_all
+
+let seq_prod (xs : 'a list) (f : 'a -> 'b Seq.t) : 'b Seq.t =
+  Seq.concat_map f (List.to_seq xs)
+
+let ip_cands (c : cands) field ~default : Types.ipv4 list =
+  let vs =
+    List.filter_map
+      (function
+        | f, C_ipm im when f = field -> Some im.Match_fields.addr
+        | _ -> None)
+      c.per_field
+  in
+  if vs = [] then [ default ] else vs
+
+let int_cands (c : cands) field ~default : int list =
+  let vs =
+    List.filter_map
+      (function f, C_int v when f = field -> Some v | _ -> None)
+      c.per_field
+  in
+  if vs = [] then [ default ] else vs
+
+let packets (c : cands) : Packet.t list =
+  let dsts = ip_cands c Filter.F_ip_dst ~default:0x0A000001l in
+  let srcs = ip_cands c Filter.F_ip_src ~default:0x0A000009l in
+  let tp_dsts = int_cands c Filter.F_tcp_dst ~default:80 in
+  let tcps =
+    List.concat_map
+      (fun nw_dst ->
+        List.map
+          (fun tp_dst ->
+            Packet.tcp ~src:1 ~dst:2 ~nw_src:(List.hd srcs) ~nw_dst
+              ~tp_src:1234 ~tp_dst ())
+          (List.filteri (fun i _ -> i < 3) tp_dsts))
+      (List.filteri (fun i _ -> i < 3) dsts)
+  in
+  Packet.arp ~src:1 ~dst:2 () :: tcps
+
+(* All candidate calls for [token], as a lazy sequence. *)
+let calls_for (c : cands) (token : Token.t) : Api.call Seq.t =
+  let matches () = match_seq c in
+  let install mk =
+    seq_prod c.prios (fun p ->
+        seq_prod c.dpids (fun d ->
+            seq_prod c.actsets (fun al ->
+                Seq.map (fun m -> mk p d al m) (matches ()))))
+  in
+  match token with
+  | Token.Insert_flow ->
+    install (fun p d al m ->
+        Api.Install_flow (d, Flow_mod.add ~priority:p ~match_:m ~actions:al ()))
+  | Token.Delete_flow ->
+    seq_prod c.prios (fun p ->
+        seq_prod c.dpids (fun d ->
+            Seq.map
+              (fun m ->
+                Api.Install_flow (d, Flow_mod.delete ~priority:p ~match_:m ()))
+              (matches ())))
+  | Token.Read_flow_table ->
+    seq_prod (None :: List.map Option.some c.dpids) (fun dpid ->
+        Seq.cons
+          (Api.Read_flow_table { dpid; pattern = None })
+          (Seq.map
+             (fun m -> Api.Read_flow_table { dpid; pattern = Some m })
+             (matches ())))
+  | Token.Visible_topology -> Seq.return Api.Read_topology
+  | Token.Modify_topology ->
+    seq_prod c.dpids (fun d -> Seq.return (Api.Modify_topology (Api.Add_switch d)))
+  | Token.Read_statistics ->
+    Seq.append
+      (seq_prod c.levels (fun level ->
+           seq_prod (None :: List.map Option.some c.dpids) (fun dpid ->
+               Seq.cons
+                 (Api.Read_stats (Stats.request ?dpid level))
+                 (Seq.map
+                    (fun m ->
+                      Api.Read_stats (Stats.request ?dpid ~match_filter:m level))
+                    (matches ())))))
+      (Seq.return (Api.Receive_event Api.E_stats))
+  | Token.Flow_event -> Seq.return (Api.Receive_event Api.E_flow)
+  | Token.Topology_event -> Seq.return (Api.Receive_event Api.E_topology)
+  | Token.Error_event -> Seq.return (Api.Receive_event Api.E_error)
+  | Token.Pkt_in_event -> Seq.return (Api.Receive_event Api.E_packet_in)
+  | Token.Read_payload -> Seq.return Api.Read_payload_access
+  | Token.Send_pkt_out ->
+    seq_prod c.dpids (fun dpid ->
+        seq_prod [ true; false ] (fun from_pkt_in ->
+            Seq.map
+              (fun packet ->
+                Api.Send_packet_out { dpid; port = 2; packet; from_pkt_in })
+              (List.to_seq (packets c))))
+  | Token.Host_network ->
+    seq_prod (ip_cands c Filter.F_ip_dst ~default:0x0A000001l) (fun dst ->
+        seq_prod (int_cands c Filter.F_tcp_dst ~default:80) (fun dst_port ->
+            Seq.return (Api.Syscall (Api.Net_connect { dst; dst_port; payload = "" }))))
+  | Token.File_system ->
+    List.to_seq
+      [ Api.Syscall (Api.File_open { path = "/etc/app.conf"; write = false });
+        Api.Syscall (Api.File_open { path = "/etc/app.conf"; write = true }) ]
+  | Token.Process_runtime -> Seq.return (Api.Syscall (Api.Spawn_process "helper"))
+
+let max_candidates = 4096
+
+(** First candidate call of [token]'s kind whose attributes satisfy
+    [goal], with candidates harvested from [filters].  One budget tick
+    per candidate; hard-capped. *)
+let find_call ~(filters : Filter.expr list) (token : Token.t)
+    ~(goal : Attrs.t -> bool) : (Api.call * Attrs.t) option =
+  let cands = harvest filters in
+  let seq = calls_for cands token in
+  let rec scan n seq =
+    if n >= max_candidates then None
+    else
+      match seq () with
+      | Seq.Nil -> None
+      | Seq.Cons (call, rest) ->
+        Budget.step ();
+        let attrs = Attrs.of_call call in
+        if goal attrs then Some (call, attrs) else scan (n + 1) rest
+  in
+  scan 0 seq
+
+(* Witness synthesis --------------------------------------------------------- *)
+
+(** A call admitted by [ml] (token + filter) that [mr] does not admit.
+    Proves semantic non-inclusion [ml ⊄ mr]. *)
+let escape_witness (ml : Perm.manifest) (mr : Perm.manifest) : witness option =
+  List.find_map
+    (fun (p : Perm.t) ->
+      let token = p.Perm.token in
+      let fl = p.Perm.filter in
+      let fr = Perm.filter_of mr token in
+      let goal attrs = eval_f fl attrs && not (eval_f fr attrs) in
+      match find_call ~filters:[ fl; fr ] token ~goal with
+      | None -> None
+      | Some (call, attrs) ->
+        let _, why_in = Filter_eval.explain pure fl attrs in
+        let _, why_out = Filter_eval.explain pure fr attrs in
+        Some
+          { token; call; admitted_by = ml; escapes = Some mr;
+            explanation =
+              Fmt.str "admitted by %a (%s) but not by the bound (%s)" Token.pp
+                token why_in why_out })
+    ml
+
+(** A call admitted by both [m] and [mx]: semantic possession of the
+    exclusive set [mx] by the app holding [m]. *)
+let overlap_witness (m : Perm.manifest) (mx : Perm.manifest) : witness option =
+  List.find_map
+    (fun (p : Perm.t) ->
+      let token = p.Perm.token in
+      let fm = p.Perm.filter in
+      let fx = Perm.filter_of mx token in
+      if fx = Filter.False then None
+      else
+        let goal attrs = eval_f fm attrs && eval_f fx attrs in
+        match find_call ~filters:[ fm; fx ] token ~goal with
+        | None -> None
+        | Some (call, attrs) ->
+          let _, why_m = Filter_eval.explain pure fm attrs in
+          let _, why_x = Filter_eval.explain pure fx attrs in
+          Some
+            { token; call; admitted_by = m; escapes = None;
+              explanation =
+                Fmt.str
+                  "admitted by the app's %a grant (%s) and by the exclusive \
+                   set (%s)"
+                  Token.pp token why_m why_x })
+    m
+
+(* Obligation checking ------------------------------------------------------- *)
+
+(** [check_le stmt app ml mr] — the obligation [ml <= mr].  Positive
+    lattice answers certify (sound); otherwise only a semantically
+    confirmed escape refutes; otherwise unknown (fail closed). *)
+let check_le stmt app (ml : Perm.manifest) (mr : Perm.manifest) : status =
+  if Inclusion.manifest_includes mr ml then Holds
+  else
+    match escape_witness ml mr with
+    | Some w ->
+      Refuted_by
+        [ { stmt; app; witnesses = [ w ];
+            detail =
+              Fmt.str "%a: %a call escapes the bound" Policy.pp_stmt stmt
+                Token.pp w.token } ]
+    | None ->
+      Unknown
+        "inclusion not provable (Algorithm 1 is incomplete) and no \
+         counterexample call found"
+
+let combine_eq a b =
+  match (a, b) with
+  | Refuted_by c1, Refuted_by c2 -> Refuted_by (c1 @ c2)
+  | (Refuted_by _ as r), _ | _, (Refuted_by _ as r) -> r
+  | Holds, Holds -> Holds
+  | Unknown r, _ | _, Unknown r -> Unknown r
+
+(** Strict comparison: on top of a certified [ml <= mr], strictness
+    needs a semantic witness in [mr \ ml] — the lattice's negative
+    answer to [mr <= ml] is conservative and proves nothing. *)
+let check_strict stmt app ml mr : status =
+  match check_le stmt app ml mr with
+  | Holds -> (
+    match escape_witness mr ml with
+    | Some _ -> Holds
+    | None ->
+      Unknown
+        "inclusion holds but strictness is not witnessed (no call found in \
+         the difference)")
+  | s -> s
+
+let check_cmp env stmt lhs op rhs : status =
+  match
+    (Reconcile.Env.manifest_of env lhs, Reconcile.Env.manifest_of env rhs)
+  with
+  | Error msg, _ | _, Error msg -> Unknown ("policy evaluation: " ^ msg)
+  | Ok (ml, al), Ok (mr, ar) -> (
+    match op with
+    | Policy.C_le -> check_le stmt al ml mr
+    | Policy.C_ge -> check_le stmt ar mr ml
+    | Policy.C_eq -> combine_eq (check_le stmt al ml mr) (check_le stmt ar mr ml)
+    | Policy.C_lt -> check_strict stmt al ml mr
+    | Policy.C_gt -> check_strict stmt ar mr ml)
+
+(* Three-valued assertion combination.  [T] and refutations are both
+   semantically grounded and may flip under NOT; [U] is sticky. *)
+type tv = T | F of counterexample list | U of string
+
+let tv_of_status = function
+  | Holds -> T
+  | Refuted_by c -> F c
+  | Unknown r -> U r
+
+let rec eval3 env stmt (ae : Policy.assert_expr) : tv =
+  Budget.step ();
+  match ae with
+  | Policy.A_cmp (l, op, r) -> tv_of_status (check_cmp env stmt l op r)
+  | Policy.A_and (a, b) -> (
+    match eval3 env stmt a with
+    | F c -> F c
+    | ra -> (
+      match eval3 env stmt b with
+      | F c -> F c
+      | rb -> (
+        match (ra, rb) with
+        | U r, _ | _, U r -> U r
+        | _ -> T)))
+  | Policy.A_or (a, b) -> (
+    match eval3 env stmt a with
+    | T -> T
+    | ra -> (
+      match eval3 env stmt b with
+      | T -> T
+      | rb -> (
+        match (ra, rb) with
+        | F c1, F c2 -> F (c1 @ c2) (* both disjuncts refuted *)
+        | U r, _ | _, U r -> U r
+        | T, _ | _, T -> T (* unreachable: T short-circuits above *))))
+  | Policy.A_not a -> (
+    match eval3 env stmt a with
+    | F _ -> T (* operand semantically refuted ⇒ negation holds *)
+    | T ->
+      (* The negated operand certifiably holds, so this assertion is
+         false — but a negated obligation has no single-call
+         counterexample, and Refuted promises one.  Fail closed. *)
+      U
+        "NOT: the negated comparison certifiably holds (assertion is \
+         unsatisfiable); no call-level counterexample exists"
+    | U r -> U ("NOT: " ^ r))
+
+let check_exclusive env stmt p1 p2 : status =
+  match (Reconcile.Env.manifest_of env p1, Reconcile.Env.manifest_of env p2) with
+  | Error msg, _ | _, Error msg -> Unknown ("policy evaluation: " ^ msg)
+  | Ok (m1, _), Ok (m2, _) ->
+    let refuted, unknowns =
+      List.fold_left
+        (fun (refuted, unknowns) (name, m) ->
+          (* [manifests_overlap] = false is a sound emptiness proof, so
+             either non-overlap certifies this app. *)
+          if
+            (not (Inclusion.manifests_overlap m m1))
+            || not (Inclusion.manifests_overlap m m2)
+          then (refuted, unknowns)
+          else
+            match (overlap_witness m m1, overlap_witness m m2) with
+            | Some w1, Some w2 ->
+              ( { stmt; app = Some name; witnesses = [ w1; w2 ];
+                  detail =
+                    Fmt.str
+                      "app %s holds behaviours from both exclusive sets (%a, \
+                       %a)"
+                      name Token.pp w1.token Token.pp w2.token }
+                :: refuted,
+                unknowns )
+            | _ ->
+              ( refuted,
+                Fmt.str
+                  "app %s: overlap with both exclusive sets is neither \
+                   provably empty nor witnessed"
+                  name
+                :: unknowns ))
+        ([], []) (Reconcile.Env.apps env)
+    in
+    if refuted <> [] then Refuted_by (List.rev refuted)
+    else if unknowns <> [] then Unknown (String.concat "; " (List.rev unknowns))
+    else Holds
+
+(* Checker cross-check ------------------------------------------------------- *)
+
+let decision_allows = function Api.Allow -> true | Api.Deny _ -> false
+
+(** What [Filter_eval] says a manifest decides for a call — the
+    semantic ground truth the three checkers are compared against. *)
+let expected_decision (m : Perm.manifest) (call : Api.call) : bool =
+  match Dispatch.token_of_call call with
+  | None -> true
+  | Some t ->
+    Perm.grants_token m t && eval_f (Perm.filter_of m t) (Attrs.of_call call)
+
+type trio = {
+  engine : Engine.t option;
+  compiled : Compiled.t option;
+  automaton : Automaton.t option;
+}
+
+let build_trio notes (m : Perm.manifest) : trio =
+  let engine =
+    match
+      Engine.create ~record_state:false ~ownership:(Ownership.create ())
+        ~app_name:"verify" ~cookie:1 m
+    with
+    | e -> Some e
+    | exception Invalid_argument msg ->
+      notes := Fmt.str "engine replay skipped: %s" msg :: !notes;
+      None
+  in
+  let compiled =
+    match Compiled.of_manifest m with
+    | c -> Some c
+    | exception _ -> None
+  in
+  let automaton =
+    match Automaton.of_manifest m with
+    | a -> Some a
+    | exception _ -> None
+  in
+  { engine; compiled; automaton }
+
+let run_crosscheck ~(apps : (string * Perm.manifest) list)
+    ~(obligations : obligation list) : crosscheck =
+  let notes = ref [] in
+  let agree = ref true in
+  let replayed = ref 0 in
+  let replay (m : Perm.manifest) (call : Api.call) =
+    let want = expected_decision m call in
+    let trio = build_trio notes m in
+    let one label decide =
+      incr replayed;
+      let got = decision_allows (decide call) in
+      if got <> want then begin
+        agree := false;
+        notes :=
+          Fmt.str "%s disagrees with Filter_eval on %a (got %s, expected %s)"
+            label Api.pp_call call
+            (if got then "allow" else "deny")
+            (if want then "allow" else "deny")
+          :: !notes
+      end
+    in
+    Option.iter (fun e -> one "engine" (Engine.check e)) trio.engine;
+    Option.iter (fun c -> one "compiled" (Compiled.check c)) trio.compiled;
+    Option.iter (fun a -> one "automaton" (Automaton.check a)) trio.automaton
+  in
+  (* Every synthesized witness is replayed against the manifest that
+     admits it and (for boundary escapes) against the bound it escapes
+     — a differential test of all three checkers on exactly the calls
+     verification's verdict rests on. *)
+  let witnesses =
+    List.concat_map
+      (fun o ->
+        match o.status with
+        | Refuted_by cs -> List.concat_map (fun c -> c.witnesses) cs
+        | _ -> [])
+      obligations
+  in
+  List.iter
+    (fun w ->
+      replay w.admitted_by w.call;
+      Option.iter (fun bound -> replay bound w.call) w.escapes)
+    witnesses;
+  (* Least-privilege cross-check: sample calls each app's manifest
+     admits, infer a manifest from that trace, and hold Infer to its
+     guarantee — the inferred manifest re-admits every recorded call. *)
+  let infer_ok = ref true in
+  let traced = ref 0 in
+  List.iter
+    (fun (name, m) ->
+      let sample =
+        List.filter_map
+          (fun (p : Perm.t) ->
+            let fl = p.Perm.filter in
+            find_call ~filters:[ fl ] p.Perm.token ~goal:(eval_f fl)
+            |> Option.map fst)
+          m
+      in
+      let from_witnesses =
+        List.filter_map
+          (fun (w : witness) ->
+            if expected_decision m w.call then Some w.call else None)
+          witnesses
+      in
+      let trace = sample @ from_witnesses in
+      if trace <> [] then begin
+        traced := !traced + List.length trace;
+        let inferred = Infer.of_trace trace in
+        List.iter
+          (fun call ->
+            if not (expected_decision inferred call) then begin
+              infer_ok := false;
+              notes :=
+                Fmt.str
+                  "inferred least-privilege manifest for app %s fails to \
+                   re-admit %a"
+                  name Api.pp_call call
+                :: !notes
+            end)
+          trace
+      end)
+    apps;
+  { replayed = !replayed;
+    checkers_agree = !agree;
+    infer_consistent = !infer_ok;
+    infer_traced = !traced;
+    crosscheck_notes = List.rev !notes }
+
+(* Verdict counters ---------------------------------------------------------- *)
+
+type stats = { certified_n : int; refuted_n : int; unverified_n : int }
+
+let counters_mutex = Mutex.create ()
+let certified_c = ref 0
+let refuted_c = ref 0
+let unverified_c = ref 0
+let gauge_of_counter c () = { M.depth = !c; hwm = !c }
+
+let () =
+  M.register_gauge "verify-certified" (gauge_of_counter certified_c);
+  M.register_gauge "verify-refuted" (gauge_of_counter refuted_c);
+  M.register_gauge "verify-unverified" (gauge_of_counter unverified_c)
+
+let count_verdict v =
+  Mutex.lock counters_mutex;
+  (match v with
+  | Certified -> incr certified_c
+  | Refuted _ -> incr refuted_c
+  | Unverified _ -> incr unverified_c);
+  Mutex.unlock counters_mutex
+
+let stats () =
+  Mutex.lock counters_mutex;
+  let s =
+    { certified_n = !certified_c;
+      refuted_n = !refuted_c;
+      unverified_n = !unverified_c }
+  in
+  Mutex.unlock counters_mutex;
+  s
+
+let reset_stats () =
+  Mutex.lock counters_mutex;
+  certified_c := 0;
+  refuted_c := 0;
+  unverified_c := 0;
+  Mutex.unlock counters_mutex
+
+(* Driver -------------------------------------------------------------------- *)
+
+let empty_crosscheck note =
+  { replayed = 0;
+    checkers_agree = false;
+    infer_consistent = false;
+    infer_traced = 0;
+    crosscheck_notes = [ note ] }
+
+let verify ?limits ~(apps : (string * Perm.manifest) list) (policy : Policy.t) :
+    certificate =
+  let b = Budget.create ?limits () in
+  let cert =
+    match
+      Budget.with_scope b (fun () ->
+          Budget.set_stage "verify";
+          let env = Reconcile.Env.create ~apps policy in
+          let obligations =
+            List.mapi (fun i stmt -> (i, stmt)) policy
+            |> List.filter_map (fun (index, stmt) ->
+                   let guarded check =
+                     match check () with
+                     | s -> s
+                     | exception Budget.Exhausted { reason; _ } ->
+                       Unknown ("budget exhausted: " ^ reason)
+                     | exception Nf.Too_large ->
+                       Unknown "normal form too large; check degraded"
+                     | exception Stack_overflow ->
+                       Unknown "stack overflow during obligation check"
+                     | exception exn ->
+                       Unknown ("internal error: " ^ Printexc.to_string exn)
+                   in
+                   match stmt with
+                   | Policy.Let _ -> None
+                   | Policy.Assert ae ->
+                     let status =
+                       guarded (fun () ->
+                           match eval3 env stmt ae with
+                           | T -> Holds
+                           | F c -> Refuted_by c
+                           | U r -> Unknown r)
+                     in
+                     Some { index; stmt; status }
+                   | Policy.Assert_exclusive (p1, p2) ->
+                     let status =
+                       guarded (fun () -> check_exclusive env stmt p1 p2)
+                     in
+                     Some { index; stmt; status })
+          in
+          Budget.set_stage "crosscheck";
+          let crosscheck =
+            match run_crosscheck ~apps ~obligations with
+            | cc -> cc
+            | exception Budget.Exhausted { reason; _ } ->
+              empty_crosscheck ("budget exhausted during cross-check: " ^ reason)
+            | exception exn ->
+              empty_crosscheck
+                ("internal error during cross-check: " ^ Printexc.to_string exn)
+          in
+          let refuted =
+            List.concat_map
+              (fun o ->
+                match o.status with Refuted_by cs -> cs | _ -> [])
+              obligations
+          in
+          let unknowns =
+            List.filter_map
+              (fun o ->
+                match o.status with
+                | Unknown r -> Some (Fmt.str "obligation %d: %s" o.index r)
+                | _ -> None)
+              obligations
+          in
+          let verdict =
+            if refuted <> [] then Refuted refuted
+            else
+              match unknowns with
+              | r :: _ -> Unverified r
+              | [] ->
+                if not crosscheck.checkers_agree then
+                  Unverified "checker cross-check failed (see notes)"
+                else if not crosscheck.infer_consistent then
+                  Unverified "least-privilege inference cross-check failed"
+                else Certified
+          in
+          { verdict;
+            obligations;
+            crosscheck;
+            spent = Budget.spent b;
+            notes = Budget.notes b })
+    with
+    | cert -> cert
+    | exception Budget.Exhausted { reason; _ } ->
+      { verdict = Unverified ("budget exhausted: " ^ reason);
+        obligations = [];
+        crosscheck = empty_crosscheck "verification aborted";
+        spent = Budget.spent b;
+        notes = Budget.notes b }
+    | exception exn ->
+      { verdict = Unverified ("internal error: " ^ Printexc.to_string exn);
+        obligations = [];
+        crosscheck = empty_crosscheck "verification aborted";
+        spent = Budget.spent b;
+        notes = Budget.notes b }
+  in
+  count_verdict cert.verdict;
+  cert
+
+let verify_report ?limits (policy : Policy.t) (report : Reconcile.report) :
+    certificate =
+  let cert = verify ?limits ~apps:report.Reconcile.manifests policy in
+  match report.Reconcile.unresolved_macros with
+  | [] -> cert
+  | ms ->
+    let note =
+      Fmt.str "unresolved stub macro(s) in %s: their atoms deny-close under \
+               evaluation"
+        (String.concat ", " (List.map fst ms))
+    in
+    { cert with notes = cert.notes @ [ note ] }
+
+let certified cert = cert.verdict = Certified
+
+let verdict_label cert =
+  match cert.verdict with
+  | Certified -> "certified"
+  | Refuted _ -> "refuted"
+  | Unverified _ -> "unverified"
+
+(* Rendering ----------------------------------------------------------------- *)
+
+let pp_witness ppf (w : witness) =
+  Fmt.pf ppf "@[<v2>%a:@,%s@]" Api.pp_call w.call w.explanation
+
+let pp_counterexample ppf (c : counterexample) =
+  Fmt.pf ppf "@[<v2>%s%s:@,%a@]" c.detail
+    (match c.app with Some a -> Fmt.str " [app %s]" a | None -> "")
+    Fmt.(list pp_witness)
+    c.witnesses
+
+let status_label = function
+  | Holds -> "holds"
+  | Refuted_by _ -> "refuted"
+  | Unknown _ -> "unknown"
+
+let pp_obligation ppf (o : obligation) =
+  Fmt.pf ppf "@[<v2>#%d [%s] %a%a@]" o.index (status_label o.status)
+    Policy.pp_stmt o.stmt
+    (fun ppf -> function
+      | Holds -> ()
+      | Unknown r -> Fmt.pf ppf "@,%s" r
+      | Refuted_by cs -> Fmt.pf ppf "@,%a" Fmt.(list pp_counterexample) cs)
+    o.status
+
+let pp_certificate ppf (cert : certificate) =
+  Fmt.pf ppf "@[<v>verdict: %s%a@,%a@,cross-check: %d replay(s), checkers %s, \
+              inference %s (%d call(s))%a%a@]"
+    (verdict_label cert)
+    (fun ppf -> function
+      | Unverified r -> Fmt.pf ppf " (%s)" r
+      | _ -> ())
+    cert.verdict
+    Fmt.(list pp_obligation)
+    cert.obligations cert.crosscheck.replayed
+    (if cert.crosscheck.checkers_agree then "agree" else "DISAGREE")
+    (if cert.crosscheck.infer_consistent then "consistent" else "INCONSISTENT")
+    cert.crosscheck.infer_traced
+    (fun ppf -> function
+      | [] -> ()
+      | notes -> Fmt.pf ppf "@,%a" Fmt.(list (fmt "note: %s")) notes)
+    (cert.crosscheck.crosscheck_notes @ cert.notes)
+    (fun ppf (s : Budget.spent) -> Fmt.pf ppf "@,budget: %a" Budget.pp_spent s)
+    cert.spent
+
+let json_of_witness (w : witness) : J.t =
+  J.Obj
+    [ ("token", J.Str (Token.to_string w.token));
+      ("call", J.Str (Fmt.str "%a" Api.pp_call w.call));
+      ("explanation", J.Str w.explanation) ]
+
+let json_of_counterexample (c : counterexample) : J.t =
+  J.Obj
+    [ ("stmt", J.Str (Fmt.str "%a" Policy.pp_stmt c.stmt));
+      ("app", match c.app with Some a -> J.Str a | None -> J.Null);
+      ("detail", J.Str c.detail);
+      ("witnesses", J.Arr (List.map json_of_witness c.witnesses)) ]
+
+let json_of_obligation (o : obligation) : J.t =
+  J.Obj
+    (( "index", J.Num (float_of_int o.index) )
+    :: ("stmt", J.Str (Fmt.str "%a" Policy.pp_stmt o.stmt))
+    :: ("status", J.Str (status_label o.status))
+    ::
+    (match o.status with
+    | Holds -> []
+    | Unknown r -> [ ("reason", J.Str r) ]
+    | Refuted_by cs ->
+      [ ("counterexamples", J.Arr (List.map json_of_counterexample cs)) ]))
+
+let json_of_certificate (cert : certificate) : J.t =
+  J.Obj
+    [ ("verdict", J.Str (verdict_label cert));
+      ( "reason",
+        match cert.verdict with
+        | Unverified r -> J.Str r
+        | _ -> J.Null );
+      ("obligations", J.Arr (List.map json_of_obligation cert.obligations));
+      ( "counterexamples",
+        match cert.verdict with
+        | Refuted cs -> J.Arr (List.map json_of_counterexample cs)
+        | _ -> J.Arr [] );
+      ( "crosscheck",
+        J.Obj
+          [ ("replayed", J.Num (float_of_int cert.crosscheck.replayed));
+            ("checkers_agree", J.Bool cert.crosscheck.checkers_agree);
+            ("infer_consistent", J.Bool cert.crosscheck.infer_consistent);
+            ("infer_traced", J.Num (float_of_int cert.crosscheck.infer_traced));
+            ( "notes",
+              J.Arr
+                (List.map (fun n -> J.Str n) cert.crosscheck.crosscheck_notes)
+            ) ] );
+      ( "spent",
+        J.Obj
+          [ ("steps", J.Num (float_of_int cert.spent.Budget.steps));
+            ("clauses", J.Num (float_of_int cert.spent.Budget.clauses));
+            ("nodes", J.Num (float_of_int cert.spent.Budget.nodes));
+            ("elapsed", J.Num cert.spent.Budget.elapsed) ] );
+      ("notes", J.Arr (List.map (fun n -> J.Str n) cert.notes)) ]

@@ -1,0 +1,133 @@
+(** shield-verify — post-reconciliation certification (docs/VERIFY.md).
+
+    Reconciliation {e repairs} manifests; nothing in the repair path
+    proves the result actually satisfies the policy.  This pass
+    re-derives every [ASSERT] obligation over the filter lattice
+    (reusing {!Inclusion} + {!Nf} under the ambient {!Budget}
+    fail-degraded discipline) and classifies each:
+
+    - {b holds} — provable by Algorithm 1's sound inclusion (or, for
+      mutual exclusions, by a provably empty overlap).  Because the
+      lattice procedure is deliberately incomplete, only its {e
+      positive} answers are trusted; a negative answer alone never
+      refutes.
+    - {b refuted} — a {e concrete counterexample call} was synthesized
+      and semantically confirmed by {!Filter_eval}: the call is
+      admitted by the manifest side yet escapes the bound (or, for
+      exclusions, one call per exclusive set is admitted).  Every
+      witness is additionally replayed through {!Engine}, {!Compiled}
+      and {!Automaton} — a standing differential test of the three
+      checkers.
+    - {b unknown} — neither provable nor witnessed (incompleteness,
+      budget exhaustion, [Nf.Too_large] degradation, policy evaluation
+      error).  Unknown never certifies: the overall verdict degrades
+      to [Unverified], exactly as Vetting fails closed.
+
+    Negated obligations are evaluated in three-valued (Kleene) logic:
+    the lattice's conservative [false] must not flip into a false
+    [Certified] under [NOT], so only semantically confirmed
+    refutations and sound positive proofs propagate through negation;
+    everything else stays unknown.
+
+    The pass never raises: internal errors, stack overflow and budget
+    exhaustion all surface as [Unverified]. *)
+
+open Shield_controller
+
+(** One semantically confirmed counterexample call. *)
+type witness = {
+  token : Token.t;
+  call : Api.call;
+  admitted_by : Perm.manifest;
+      (** Manifest whose filter {!Filter_eval} confirmed admits
+          [call] (under {!Filter_eval.pure_env}). *)
+  escapes : Perm.manifest option;
+      (** The bound the call provably escapes ([None] for
+          mutual-exclusion witnesses, which are admitted by both
+          sides instead). *)
+  explanation : string;  (** Deciding clauses, via {!Filter_eval.explain}. *)
+}
+
+type counterexample = {
+  stmt : Policy.stmt;
+  app : string option;  (** Offending app, when the obligation names one. *)
+  witnesses : witness list;  (** Nonempty; two for exclusivity (one per set). *)
+  detail : string;
+}
+
+type status =
+  | Holds
+  | Refuted_by of counterexample list  (** Nonempty. *)
+  | Unknown of string
+
+type obligation = {
+  index : int;  (** Statement position in the policy. *)
+  stmt : Policy.stmt;
+  status : status;
+}
+
+(** Results of the semantic cross-checks run over the synthesized
+    calls (see docs/VERIFY.md). *)
+type crosscheck = {
+  replayed : int;
+      (** Witness-side replays performed across the three checkers. *)
+  checkers_agree : bool;
+      (** {!Engine}, {!Compiled} and {!Automaton} each matched the
+          {!Filter_eval} expectation on every replay. *)
+  infer_consistent : bool;
+      (** {!Infer.of_trace} over calls admitted by each app's manifest
+          produced a least-privilege manifest that re-admits every one
+          of those calls (the inference guarantee, checked live). *)
+  infer_traced : int;  (** Calls fed to the inference cross-check. *)
+  crosscheck_notes : string list;
+}
+
+type verdict =
+  | Certified
+  | Refuted of counterexample list  (** Nonempty, in policy order. *)
+  | Unverified of string
+
+type certificate = {
+  verdict : verdict;
+  obligations : obligation list;  (** One per [ASSERT] statement. *)
+  crosscheck : crosscheck;
+  spent : Budget.spent;
+  notes : string list;  (** Budget degradation notes (oldest first). *)
+}
+
+val verify :
+  ?limits:Budget.limits ->
+  apps:(string * Perm.manifest) list ->
+  Policy.t ->
+  certificate
+(** Certify that [apps]' manifests satisfy every [ASSERT] /
+    [ASSERT EITHER] obligation of the policy.  Installs its own nested
+    {!Budget} scope (default {!Budget.default_limits}), so a caller
+    already inside a scope — {!Vetting} — degrades to [Unverified]
+    without burning its own admission budget.  Never raises. *)
+
+val verify_report : ?limits:Budget.limits -> Policy.t -> Reconcile.report -> certificate
+(** {!verify} over a reconciliation report's repaired manifests — the
+    "did repair actually work?" entry point.  Unresolved stub macros
+    are noted (their atoms deny-closed under evaluation). *)
+
+val certified : certificate -> bool
+
+val verdict_label : certificate -> string
+(** ["certified"], ["refuted"] or ["unverified"]. *)
+
+val json_of_certificate : certificate -> Telemetry.Json.t
+(** Machine-readable rendering for the CLI's [--json] and CI. *)
+
+val pp_witness : Format.formatter -> witness -> unit
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_certificate : Format.formatter -> certificate -> unit
+
+(** {1 Metrics} — process-wide per-verdict counters, registered as
+    gauges [verify-certified] / [verify-refuted] / [verify-unverified]
+    so they ride into the {!Telemetry} snapshot. *)
+
+type stats = { certified_n : int; refuted_n : int; unverified_n : int }
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

@@ -19,7 +19,11 @@
 module M = Shield_controller.Metrics
 
 type rejection = { stage : string; reason : string; spent : Budget.spent }
-type 'a admission = { value : 'a; lint : Lint.finding list }
+type 'a admission = {
+  value : 'a;
+  lint : Lint.finding list;
+  certificate : Verify.certificate option;
+}
 
 type 'a verdict =
   | Admitted of 'a admission
@@ -98,7 +102,10 @@ let reset_stats () =
    findings.  Lint installs its own nested budget scope, so a manifest
    whose *analysis* is expensive degrades the lint report (to Info
    "unverified" findings), never the admission verdict. *)
-let run ?limits (f : Budget.t -> ('a * Lint.finding list, rejection) result) :
+let run ?limits
+    (f :
+      Budget.t ->
+      ('a * Lint.finding list * Verify.certificate option, rejection) result) :
     'a verdict =
   let b = Budget.create ?limits () in
   let outcome =
@@ -126,8 +133,8 @@ let run ?limits (f : Budget.t -> ('a * Lint.finding list, rejection) result) :
   count_verdict
     (match outcome with
     | Error r -> Rejected r
-    | Ok (v, lint) -> (
-      let adm = { value = v; lint } in
+    | Ok (v, lint, certificate) -> (
+      let adm = { value = v; lint; certificate } in
       match Budget.notes b with
       | [] -> Admitted adm
       | notes -> Degraded (adm, notes)))
@@ -245,7 +252,7 @@ let vet_manifest_ast ?limits (m : Perm.manifest) : Perm.manifest verdict =
   run ?limits (fun _b ->
       check_manifest m;
       Budget.set_stage "lint";
-      Ok (m, Lint.lint_manifest m))
+      Ok (m, Lint.lint_manifest m, None))
 
 let vet_manifest_compiled ?limits (m : Perm.manifest) :
     (Perm.manifest * Automaton.t) verdict =
@@ -258,7 +265,7 @@ let vet_manifest_compiled ?limits (m : Perm.manifest) :
       Budget.set_stage "compile";
       let a = Automaton.of_manifest m in
       Budget.set_stage "lint";
-      Ok ((m, a), Lint.lint_manifest m))
+      Ok ((m, a), Lint.lint_manifest m, None))
 
 let vet_manifest ?limits (src : string) : Perm.manifest verdict =
   run ?limits (fun b ->
@@ -268,7 +275,7 @@ let vet_manifest ?limits (src : string) : Perm.manifest verdict =
       | Ok m ->
         check_manifest m;
         Budget.set_stage "lint";
-        Ok (m, Lint.lint_manifest m))
+        Ok (m, Lint.lint_manifest m, None))
 
 let vet_policy ?limits (src : string) : Policy.t verdict =
   run ?limits (fun b ->
@@ -279,7 +286,7 @@ let vet_policy ?limits (src : string) : Policy.t verdict =
         check_policy_structure policy;
         check_policy_references policy;
         Budget.set_stage "lint";
-        Ok (policy, Lint.lint_policy policy))
+        Ok (policy, Lint.lint_policy policy, None))
 
 let vet_and_reconcile ?limits ~(apps : (string * string) list)
     (policy : string) : Reconcile.report verdict =
@@ -342,7 +349,16 @@ let vet_and_reconcile ?limits ~(apps : (string * string) list)
                   Lint.lint_manifest ~label:("app " ^ name) m)
                 parsed
           in
-          Ok (report, lint)))
+          (* Post-repair certification (docs/VERIFY.md).  Verify
+             installs its own nested scope but inherits this
+             admission's limits, so a hostile policy cannot buy extra
+             work by being verified; its exhaustion degrades the
+             certificate to [Unverified], never the verdict. *)
+          Budget.set_stage "verify";
+          let certificate =
+            Verify.verify_report ~limits:(Budget.limits b) pol report
+          in
+          Ok (report, lint, Some certificate)))
 
 (* Reporting ----------------------------------------------------------------- *)
 

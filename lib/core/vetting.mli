@@ -44,6 +44,16 @@ type 'a admission = {
           well-formed input is still admitted, and lint analysis that
           exhausts its budget degrades to [Info] "unverified" findings
           rather than to a [Degraded]/[Rejected] verdict. *)
+  certificate : Verify.certificate option;
+      (** shield-verify certificate over the reconciled result
+          (docs/VERIFY.md) — [Some] only for {!vet_and_reconcile},
+          which is the one pipeline that produces post-repair
+          manifests to certify.  Like lint, the certificate is
+          advisory at admission: a [Refuted] or [Unverified]
+          certificate rides along for the administrator (and the CLI's
+          [verify --deny]) without flipping the verdict, and
+          verification runs under its own nested budget scope (with
+          this admission's limits) so it can never reject the input. *)
 }
 
 type 'a verdict =

@@ -188,3 +188,48 @@ let lint_dirty_policy_src ~seed =
      ASSERT EITHER a OR b\n"
     octet
     (Prng.int rng 256)
+
+(* Assertion-heavy policies -------------------------------------------------
+
+   Work for shield-verify: every comparison direction (including the
+   strict ones, whose strictness needs a synthesized witness), nested
+   AND/OR/NOT combinations, an exclusivity constraint, and one
+   deliberately unbound variable (verification must classify that
+   statement Unknown via the Policy_error path, not raise).  The seed
+   varies subnets/ports/priorities so no constant gets pinned. *)
+
+(** [assertion_heavy ~seed] — a [(manifest_src, policy_src)] pair whose
+    policy is dense in ASSERT obligations of every shape.  [verify]
+    must terminate with a certificate (any verdict) and never raise. *)
+let assertion_heavy ~seed =
+  let rng = Prng.of_int seed in
+  let octet = 1 + Prng.int rng 254 in
+  let prio = 1_000 + Prng.int rng 30_000 in
+  let port = 1 + Prng.int rng 60_000 in
+  let manifest_src =
+    Printf.sprintf
+      "PERM insert_flow LIMITING IP_DST 10.%d.0.0 MASK 255.255.0.0 AND \
+       MAX_PRIORITY %d\n\
+       PERM read_statistics LIMITING FLOW_LEVEL\n\
+       PERM send_pkt_out LIMITING TCP_DST %d\n\
+       PERM pkt_in_event\n"
+      octet prio port
+  in
+  let policy_src =
+    Printf.sprintf
+      "LET app_v = APP app\n\
+       LET wide = { PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0 }\n\
+       LET narrow = { PERM insert_flow LIMITING IP_DST 10.%d.0.0 MASK \
+       255.255.0.0 AND MAX_PRIORITY %d }\n\
+       ASSERT app_v <= wide\n\
+       ASSERT narrow < wide\n\
+       ASSERT wide > narrow\n\
+       ASSERT wide >= narrow AND narrow <= wide\n\
+       ASSERT wide = wide OR narrow < narrow\n\
+       ASSERT NOT (wide < narrow)\n\
+       ASSERT NOT (NOT (narrow <= wide)) AND (app_v <= wide OR app_v <= narrow)\n\
+       ASSERT phantom <= wide\n\
+       ASSERT EITHER { PERM read_statistics } OR { PERM modify_topology }\n"
+      octet prio
+  in
+  (manifest_src, policy_src)

@@ -23,5 +23,6 @@ let () =
       ("trace", Test_trace.suite);
       ("vetting", Test_vetting.suite);
       ("lint", Test_lint.suite);
+      ("verify", Test_verify.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("forensics", Test_forensics.suite) ]

@@ -29,7 +29,7 @@ let rejection_of = function
 
 let test_clean_admitted () =
   match Vetting.vet_manifest clean_manifest_src with
-  | Vetting.Admitted { Vetting.value = m; lint } ->
+  | Vetting.Admitted { Vetting.value = m; lint; _ } ->
     Alcotest.(check int) "two permissions" 2 (List.length m);
     Alcotest.(check int) "clean manifest has no lint findings" 0
       (List.length lint)
