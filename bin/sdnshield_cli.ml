@@ -460,6 +460,155 @@ let faults_demo_cmd =
           (docs/RUNTIME.md)")
     Term.(ret (const run $ events $ seed))
 
+(* market-demo ---------------------------------------------------------------- *)
+
+(* A live-update churn demo (docs/CHURN.md): a seeded install / upgrade
+   / revoke script runs through the market queue against an epoch-based
+   deployment, optionally with the mid-swap fault sites armed, and the
+   epoch history prints as a ledger (or JSON).  The structural epoch
+   invariants are re-checked after every transaction; any violation —
+   a torn publish, a rollback that moved the epoch — exits 1. *)
+let market_demo_cmd =
+  let run txns apps invalid seed fault_verify fault_compile fault_publish json =
+    let t =
+      match Epoch.create ~policy:"" () with
+      | Ok t -> t
+      | Error e -> failwith ("policy rejected: " ^ e)
+    in
+    let sandbox = Sandbox.create () in
+    let m = Epoch.market ~sandbox t in
+    let script =
+      Shield_workload.Churn_gen.script ~seed ~apps ~invalid_fraction:invalid
+        ~length:txns ()
+    in
+    let faulted = fault_verify +. fault_compile +. fault_publish > 0. in
+    if faulted then
+      Faults.configure ~seed ~swap_verify:fault_verify
+        ~swap_compile:fault_compile ~swap_publish:fault_publish ();
+    let inconsistent = ref [] in
+    Fun.protect ~finally:Faults.disarm (fun () ->
+        List.iter
+          (fun (e : Shield_workload.Churn_gen.entry) ->
+            let id = (Market.stats m).Market.submitted + 1 in
+            ignore (Market.submit m e.Shield_workload.Churn_gen.request);
+            if not (Epoch.consistent t) then inconsistent := id :: !inconsistent)
+          script);
+    Market.shutdown m;
+    let ledger = Market.history m in
+    let stats = Market.stats m in
+    (if json then
+       let module J = Telemetry.Json in
+       let txn_json (txn : Market.txn) =
+         let base =
+           [ ("id", J.Num (float_of_int txn.Market.id));
+             ("kind", J.Str (Market.kind_to_string txn.Market.request.Market.kind));
+             ("app", J.Str txn.Market.request.Market.app) ]
+         in
+         match txn.Market.outcome with
+         | Market.Committed { epoch; delta; republished; _ } ->
+           J.Obj
+             (base
+             @ [ ("outcome", J.Str "committed");
+                 ("epoch", J.Num (float_of_int epoch));
+                 ("delta", J.Bool delta);
+                 ("republished", J.Arr (List.map (fun a -> J.Str a) republished))
+               ])
+         | Market.Rolled_back { stage; reason; epoch } ->
+           J.Obj
+             (base
+             @ [ ("outcome", J.Str "rolled_back");
+                 ("stage", J.Str stage);
+                 ("reason", J.Str reason);
+                 ("epoch", J.Num (float_of_int epoch)) ])
+       in
+       Fmt.pr "%s@."
+         (J.to_string
+            (J.Obj
+               [ ("epoch_history", J.Arr (List.map txn_json ledger));
+                 ("final_epoch", J.Num (float_of_int (Epoch.epoch t)));
+                 ("live_apps", J.Num (float_of_int (List.length (Epoch.apps t))));
+                 ("commits", J.Num (float_of_int stats.Market.commits));
+                 ("rollbacks", J.Num (float_of_int stats.Market.rollbacks));
+                 ( "faults_injected",
+                   J.Obj
+                     (List.map
+                        (fun (name, n) -> (name, J.Num (float_of_int n)))
+                        (Faults.report ())) );
+                 ("consistent", J.Bool (!inconsistent = [])) ]))
+     else begin
+       List.iter (fun txn -> Fmt.pr "%a@." Market.pp_txn txn) ledger;
+       Fmt.pr "@.final epoch=%d live apps=%d commits=%d rollbacks=%d@."
+         (Epoch.epoch t)
+         (List.length (Epoch.apps t))
+         stats.Market.commits stats.Market.rollbacks;
+       if faulted then Fmt.pr "%a" Faults.pp_report ()
+     end);
+    Epoch.close t;
+    if !inconsistent <> [] then begin
+      Fmt.epr "epoch invariants violated after transaction(s): %s@."
+        (String.concat ", "
+           (List.rev_map string_of_int !inconsistent));
+      exit 1
+    end;
+    `Ok ()
+  in
+  let txns =
+    Arg.(
+      value & opt int 40
+      & info [ "txns" ] ~docv:"N" ~doc:"Lifecycle transactions to run.")
+  in
+  let apps =
+    Arg.(
+      value & opt int 12
+      & info [ "apps" ] ~docv:"N" ~doc:"App pool the script churns over.")
+  in
+  let invalid =
+    Arg.(
+      value & opt float 0.15
+      & info [ "invalid" ] ~docv:"FRAC"
+          ~doc:
+            "Fraction of requests built to roll back (wrong lifecycle state \
+             or a manifest vetting refuses).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Script and fault-schedule seed (runs are deterministic).")
+  in
+  let fault p doc =
+    Arg.(value & opt float 0. & info [ "fault-" ^ p ] ~docv:"PROB" ~doc)
+  in
+  let fault_verify =
+    fault "verify" "Probability of an injected fault mid-verify (per swap)."
+  in
+  let fault_compile =
+    fault "compile" "Probability of an injected fault mid-compile (per swap)."
+  in
+  let fault_publish =
+    fault "publish"
+      "Probability of an injected fault mid-publish (after some slots already \
+       swapped — exercises the undo path)."
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the epoch history and summary as JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "market-demo"
+       ~doc:
+         "Run a seeded app-market churn script (install/upgrade/revoke) \
+          through the epoch-based live-update pipeline, optionally with \
+          mid-swap faults armed, and print the epoch history \
+          (docs/CHURN.md).  Exits 1 if any transaction leaves the \
+          deployment's epoch invariants violated")
+    Term.(
+      ret
+        (const run $ txns $ apps $ invalid $ seed $ fault_verify
+       $ fault_compile $ fault_publish $ json))
+
 (* telemetry ------------------------------------------------------------------ *)
 
 (* A self-contained traced run: an engine-guarded app on the isolated
@@ -801,4 +950,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; parse_policy_cmd; reconcile_cmd; check_cmd; vet_cmd;
-            lint_cmd; verify_cmd; faults_demo_cmd; telemetry_cmd ]))
+            lint_cmd; verify_cmd; faults_demo_cmd; market_demo_cmd;
+            telemetry_cmd ]))

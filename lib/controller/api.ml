@@ -189,6 +189,19 @@ type checker = {
           {!no_check_info}.  Implementations MUST decide exactly as
           [check] would — the traced and untraced runtimes must be
           behaviourally identical. *)
+  snapshot : (unit -> checker) option;
+      (** Epoch pinning for hot-swappable checkers (docs/CHURN.md).  A
+          live-update deployment republishes an app's checker while
+          traffic flows; a mediated call that consulted [check] from
+          one epoch but [rewrite]/[vet_result] from the next would mix
+          two manifests.  When set, the runtime calls [snapshot ()]
+          once per mediated call and uses the returned checker — which
+          must be immutable, with every entry point deciding against
+          one consistent epoch — for all phases of that call.  The
+          returned checker's own [snapshot] is ignored (no recursive
+          resolution).  [None] means the checker is not swappable and
+          is used directly.  Implementations must be cheap (one atomic
+          load): this sits on the per-call hot path. *)
 }
 
 and state_change =
@@ -211,7 +224,8 @@ let allow_all =
     vet_result = (fun _ r -> r);
     observe = (fun _ -> ());
     granted = (fun _ -> true);
-    explain = None }
+    explain = None;
+    snapshot = None }
 
 let deny_all =
   { allow_all with

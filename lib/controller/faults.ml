@@ -14,6 +14,19 @@
                     on the floor (the reply ivar is never filled and
                     the caller must be saved by its deadline).
 
+   The live-update pipeline (docs/CHURN.md) adds three swap sites, one
+   per stage a hot-swap transaction historically could die in:
+
+   - [Swap_verify]   budget exhaustion (or a crash) mid-verify, while
+                     certifying the reconciled result;
+   - [Swap_compile]  kill mid-compile, while building the new epoch's
+                     engine/automaton/cache;
+   - [Swap_publish]  deputy death at publish time, between preparing
+                     the new epoch records and swapping them in.
+
+   A fault at any swap site must leave the deployment on the prior
+   epoch (the rollback invariant the market-lab gate proves).
+
    Every point is guarded by one atomic [armed] flag: disarmed (the
    default, and the state every test/bench must restore), [point] is a
    single atomic load — negligible on the hot path.  The generator is
@@ -24,12 +37,21 @@
    around a scenario, disarm in a [Fun.protect] finally.  The harness
    that drives it is `bench/main.exe faults` / `faults-smoke`. *)
 
-type site = Checker | Kernel_exec | Deputy
+type site =
+  | Checker
+  | Kernel_exec
+  | Deputy
+  | Swap_verify
+  | Swap_compile
+  | Swap_publish
 
 let site_name = function
   | Checker -> "checker"
   | Kernel_exec -> "kernel-exec"
   | Deputy -> "deputy-kill"
+  | Swap_verify -> "swap-verify"
+  | Swap_compile -> "swap-compile"
+  | Swap_publish -> "swap-publish"
 
 exception Injected of string
 (** The injected failure.  Deliberately not an exception the runtime
@@ -40,19 +62,30 @@ type config = {
   checker : float;  (** P(raise) per checker decision. *)
   kernel : float;  (** P(raise) per kernel execution. *)
   deputy : float;  (** P(kill) per request a deputy pops. *)
+  swap_verify : float;  (** P(raise) per hot-swap verify stage. *)
+  swap_compile : float;  (** P(raise) per hot-swap compile stage. *)
+  swap_publish : float;  (** P(raise) per hot-swap publish step. *)
 }
 
 let armed = Atomic.make false
-let config = Atomic.make { checker = 0.; kernel = 0.; deputy = 0. }
+
+let config =
+  Atomic.make
+    { checker = 0.; kernel = 0.; deputy = 0.; swap_verify = 0.;
+      swap_compile = 0.; swap_publish = 0. }
+
 let seed_cell = Atomic.make 0
 let sequence = Atomic.make 0
 
-let counters = [| Atomic.make 0; Atomic.make 0; Atomic.make 0 |]
+let counters = Array.init 6 (fun _ -> Atomic.make 0)
 
 let counter_of = function
   | Checker -> counters.(0)
   | Kernel_exec -> counters.(1)
   | Deputy -> counters.(2)
+  | Swap_verify -> counters.(3)
+  | Swap_compile -> counters.(4)
+  | Swap_publish -> counters.(5)
 
 (* Counter hash (splitmix-style): uniform enough for Bernoulli draws,
    deterministic under a fixed seed, and safely concurrent — each draw
@@ -69,8 +102,10 @@ let next_float () =
 
 (** Arm the fault points.  Probabilities default to 0 (site inert);
     [seed] makes the schedule reproducible. *)
-let configure ?(seed = 1) ?(checker = 0.) ?(kernel = 0.) ?(deputy = 0.) () =
-  Atomic.set config { checker; kernel; deputy };
+let configure ?(seed = 1) ?(checker = 0.) ?(kernel = 0.) ?(deputy = 0.)
+    ?(swap_verify = 0.) ?(swap_compile = 0.) ?(swap_publish = 0.) () =
+  Atomic.set config
+    { checker; kernel; deputy; swap_verify; swap_compile; swap_publish };
   Atomic.set seed_cell (mix seed);
   Atomic.set sequence 0;
   Atomic.set armed true
@@ -85,7 +120,7 @@ let injected site = Atomic.get (counter_of site)
 let report () =
   List.map
     (fun s -> (site_name s, injected s))
-    [ Checker; Kernel_exec; Deputy ]
+    [ Checker; Kernel_exec; Deputy; Swap_verify; Swap_compile; Swap_publish ]
 
 let pp_report ppf () =
   List.iter (fun (name, n) -> Fmt.pf ppf "faults injected: %-12s %d@." name n)
@@ -102,6 +137,9 @@ let point site =
       | Checker -> c.checker
       | Kernel_exec -> c.kernel
       | Deputy -> c.deputy
+      | Swap_verify -> c.swap_verify
+      | Swap_compile -> c.swap_compile
+      | Swap_publish -> c.swap_publish
     in
     if p > 0. && next_float () < p then begin
       Atomic.incr (counter_of site);
@@ -113,7 +151,7 @@ let point site =
     [Checker] fault site — including the implicit [Receive_event] /
     [Read_payload_access] checks the runtime makes while vetting event
     delivery, which exercises the dispatcher-side barrier. *)
-let wrap_checker (c : Api.checker) : Api.checker =
+let rec wrap_checker (c : Api.checker) : Api.checker =
   { c with
     Api.check =
       (fun call ->
@@ -138,4 +176,12 @@ let wrap_checker (c : Api.checker) : Api.checker =
         (fun f call ->
           point Checker;
           f call)
-        c.Api.explain }
+        c.Api.explain;
+    Api.snapshot =
+      (* The resolved epoch-pinned checker is wrapped too, so hot-swap
+         deployments face the same fault schedule as static ones.  The
+         resolution itself stays fault-free: a raise there would look
+         like a swap bug, not a checker fault. *)
+      Option.map
+        (fun f () -> wrap_checker { (f ()) with Api.snapshot = None })
+        c.Api.snapshot }

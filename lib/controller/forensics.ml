@@ -31,10 +31,13 @@ type app_summary = {
 (** Audit actions the fault-tolerance layer records (docs/RUNTIME.md):
     per-request barrier conversions, app handler crashes, observer
     faults, and deputy lifecycle events (the latter logged under the
-    pseudo-app ["<ksd>"]). *)
+    pseudo-app ["<ksd>"]).  The live-update market (docs/CHURN.md)
+    adds ["market-rollback"]: a lifecycle transaction that failed
+    mid-swap and was rolled back to the prior epoch — the fail-closed
+    denial notification the churn pipeline owes forensics. *)
 let fault_actions =
   [ "ksd-exception"; "handler-exception"; "observer-exception";
-    "deputy-crash"; "deputy-retired" ]
+    "deputy-crash"; "deputy-retired"; "market-rollback" ]
 
 let is_fault_entry (e : Sandbox.audit_entry) =
   List.mem e.Sandbox.action fault_actions

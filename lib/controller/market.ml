@@ -1,0 +1,210 @@
+(* The app-market update queue (docs/CHURN.md).
+
+   Lifecycle requests (install / upgrade / revoke) are serialized
+   through a bounded channel into a single worker thread that runs each
+   as one staged transaction via the pluggable executor.  The module is
+   deliberately generic — requests are app names and manifest source
+   text, outcomes are epoch numbers — so the controller library stays
+   independent of the SDNShield core, exactly as [Runtime] is generic
+   over [Api.checker].  The core-side half ([Sdnshield.Epoch]) supplies
+   the executor and the epoch stores it publishes into.
+
+   Serialization is the point, not a limitation: with one writer, the
+   executor's prepare-then-swap publication needs no cross-transaction
+   locking, and the rollback invariant ("the deployment is always on
+   exactly the pre- or the post-transaction epoch") has a single
+   writer to reason about. *)
+
+type kind = Install | Upgrade | Revoke
+
+let kind_to_string = function
+  | Install -> "install"
+  | Upgrade -> "upgrade"
+  | Revoke -> "revoke"
+
+type request = { kind : kind; app : string; manifest_src : string }
+
+let install app manifest_src = { kind = Install; app; manifest_src }
+let upgrade app manifest_src = { kind = Upgrade; app; manifest_src }
+let revoke app = { kind = Revoke; app; manifest_src = "" }
+
+type outcome =
+  | Committed of {
+      epoch : int;
+      delta : bool;
+      republished : string list;
+      stages : (string * float) list;
+    }
+  | Rolled_back of { stage : string; reason : string; epoch : int }
+
+let committed = function Committed _ -> true | Rolled_back _ -> false
+
+type txn = { id : int; request : request; outcome : outcome }
+
+type stats = { submitted : int; commits : int; rollbacks : int }
+
+type item = Job of int * request * outcome Channel.Ivar.t
+
+type t = {
+  exec : request -> outcome;
+  chan : item Channel.t;
+  sandbox : Sandbox.t option;
+  mutable worker : Thread.t option;
+  mutex : Mutex.t;  (** Guards [ledger], [next_id] and [completed]. *)
+  done_cond : Condition.t;
+  mutable ledger : txn list;  (** Newest first. *)
+  mutable next_id : int;
+  mutable completed : int;
+  commits : int Atomic.t;
+  rollbacks : int Atomic.t;
+  mutable shut : bool;
+}
+
+(* Gauge names are fixed: one market per process is the deployment
+   shape (like the runtime's queue:ksd-reqs), and registration
+   replaces, so sequential markets — the bench pattern — don't grow
+   the registry. *)
+let gauge_names = [ "queue:market"; "market:committed"; "market:rolled-back" ]
+
+let register_gauges t =
+  Metrics.register_gauge "queue:market" (fun () ->
+      { Metrics.depth = Channel.length t.chan;
+        hwm = Channel.high_water t.chan });
+  let counter c () =
+    let v = Atomic.get c in
+    { Metrics.depth = v; hwm = v }
+  in
+  Metrics.register_gauge "market:committed" (counter t.commits);
+  Metrics.register_gauge "market:rolled-back" (counter t.rollbacks)
+
+let audit t (req : request) (outcome : outcome) =
+  match t.sandbox with
+  | None -> ()
+  | Some sandbox -> (
+    let subject = kind_to_string req.kind ^ " " ^ req.app in
+    match outcome with
+    | Committed { epoch; delta; republished; _ } ->
+      Sandbox.record_audit sandbox ~app:req.app ~action:"market-commit"
+        ~allowed:true
+        ~detail:
+          (Printf.sprintf "%s -> epoch %d%s%s" subject epoch
+             (if delta then " (delta)" else "")
+             (match republished with
+             | [] -> ""
+             | apps -> " republished " ^ String.concat "," apps))
+    | Rolled_back { stage; reason; epoch } ->
+      (* Fail-closed notification (docs/CHURN.md): the app was denied
+         admission; forensics surfaces these via [fault_actions]. *)
+      Sandbox.record_audit sandbox ~app:req.app ~action:"market-rollback"
+        ~allowed:false
+        ~detail:
+          (Printf.sprintf "%s failed at %s (%s); still on epoch %d" subject
+             stage reason epoch))
+
+let complete t id req outcome ivar =
+  (match outcome with
+  | Committed _ -> Atomic.incr t.commits
+  | Rolled_back _ -> Atomic.incr t.rollbacks);
+  audit t req outcome;
+  Mutex.lock t.mutex;
+  t.ledger <- { id; request = req; outcome } :: t.ledger;
+  t.completed <- t.completed + 1;
+  Condition.broadcast t.done_cond;
+  Mutex.unlock t.mutex;
+  Channel.Ivar.fill ivar outcome
+
+let worker t () =
+  let rec loop () =
+    match Channel.pop t.chan with
+    | None -> ()
+    | Some (Job (id, req, ivar)) ->
+      let outcome =
+        (* The worker's exception barrier: an executor that raises
+           outside its own stage handling must not kill the market —
+           the transaction reports as rolled back and the queue keeps
+           serving.  (Staged failures never get here: the executor
+           converts them to [Rolled_back] itself, with the real stage
+           and the still-current epoch.) *)
+        try t.exec req
+        with exn ->
+          Rolled_back
+            { stage = "apply"; reason = Printexc.to_string exn; epoch = -1 }
+      in
+      complete t id req outcome ivar;
+      loop ()
+  in
+  loop ()
+
+let create ?capacity ?sandbox ~exec () : t =
+  let t =
+    { exec; chan = Channel.create ?capacity (); sandbox; worker = None;
+      mutex = Mutex.create (); done_cond = Condition.create (); ledger = [];
+      next_id = 0; completed = 0; commits = Atomic.make 0;
+      rollbacks = Atomic.make 0; shut = false }
+  in
+  t.worker <- Some (Thread.create (worker t) ());
+  register_gauges t;
+  t
+
+let refused = Rolled_back { stage = "queue"; reason = "market shut down"; epoch = -1 }
+
+let submit_async t req =
+  let ivar = Channel.Ivar.create () in
+  Mutex.lock t.mutex;
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  Mutex.unlock t.mutex;
+  (match Channel.push t.chan (Job (id, req, ivar)) with
+  | () -> ()
+  | exception Channel.Closed ->
+    (* The id was allocated but the job refused: account it completed
+       so [drain] still converges. *)
+    complete t id req refused ivar);
+  ivar
+
+let submit t req = Channel.Ivar.read (submit_async t req)
+
+let history t =
+  Mutex.lock t.mutex;
+  let l = List.rev t.ledger in
+  Mutex.unlock t.mutex;
+  l
+
+let stats t =
+  Mutex.lock t.mutex;
+  let submitted = t.next_id in
+  Mutex.unlock t.mutex;
+  { submitted; commits = Atomic.get t.commits;
+    rollbacks = Atomic.get t.rollbacks }
+
+let drain t =
+  Mutex.lock t.mutex;
+  while t.completed < t.next_id do
+    Condition.wait t.done_cond t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    drain t;
+    Channel.close t.chan;
+    (match t.worker with Some th -> Thread.join th | None -> ());
+    t.worker <- None;
+    List.iter Metrics.unregister_gauge gauge_names
+  end
+
+let pp_outcome ppf = function
+  | Committed { epoch; delta; republished; stages } ->
+    Fmt.pf ppf "committed epoch=%d%s%s (%a)" epoch
+      (if delta then " delta" else "")
+      (match republished with
+      | [] -> ""
+      | apps -> " republished=" ^ String.concat "," apps)
+      Fmt.(list ~sep:(any " ") (fun ppf (s, d) -> pf ppf "%s:%.1fms" s (d *. 1e3)))
+      stages
+  | Rolled_back { stage; reason; epoch } ->
+    Fmt.pf ppf "ROLLED BACK at %s (%s); epoch=%d" stage reason epoch
+
+let pp_txn ppf { id; request = { kind; app; _ }; outcome } =
+  Fmt.pf ppf "#%d %s %s: %a" id (kind_to_string kind) app pp_outcome outcome

@@ -1,0 +1,113 @@
+(** The app-market update queue (docs/CHURN.md).
+
+    An SDN app market installs, upgrades and revokes apps {e while
+    traffic flows}.  This module is the controller-side half of the
+    live-update subsystem: a serialized, supervised queue of lifecycle
+    requests, each executed as one staged transaction by a pluggable
+    executor, with a transaction ledger, commit/rollback counters and
+    sandbox audit notifications.
+
+    The executor is supplied by the deployment layer
+    ({!Sdnshield.Epoch.executor} wires the full
+    vet → reconcile → lint → verify → compile → publish pipeline); the
+    queue itself is generic, mirroring how {!Runtime} accepts any
+    {!Api.checker}.  Exactly one worker thread drains the queue, so
+    transactions are serialized — the epoch stores the executor
+    publishes into need no cross-transaction locking, and a rollback
+    can only ever race with readers, never with another writer. *)
+
+type kind = Install | Upgrade | Revoke
+
+val kind_to_string : kind -> string
+
+type request = {
+  kind : kind;
+  app : string;
+  manifest_src : string;  (** Manifest source text; ignored for [Revoke]. *)
+}
+
+val install : string -> string -> request
+(** [install app manifest_src]. *)
+
+val upgrade : string -> string -> request
+val revoke : string -> request
+
+(** The result of one lifecycle transaction. *)
+type outcome =
+  | Committed of {
+      epoch : int;  (** Global epoch after the commit. *)
+      delta : bool;
+          (** The reconcile stage re-evaluated only the statements
+              touching the changed app (docs/CHURN.md) rather than the
+              whole policy. *)
+      republished : string list;
+          (** Other apps whose manifests the policy repaired as a side
+              effect (e.g. exclusivity truncation) and whose epochs
+              were therefore republished in the same commit. *)
+      stages : (string * float) list;
+          (** Stage names and durations (seconds), in execution order. *)
+    }
+  | Rolled_back of {
+      stage : string;  (** Stage that failed. *)
+      reason : string;
+      epoch : int;
+          (** Global epoch still current after the rollback — the
+              pre-transaction epoch ([-1] when the executor itself
+              crashed before reporting one). *)
+    }
+
+val committed : outcome -> bool
+
+type txn = {
+  id : int;  (** 1-based submission order. *)
+  request : request;
+  outcome : outcome;
+}
+
+type stats = {
+  submitted : int;
+  commits : int;
+  rollbacks : int;
+}
+
+type t
+
+val create : ?capacity:int -> ?sandbox:Sandbox.t ->
+  exec:(request -> outcome) -> unit -> t
+(** [create ~exec ()] starts the market worker.  [exec] runs one
+    lifecycle transaction to completion and must be fail-safe: stage
+    failures are reported as [Rolled_back], not raised (a raise is
+    still contained — the worker converts it to a [Rolled_back] with
+    stage ["apply"] and keeps serving).  [capacity] bounds the update
+    queue (default unbounded; full queues block the submitter —
+    lifecycle updates have exactly-once semantics).  [sandbox], when
+    given, receives an audit entry per transaction: ["market-commit"]
+    (allowed) or ["market-rollback"] (denied), the notification channel
+    {!Forensics.fault_log} surfaces.
+
+    Registers the [queue:market] depth gauge and the
+    [market:committed] / [market:rolled-back] counters in the
+    {!Metrics} gauge registry; {!shutdown} unregisters them. *)
+
+val submit : t -> request -> outcome
+(** Enqueue and wait for the transaction's outcome.
+    After {!shutdown}: [Rolled_back] with stage ["queue"]. *)
+
+val submit_async : t -> request -> outcome Channel.Ivar.t
+(** Enqueue without waiting; the ivar fills when the transaction
+    completes.  After {!shutdown} the ivar is already filled with a
+    stage-["queue"] [Rolled_back]. *)
+
+val history : t -> txn list
+(** Completed transactions, oldest first. *)
+
+val stats : t -> stats
+
+val drain : t -> unit
+(** Block until every submitted transaction has completed. *)
+
+val shutdown : t -> unit
+(** Drain, stop the worker, unregister the gauges.  Idempotent. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_txn : Format.formatter -> txn -> unit

@@ -201,20 +201,31 @@ let locked_exec t inst call =
     (fun () ->
       Kernel.exec t.kernel ~app:inst.app.App.name ~cookie:inst.cookie call)
 
+(* Epoch pinning (docs/CHURN.md): a checker that publishes [snapshot]
+   is resolved once per mediated call, and all phases of that call —
+   check, rewrite, combine, vet_result — go through the resolved
+   (immutable) checker.  A hot-swap landing mid-call therefore cannot
+   mix two manifests within one decision; checkers without [snapshot]
+   are used directly, and this is one branch on the hot path. *)
+let resolve (c : Api.checker) : Api.checker =
+  match c.Api.snapshot with Some f -> f () | None -> c
+
 let checked_exec t inst call : Api.result =
   incr_counter t (fun c -> c.calls <- c.calls + 1);
-  match inst.checker.Api.check call with
+  let ck = resolve inst.checker in
+  match ck.Api.check call with
   | Api.Allow ->
-    let concrete = inst.checker.Api.rewrite call in
+    let concrete = ck.Api.rewrite call in
     let results = List.map (locked_exec t inst) concrete in
-    inst.checker.Api.vet_result call (inst.checker.Api.combine call results)
+    ck.Api.vet_result call (ck.Api.combine call results)
   | Api.Deny why ->
     audit_denial t inst call why;
     Api.Denied why
 
 let checked_txn t inst calls =
   incr_counter t (fun c -> c.calls <- c.calls + List.length calls);
-  match inst.checker.Api.check_transaction calls with
+  let ck = resolve inst.checker in
+  match ck.Api.check_transaction calls with
   | Ok () ->
     (* All checks passed: execute the whole group under one kernel
        lock so no other app observes a partial transaction. *)
@@ -225,7 +236,7 @@ let checked_txn t inst calls =
         (fun () ->
           List.map
             (fun call ->
-              let concrete = inst.checker.Api.rewrite call in
+              let concrete = ck.Api.rewrite call in
               let rs =
                 List.map
                   (fun c ->
@@ -233,8 +244,7 @@ let checked_txn t inst calls =
                       ~cookie:inst.cookie c)
                   concrete
               in
-              inst.checker.Api.vet_result call
-                (inst.checker.Api.combine call rs))
+              ck.Api.vet_result call (ck.Api.combine call rs))
             calls)
     in
     Ok results
@@ -268,12 +278,13 @@ let record_span tr inst ~call ~deputy ~queue_wait ~check_dur ~exec_dur
 
 let checked_exec_traced t inst call tr ~deputy ~queue_wait : Api.result =
   incr_counter t (fun c -> c.calls <- c.calls + 1);
+  let ck = resolve inst.checker in
   let call_str = Api.call_kind call in
   let t0 = Metrics.now () in
   let decision, info =
-    match inst.checker.Api.explain with
+    match ck.Api.explain with
     | Some explain -> explain call
-    | None -> (inst.checker.Api.check call, Api.no_check_info)
+    | None -> (ck.Api.check call, Api.no_check_info)
   in
   let check_dur = Metrics.now () -. t0 in
   match decision with
@@ -286,9 +297,9 @@ let checked_exec_traced t inst call tr ~deputy ~queue_wait : Api.result =
   | Api.Allow -> (
     let t1 = Metrics.now () in
     match
-      let concrete = inst.checker.Api.rewrite call in
+      let concrete = ck.Api.rewrite call in
       let results = List.map (locked_exec t inst) concrete in
-      inst.checker.Api.vet_result call (inst.checker.Api.combine call results)
+      ck.Api.vet_result call (ck.Api.combine call results)
     with
     | result ->
       let exec_dur = Metrics.now () -. t1 in
@@ -415,9 +426,12 @@ let vet_event ?pre t inst ev : Events.t option =
   (* These checks run in the *dispatcher's* thread, outside the deputy
      barrier, so a raising checker is converted to a denial here:
      fail-closed (the event is suppressed, audited), and the dispatch
-     loop stays alive. *)
+     loop stays alive.  One [resolve] covers both delivery checks, so
+     the Receive_event and Read_payload_access verdicts come from the
+     same epoch; a raising resolution fail-closes the delivery. *)
+  let ck = try resolve inst.checker with _ -> Api.deny_all in
   let checked call =
-    try inst.checker.Api.check call
+    try ck.Api.check call
     with exn -> Api.Deny ("checker fault: " ^ Printexc.to_string exn)
   in
   let receive_verdict =
@@ -559,7 +573,12 @@ let feed_burst t (evs : Events.t list) =
         evs
     in
     let pre_for inst =
-      match inst.checker.Api.check_batch with
+      (* Resolve once per (subscriber, burst): all pre-decisions of the
+         burst come from one epoch; a raising resolution falls back to
+         the per-event path, which fail-closes each event. *)
+      match
+        try (resolve inst.checker).Api.check_batch with _ -> None
+      with
       | None -> None
       | Some batch -> (
         let idxs = ref [] in
@@ -732,6 +751,7 @@ type load_check = Skip_load_check | Warn_at_load | Reject_at_load
     "no runtime permission checking is needed in case the app does not
     have the required permission tokens at all". *)
 let load_violations (app : App.t) (checker : Api.checker) : string list =
+  let checker = resolve checker in
   let missing_caps =
     List.filter_map
       (fun cap ->

@@ -395,34 +395,62 @@ let check_l2 t ~(slot : slot) ~token ~call ~hash ~gen ~l1_idx
     match Hashtbl.find_opt t.table key with
     | Some (g, pass) when g = gen ->
       Atomic.incr t.counters.hits;
-      Some pass
+      `Hit pass
+    | Some (g, _) when g > gen ->
+      (* This lookup raced with back-to-back generation bumps: its
+         captured generation is already behind the entry's.  The
+         fresher entry must not be served (invariant I2 keys strictly
+         on the generation captured before evaluation), but destroying
+         or overwriting it would let every stale straggler evict the
+         current readers' work — under rapid bumps that degenerated to
+         a cache that never holds a current entry.  Decide by
+         evaluation and leave the fresher entry in place. *)
+      `Stale_lookup
     | Some _ ->
       Atomic.incr t.counters.invalidations;
       Hashtbl.remove t.table key;
-      None
-    | None -> None
+      `Evaluate
+    | None -> `Evaluate
   in
   Mutex.unlock t.mutex;
+  (* Same preservation rule at L1: never clobber a fresher-tagged entry
+     for the same call with this lookup's older generation. *)
+  let publish pass =
+    match Atomic.get t.l1.(l1_idx) with
+    | Some e when e.l1_hash = hash && call_equal e.call call && e.l1_gen > gen
+      ->
+      ()
+    | _ ->
+      Atomic.set t.l1.(l1_idx)
+        (Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass })
+  in
   match cached with
-  | Some pass ->
-    Atomic.set t.l1.(l1_idx)
-      (Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass });
+  | `Hit pass ->
+    publish pass;
     (pass, L2_hit)
-  | None ->
+  | `Stale_lookup ->
+    Atomic.incr t.counters.misses;
+    (eval attrs, Miss)
+  | `Evaluate ->
     let pass = eval attrs in
     Mutex.lock t.mutex;
     Atomic.incr t.counters.misses;
-    if Hashtbl.length t.table >= t.max_entries then begin
-      (* Full: flush.  Simple, and the skewed workloads that benefit
-         from caching repopulate their hot set within one pass. *)
-      Atomic.fetch_and_add t.counters.evictions (Hashtbl.length t.table)
-      |> ignore;
-      Hashtbl.reset t.table
-    end;
-    Hashtbl.replace t.table key (gen, pass);
+    (match Hashtbl.find_opt t.table key with
+    | Some (g, _) when g > gen ->
+      (* A reader that captured a newer generation filled this key
+         between our two critical sections; its entry wins. *)
+      ()
+    | _ ->
+      if Hashtbl.length t.table >= t.max_entries then begin
+        (* Full: flush.  Simple, and the skewed workloads that benefit
+           from caching repopulate their hot set within one pass. *)
+        Atomic.fetch_and_add t.counters.evictions (Hashtbl.length t.table)
+        |> ignore;
+        Hashtbl.reset t.table
+      end;
+      Hashtbl.replace t.table key (gen, pass));
     Mutex.unlock t.mutex;
-    Atomic.set t.l1.(l1_idx)
-      (Some { call; l1_hash = hash; l1_gen = gen; l1_pass = pass });
+    publish pass;
     (pass, Miss)
 
 (** [check_outcome t ~token ~call ~eval] — the memoized filter decision
@@ -451,8 +479,14 @@ let check_outcome t ~(token : Token.t) ~(call : Api.call)
         (e.l1_pass, L1_hit)
       end
       else begin
-        Atomic.incr t.counters.invalidations;
-        Atomic.set t.l1.(i) None;
+        (* Only a genuinely stale entry (older than this lookup's
+           captured generation) is invalidated; an entry tagged newer
+           means *this lookup* is the stale party and must not destroy
+           fresher readers' work (see [check_l2]). *)
+        if e.l1_gen < gen then begin
+          Atomic.incr t.counters.invalidations;
+          Atomic.set t.l1.(i) None
+        end;
         check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval
       end
     | _ -> check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval)
@@ -477,8 +511,11 @@ let check t ~(token : Token.t) ~(call : Api.call)
         e.l1_pass
       end
       else begin
-        Atomic.incr t.counters.invalidations;
-        Atomic.set t.l1.(i) None;
+        (* Stale-entry-only invalidation, as in [check_outcome]. *)
+        if e.l1_gen < gen then begin
+          Atomic.incr t.counters.invalidations;
+          Atomic.set t.l1.(i) None
+        end;
         fst (check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval)
       end
     | _ -> fst (check_l2 t ~slot ~token ~call ~hash ~gen ~l1_idx:i ~eval))

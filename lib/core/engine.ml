@@ -507,7 +507,8 @@ let checker (t : t) : Api.checker =
     vet_result = (fun call result -> vet_result t call result);
     observe = (fun change -> observe t change);
     granted = (fun cap -> granted t cap);
-    explain = Some (fun call -> check_explained t call) }
+    explain = Some (fun call -> check_explained t call);
+    snapshot = None }
 
 let stats t = (t.checks, t.denials)
 

@@ -190,6 +190,101 @@ let qsuite =
           (run (Compiled.of_manifest ~cache_size:8 m))
           (run (Compiled.of_manifest m))) ]
 
+(* Rapid generation bumps --------------------------------------------------- *)
+
+(* A lookup that captured its generation just before a burst of bumps
+   is the *stale* party: it must neither be served a fresher-tagged
+   entry (invariant I2) nor destroy or overwrite one (the
+   rapid-churn fix — without it, back-to-back bumps racing with
+   lookups degenerated the cache into never holding a current entry).
+   The generation source here is scripted, standing in for the
+   interleavings a live [Ownership] store produces. *)
+let test_stale_lookup_preserves_fresher_entries () =
+  let gen = ref 5 in
+  let cache =
+    Decision_cache.create ~max_entries:64 ~generation:(fun () -> !gen)
+      (Test_util.manifest_exn "PERM insert_flow LIMITING OWN_FLOWS")
+  in
+  let call = insert () in
+  let check ~eval =
+    Decision_cache.check cache ~token:Token.Insert_flow ~call ~eval
+  in
+  Alcotest.(check bool) "entry cached at generation 5" true
+    (check ~eval:(fun _ -> true));
+  let before = Decision_cache.stats cache in
+  (* A straggler whose captured generation (3) is behind the entry's
+     tag (5): decided by evaluation, and the tag-5 entry survives. *)
+  gen := 3;
+  Alcotest.(check bool) "stale lookup decides by evaluation" false
+    (check ~eval:(fun _ -> false));
+  let after = Decision_cache.stats cache in
+  Alcotest.(check int) "stale lookup invalidates nothing"
+    before.Metrics.invalidations after.Metrics.invalidations;
+  gen := 5;
+  Alcotest.(check bool) "fresher entry survived the straggler" true
+    (check ~eval:(fun _ -> Alcotest.fail "tag-5 entry was destroyed"));
+  (* A genuinely newer lookup still kills the now-stale entry. *)
+  gen := 7;
+  Alcotest.(check bool) "newer lookup re-evaluates" false
+    (check ~eval:(fun _ -> false));
+  let final = Decision_cache.stats cache in
+  Alcotest.(check bool) "genuinely stale entry invalidated" true
+    (final.Metrics.invalidations > after.Metrics.invalidations)
+
+(* The no-stale-serve property under *racing* bumps: decisions flip at
+   generation [k]; once an observer has seen the counter at [>= k], no
+   lookup may ever return the pre-flip decision.  Any stale serve of
+   an entry cached at generation [g] during a later generation [g + j]
+   violates exactly this (the entry's cached value is the pre-flip one
+   iff its tag is [< k], and tags equal captured generations).  One
+   domain bumps as fast as it can; the observer hammers a small
+   working set so L1 and L2 both serve under the races. *)
+let qsuite_generation_race =
+  [ QCheck.Test.make ~count:20
+      ~name:"no stale serve under racing generation bumps"
+      QCheck.(pair (int_range 1 400) (int_range 0 3))
+      (fun (k, call_salt) ->
+        let g = Atomic.make 0 in
+        let total = k + 400 in
+        let cache =
+          Decision_cache.create ~max_entries:64
+            ~generation:(fun () -> Atomic.get g)
+            (Test_util.manifest_exn "PERM insert_flow LIMITING OWN_FLOWS")
+        in
+        let calls =
+          Array.init 4 (fun i ->
+              insert ~nw_dst:(Printf.sprintf "10.13.%d.2" (i + call_salt)) ())
+        in
+        let eval _ = Atomic.get g >= k in
+        let bumper () =
+          for _ = 1 to total do
+            Atomic.incr g;
+            Domain.cpu_relax ()
+          done
+        in
+        let observer () =
+          let violations = ref 0 in
+          let i = ref 0 in
+          while Atomic.get g < total do
+            let before = Atomic.get g in
+            let served =
+              Decision_cache.check cache ~token:Token.Insert_flow
+                ~call:calls.(!i land 3) ~eval
+            in
+            (* Monotonicity: any generation captured inside the lookup
+               is >= [before]; if [before >= k] a fresh evaluation
+               returns [true], and every entry tagged >= k holds
+               [true] — so [false] here is a served stale entry. *)
+            if before >= k && not served then incr violations;
+            incr i
+          done;
+          !violations
+        in
+        let b = Domain.spawn bumper in
+        let violations = observer () in
+        Domain.join b;
+        violations = 0) ]
+
 (* Domain parallelism ------------------------------------------------------ *)
 
 (* Two domains hammering one cache: the L1 is per-slot atomics, so
@@ -247,6 +342,9 @@ let suite =
       test_generation_invalidation_edge;
     Alcotest.test_case "rule budget invalidation" `Quick
       test_rule_budget_invalidation;
+    Alcotest.test_case "stale lookup preserves fresher entries" `Quick
+      test_stale_lookup_preserves_fresher_entries;
     Alcotest.test_case "two-domain hammer on the atomic L1" `Quick
       test_domain_hammer ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      (qsuite @ qsuite_generation_race)

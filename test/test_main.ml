@@ -25,4 +25,7 @@ let () =
       ("lint", Test_lint.suite);
       ("verify", Test_verify.suite);
       ("roundtrip", Test_roundtrip.suite);
-      ("forensics", Test_forensics.suite) ]
+      ("forensics", Test_forensics.suite);
+      ("ownership", Test_ownership.suite);
+      ("market", Test_market.suite);
+      ("epoch", Test_epoch.suite) ]
