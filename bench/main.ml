@@ -9,7 +9,7 @@
                 reconcile-perf decision-cache cache-smoke automaton-lab
                 automaton-smoke faults faults-smoke vetting-lab
                 vet-smoke lint-lab lint-smoke verify-lab verify-smoke
-                trace-lab obs-smoke market-lab market-smoke
+                trace-lab obs-smoke health-smoke market-lab market-smoke
                 ablation-compile ablation-isolation ablation-inclusion *)
 
 let experiments : (string * (unit -> unit)) list =
@@ -35,6 +35,7 @@ let experiments : (string * (unit -> unit)) list =
     ("verify-smoke", Verify_lab.smoke);
     ("trace-lab", Trace_lab.run);
     ("obs-smoke", Trace_lab.smoke);
+    ("health-smoke", Health_lab.smoke);
     ("market-lab", Market_lab.run);
     ("market-smoke", Market_lab.smoke);
     ("ablation-compile", Ablations.run_compile);

@@ -106,6 +106,53 @@ let median xs =
   let a = List.sort Float.compare xs in
   List.nth a (List.length a / 2)
 
+(** One churn run through the live-update pipeline (Epoch + Market),
+    traced or not: CPU seconds for [txns] lifecycle transactions.
+    Quantifies what transaction spans + stage histograms add to
+    market-lab-style churn throughput. *)
+let run_churn ?trace ~txns ~apps ~seed () =
+  let t =
+    match Epoch.create ~policy:"" () with
+    | Ok t -> t
+    | Error e -> failwith ("trace-lab: policy rejected: " ^ e)
+  in
+  let m = Epoch.market ?trace t in
+  let script =
+    Shield_workload.Churn_gen.script ~seed ~apps ~invalid_fraction:0.15
+      ~length:txns ()
+  in
+  let c0 = Sys.time () in
+  List.iter
+    (fun (e : Shield_workload.Churn_gen.entry) ->
+      ignore (Market.submit m e.Shield_workload.Churn_gen.request))
+    script;
+  Market.drain m;
+  let dt = Sys.time () -. c0 in
+  Market.shutdown m;
+  Epoch.close t;
+  dt
+
+(** Paired traced/untraced churn runs, same script both sides.  One
+    discarded warmup run first (the process's first churn pays the
+    pipeline's cold-start costs), and the order within a pair
+    alternates between trials so a residual first-runs-slower bias
+    cancels instead of landing on one side. *)
+let measure_churn_overhead ~trials ~txns ~apps () =
+  ignore (run_churn ~txns:(min txns 20) ~apps ~seed:40 ());
+  List.init trials (fun i ->
+      let tr = Trace.create () in
+      let seed = 41 + i in
+      if i mod 2 = 0 then begin
+        let t = run_churn ~trace:tr ~txns ~apps ~seed () in
+        let u = run_churn ~txns ~apps ~seed () in
+        (u, t)
+      end
+      else begin
+        let u = run_churn ~txns ~apps ~seed () in
+        let t = run_churn ~trace:tr ~txns ~apps ~seed () in
+        (u, t)
+      end)
+
 (** Overhead %, as the median of the per-pair traced/untraced ratios:
     single-run CPU time on a small shared box swings by ~10% (GC
     timing, futex sys-time), so a single ratio — or a min over
@@ -159,21 +206,73 @@ let latency_section ~events () =
 let overhead_section () =
   Bench_util.subhr
     "tracing overhead on the cached hot path (median of 5 paired trials)";
-  let rows =
+  let measured =
     List.map
       (fun sampling ->
         let pairs = measure_overhead ~sampling ~trials:5 ~events:3_000 () in
-        [ Printf.sprintf "%.2f" sampling;
-          Printf.sprintf "%.1f us"
-            (median_us_per_event ~events:3_000 pairs fst);
-          Printf.sprintf "%.1f us"
-            (median_us_per_event ~events:3_000 pairs snd);
-          Printf.sprintf "%+.1f %%" (overhead_pct pairs) ])
+        (sampling, 3_000, pairs, overhead_pct pairs))
       [ 1.0; 0.1; 0.01 ]
   in
   Bench_util.table
     [ "sampling"; "untraced CPU/event"; "traced CPU/event"; "overhead" ]
-    rows
+    (List.map
+       (fun (sampling, events, pairs, pct) ->
+         [ Printf.sprintf "%.2f" sampling;
+           Printf.sprintf "%.1f us" (median_us_per_event ~events pairs fst);
+           Printf.sprintf "%.1f us" (median_us_per_event ~events pairs snd);
+           Printf.sprintf "%+.1f %%" pct ])
+       measured);
+  measured
+
+let churn_section ~trials ~txns ~apps () =
+  Bench_util.subhr
+    (Printf.sprintf
+       "lifecycle-transaction tracing overhead (%d txns, median of %d paired \
+        trials)"
+       txns trials);
+  let pairs = measure_churn_overhead ~trials ~txns ~apps () in
+  let per_txn sel =
+    median (List.map sel pairs) /. float_of_int txns *. 1e3
+  in
+  let pct = overhead_pct pairs in
+  Bench_util.table
+    [ "untraced CPU/txn"; "traced CPU/txn"; "overhead" ]
+    [ [ Printf.sprintf "%.2f ms" (per_txn fst);
+        Printf.sprintf "%.2f ms" (per_txn snd);
+        Printf.sprintf "%+.1f %%" pct ] ];
+  (pairs, pct)
+
+(* BENCH_OBS.json: the lab's measurements as a repo-root artifact, so
+   the observability-overhead trajectory is part of the tree. *)
+let emit_json ~gate ~call_rows ~churn ~churn_txns =
+  let module J = Bench_util.Json in
+  Bench_util.write_json "BENCH_OBS.json"
+    (J.Obj
+       [ ("gate", J.Str gate);
+         ( "call_tracing",
+           J.Arr
+             (List.map
+                (fun (sampling, events, pairs, pct) ->
+                  J.Obj
+                    [ ("sampling", J.Float sampling);
+                      ("events", J.Int events);
+                      ( "untraced_us_per_event",
+                        J.Float (median_us_per_event ~events pairs fst) );
+                      ( "traced_us_per_event",
+                        J.Float (median_us_per_event ~events pairs snd) );
+                      ("overhead_pct", J.Float pct) ])
+                call_rows) );
+         ( "churn_tracing",
+           let pairs, pct = churn in
+           let per_txn sel =
+             median (List.map sel pairs) /. float_of_int churn_txns *. 1e3
+           in
+           J.Obj
+             [ ("txns", J.Int churn_txns);
+               ("trials", J.Int (List.length pairs));
+               ("untraced_ms_per_txn", J.Float (per_txn fst));
+               ("traced_ms_per_txn", J.Float (per_txn snd));
+               ("overhead_pct", J.Float pct) ] ) ])
 
 let export_section trace =
   Bench_util.subhr "telemetry export";
@@ -190,7 +289,10 @@ let run () =
   Bench_util.hr "Observability: call tracing, latency histograms, telemetry";
   let trace = latency_section ~events:4_000 () in
   export_section trace;
-  overhead_section ();
+  let call_rows = overhead_section () in
+  let churn_txns = 120 in
+  let churn = churn_section ~trials:5 ~txns:churn_txns ~apps:12 () in
+  emit_json ~gate:"trace-lab" ~call_rows ~churn ~churn_txns;
   Fmt.pr
     "@.note: full sampling pays the span + histogram cost on every call;@.";
   Fmt.pr
@@ -272,15 +374,32 @@ let smoke () =
   (* 4. Overhead gate: tracing at the recommended 1-in-10 sampling
      adds <10% to the cached hot path.  Min-of-trials, interleaved,
      so scheduler noise hits both sides alike. *)
-  let pct =
-    overhead_pct (measure_overhead ~sampling:0.1 ~trials:9 ~events:2_000 ())
-  in
+  let call_pairs = measure_overhead ~sampling:0.1 ~trials:9 ~events:2_000 () in
+  let pct = overhead_pct call_pairs in
   Fmt.pr "hot path overhead at sampling 0.1 (median of 9 paired trials): \
           %+.1f %%@."
     pct;
   if pct >= 10. then
     fail "tracing at sampling 0.1 adds %.1f%% >= 10%% to the cached hot path"
       pct;
+  (* 5. Churn gate: transaction spans + stage histograms add <10% to
+     market-lab-style churn throughput.  Each transaction does
+     milliseconds of vet/reconcile/compile work against microseconds
+     of span recording, so a breach means recording grew a systematic
+     cost, not that the box is noisy. *)
+  let churn_txns = 100 in
+  let churn_pairs =
+    measure_churn_overhead ~trials:5 ~txns:churn_txns ~apps:10 ()
+  in
+  let churn_pct = overhead_pct churn_pairs in
+  Fmt.pr "churn tracing overhead (%d txns, median of 5 paired trials): \
+          %+.1f %%@."
+    churn_txns churn_pct;
+  if churn_pct >= 10. then
+    fail "lifecycle tracing adds %.1f%% >= 10%% to churn throughput" churn_pct;
+  emit_json ~gate:"obs-smoke"
+    ~call_rows:[ (0.1, 2_000, call_pairs, pct) ]
+    ~churn:(churn_pairs, churn_pct) ~churn_txns;
   match !failures with
   | [] -> Fmt.pr "obs-smoke ok@."
   | fs ->

@@ -49,6 +49,29 @@
          checker/kernel/deputy faults and print the fault-tolerance
          report (docs/RUNTIME.md).  Exits 1 if any call hung.
 
+     sdnshield market-demo [--txns N] [--apps N] [--fault-*  P]
+               [--json] [--timeline FILE]
+         Run a seeded lifecycle churn script through the epoch market
+         with full control-plane observability: prints the ledger,
+         cross-checks the transaction-span trail against it, reports
+         the health verdict during and after the faulted window, and
+         optionally exports a Perfetto timeline (docs/CHURN.md,
+         docs/OBSERVABILITY.md §5).
+
+     sdnshield telemetry [--format text|json|prom] [--market]
+         Run a seeded traced workload and export the unified telemetry
+         snapshot; --market adds a churn phase plus its ledger and
+         epoch history to the export.
+
+     sdnshield timeline [--events N] [--txns N] [--out FILE]
+         Export mediated calls and lifecycle transactions from a
+         seeded run as Chrome trace_event JSON (open in Perfetto).
+
+     sdnshield health [--txns N] [--seed S] [--json]
+         Run clean / faulted / recovered churn phases against the
+         sliding-window health monitor and print each phase verdict
+         with causes.  Exits 1 unless the final verdict is healthy.
+
    All input files use the syntax of the paper's Appendices A and B. *)
 
 open Cmdliner
@@ -469,14 +492,25 @@ let faults_demo_cmd =
    invariants are re-checked after every transaction; any violation —
    a torn publish, a rollback that moved the epoch — exits 1. *)
 let market_demo_cmd =
-  let run txns apps invalid seed fault_verify fault_compile fault_publish json =
+  let run txns apps invalid seed fault_verify fault_compile fault_publish json
+      timeline_out =
     let t =
       match Epoch.create ~policy:"" () with
       | Ok t -> t
       | Error e -> failwith ("policy rejected: " ^ e)
     in
     let sandbox = Sandbox.create () in
-    let m = Epoch.market ~sandbox t in
+    (* Full observability wiring (docs/OBSERVABILITY.md): every
+       transaction leaves a span, every injected fault feeds the
+       health monitor (through the fault-site observer), every
+       rollback captures a flight-recorder bundle.  The health clock
+       is manual so the post-run recovery check is deterministic. *)
+    let trace = Trace.create ~txn_capacity:(max 1024 txns) () in
+    let hclock = ref 0. in
+    let health = Health.create ~clock:(fun () -> !hclock) () in
+    let flight = Forensics.Flight.create ~trace () in
+    Faults.set_observer (fun _ -> Health.fault health);
+    let m = Epoch.market ~sandbox ~trace ~health ~flight t in
     let script =
       Shield_workload.Churn_gen.script ~seed ~apps ~invalid_fraction:invalid
         ~length:txns ()
@@ -486,7 +520,11 @@ let market_demo_cmd =
       Faults.configure ~seed ~swap_verify:fault_verify
         ~swap_compile:fault_compile ~swap_publish:fault_publish ();
     let inconsistent = ref [] in
-    Fun.protect ~finally:Faults.disarm (fun () ->
+    Fun.protect
+      ~finally:(fun () ->
+        Faults.disarm ();
+        Faults.clear_observer ())
+      (fun () ->
         List.iter
           (fun (e : Shield_workload.Churn_gen.entry) ->
             let id = (Market.stats m).Market.submitted + 1 in
@@ -496,6 +534,54 @@ let market_demo_cmd =
     Market.shutdown m;
     let ledger = Market.history m in
     let stats = Market.stats m in
+    (* Health before and after the window slides past the run: armed
+       faults must degrade the verdict, and disarming must let it
+       recover once the incident ages out. *)
+    let v_during = Health.verdict health in
+    hclock := !hclock +. Health.window health +. 1.;
+    let v_after = Health.verdict health in
+    (* The span trail is the ledger, re-derived from the trace ring:
+       every transaction id must be present with the same commit /
+       rollback verdict, the same failed stage, the same epoch. *)
+    let trail = Trace.txn_spans trace in
+    let span_by_id = Hashtbl.create (List.length trail) in
+    List.iter
+      (fun (s : Trace.txn_span) -> Hashtbl.replace span_by_id s.Trace.id s)
+      trail;
+    let mismatches =
+      List.filter_map
+        (fun (txn : Market.txn) ->
+          let fail why = Some (txn.Market.id, why) in
+          match Hashtbl.find_opt span_by_id txn.Market.id with
+          | None -> fail "no transaction span"
+          | Some s -> (
+            match (txn.Market.outcome, s.Trace.verdict) with
+            | Market.Committed { epoch; _ }, Trace.Txn_committed _ ->
+              if s.Trace.epoch_after <> epoch then
+                fail
+                  (Printf.sprintf "epoch mismatch: span %d, ledger %d"
+                     s.Trace.epoch_after epoch)
+              else None
+            | Market.Rolled_back { stage; _ }, Trace.Txn_rolled_back v ->
+              if v.stage <> stage then
+                fail
+                  (Printf.sprintf "stage mismatch: span %s, ledger %s" v.stage
+                     stage)
+              else None
+            | Market.Committed _, Trace.Txn_rolled_back _ ->
+              fail "span rolled back, ledger committed"
+            | Market.Rolled_back _, Trace.Txn_committed _ ->
+              fail "span committed, ledger rolled back"))
+        ledger
+    in
+    let bundles = Forensics.Flight.bundles flight in
+    (match timeline_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Timeline.to_string trace)));
     (if json then
        let module J = Telemetry.Json in
        let txn_json (txn : Market.txn) =
@@ -513,7 +599,7 @@ let market_demo_cmd =
                  ("delta", J.Bool delta);
                  ("republished", J.Arr (List.map (fun a -> J.Str a) republished))
                ])
-         | Market.Rolled_back { stage; reason; epoch } ->
+         | Market.Rolled_back { stage; reason; epoch; _ } ->
            J.Obj
              (base
              @ [ ("outcome", J.Str "rolled_back");
@@ -534,22 +620,70 @@ let market_demo_cmd =
                      (List.map
                         (fun (name, n) -> (name, J.Num (float_of_int n)))
                         (Faults.report ())) );
-                 ("consistent", J.Bool (!inconsistent = [])) ]))
+                 ("consistent", J.Bool (!inconsistent = []));
+                 ("txn_spans", J.Num (float_of_int (List.length trail)));
+                 ("span_trail_consistent", J.Bool (mismatches = []));
+                 ( "health_during",
+                   J.Str (Health.status_to_string v_during.Health.status) );
+                 ( "health_after",
+                   J.Str (Health.status_to_string v_after.Health.status) );
+                 ("flight_bundles", J.Num (float_of_int (List.length bundles)));
+                 ( "flight_stages",
+                   J.Arr
+                     (List.filter_map
+                        (fun (b : Forensics.Flight.bundle) ->
+                          match b.Forensics.Flight.txn with
+                          | Some { Trace.verdict = Trace.Txn_rolled_back v; _ }
+                            ->
+                            Some (J.Str v.stage)
+                          | _ -> None)
+                        bundles) ) ]))
      else begin
        List.iter (fun txn -> Fmt.pr "%a@." Market.pp_txn txn) ledger;
        Fmt.pr "@.final epoch=%d live apps=%d commits=%d rollbacks=%d@."
          (Epoch.epoch t)
          (List.length (Epoch.apps t))
          stats.Market.commits stats.Market.rollbacks;
+       Fmt.pr "txn spans=%d trail=%s flight bundles=%d@." (List.length trail)
+         (if mismatches = [] then "consistent" else "MISMATCHED")
+         (List.length bundles);
+       Fmt.pr "health during run: %a@." Health.pp_verdict v_during;
+       Fmt.pr "health after window: %a@." Health.pp_verdict v_after;
        if faulted then Fmt.pr "%a" Faults.pp_report ()
      end);
     Epoch.close t;
+    let fail = ref false in
     if !inconsistent <> [] then begin
       Fmt.epr "epoch invariants violated after transaction(s): %s@."
         (String.concat ", "
            (List.rev_map string_of_int !inconsistent));
-      exit 1
+      fail := true
     end;
+    if mismatches <> [] then begin
+      List.iter
+        (fun (id, why) ->
+          Fmt.epr "span trail mismatch at transaction %d: %s@." id why)
+        mismatches;
+      fail := true
+    end;
+    let injected =
+      List.exists (fun (_, n) -> n > 0) (Faults.report ())
+    in
+    if injected then begin
+      if v_during.Health.status = Health.Healthy then begin
+        Fmt.epr "health did not degrade despite injected faults@.";
+        fail := true
+      end;
+      if v_after.Health.status <> Health.Healthy then begin
+        Fmt.epr "health did not recover after the window slid past@.";
+        fail := true
+      end;
+      if bundles = [] && stats.Market.rollbacks > 0 then begin
+        Fmt.epr "rollbacks occurred but no flight bundle was captured@.";
+        fail := true
+      end
+    end;
+    if !fail then exit 1;
     `Ok ()
   in
   let txns =
@@ -596,85 +730,203 @@ let market_demo_cmd =
       & info [ "json" ]
           ~doc:"Emit the epoch history and summary as JSON instead of text.")
   in
+  let timeline_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Also write the run's Chrome trace_event timeline (Perfetto / \
+             chrome://tracing loadable) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "market-demo"
        ~doc:
          "Run a seeded app-market churn script (install/upgrade/revoke) \
           through the epoch-based live-update pipeline, optionally with \
           mid-swap faults armed, and print the epoch history \
-          (docs/CHURN.md).  Exits 1 if any transaction leaves the \
-          deployment's epoch invariants violated")
+          (docs/CHURN.md).  The run is fully observed: transaction spans, \
+          the sliding-window health verdict (during the run and after the \
+          window slides past) and flight-recorder bundles per rollback.  \
+          Exits 1 if any transaction leaves the deployment's epoch \
+          invariants violated, if the span trail disagrees with the \
+          ledger, or if injected faults fail to degrade (and then \
+          release) the health verdict")
     Term.(
       ret
         (const run $ txns $ apps $ invalid $ seed $ fault_verify
-       $ fault_compile $ fault_publish $ json))
+       $ fault_compile $ fault_publish $ json $ timeline_out))
 
 (* telemetry ------------------------------------------------------------------ *)
 
-(* A self-contained traced run: an engine-guarded app on the isolated
-   runtime, issuing a mix of allowed and denied calls, so the snapshot
-   has something in every section — histograms, cache counters, queue
-   gauges, fault counters and span accounting. *)
-let telemetry_cmd =
+(* A self-contained traced run, shared by `telemetry` and `timeline`:
+   an engine-guarded app on the isolated runtime, issuing a mix of
+   allowed and denied calls, so the snapshot (and the call track of a
+   timeline export) has something in every section — histograms, cache
+   counters, queue gauges, fault counters and span accounting. *)
+let run_traced_calls ~trace ?health ~events () =
   let demo_manifest =
     "PERM insert_flow LIMITING MAX_PRIORITY 400 AND OWN_FLOWS\n\
      PERM pkt_in_event\nPERM read_payload"
   in
-  let run format events spans_to_show =
-    let open Shield_net in
-    let kernel = Kernel.create (Dataplane.create (Topology.linear 4)) in
-    let handled = ref 0 in
-    let app =
-      App.make
-        ~subscriptions:[ Api.E_packet_in ]
-        ~handle:(fun ctx ev ->
-          match ev with
-          | Events.Packet_in pi ->
-            incr handled;
-            (* Every 4th call breaches the MAX_PRIORITY 400 bound, so
-               the trace carries explained denials. *)
-            let priority = if !handled mod 4 = 0 then 1_000 else 100 in
-            let fm =
-              Flow_mod.add ~priority
-                ~match_:
-                  (Match_fields.make ~tp_dst:(1024 + (!handled mod 16)) ())
-                ~actions:[ Action.Output 1 ] ()
-            in
-            ignore (ctx.App.call (Api.Install_flow (pi.Message.dpid, fm)))
-          | _ -> ())
-        "demo"
-    in
-    let ownership = Ownership.create () in
-    let engine =
-      Engine.create ~cache_size:Decision_cache.default_max_entries ~ownership
-        ~app_name:"demo" ~cookie:1
-        (Perm_parser.manifest_exn demo_manifest)
-    in
+  let open Shield_net in
+  let kernel = Kernel.create (Dataplane.create (Topology.linear 4)) in
+  let handled = ref 0 in
+  let app =
+    App.make
+      ~subscriptions:[ Api.E_packet_in ]
+      ~handle:(fun ctx ev ->
+        match ev with
+        | Events.Packet_in pi ->
+          incr handled;
+          (* Every 4th call breaches the MAX_PRIORITY 400 bound, so
+             the trace carries explained denials. *)
+          let priority = if !handled mod 4 = 0 then 1_000 else 100 in
+          let fm =
+            Flow_mod.add ~priority
+              ~match_:(Match_fields.make ~tp_dst:(1024 + (!handled mod 16)) ())
+              ~actions:[ Action.Output 1 ] ()
+          in
+          ignore (ctx.App.call (Api.Install_flow (pi.Message.dpid, fm)))
+        | _ -> ())
+      "demo"
+  in
+  let ownership = Ownership.create () in
+  let engine =
+    Engine.create ~cache_size:Decision_cache.default_max_entries ~ownership
+      ~app_name:"demo" ~cookie:1
+      (Perm_parser.manifest_exn demo_manifest)
+  in
+  let config =
+    { Runtime.default_config with Runtime.trace = Some trace; health }
+  in
+  let rt =
+    Runtime.create ~config
+      ~mode:(Runtime.Isolated { ksd_threads = 2 })
+      kernel
+      [ (app, Engine.checker engine) ]
+  in
+  for i = 1 to events do
+    Runtime.feed rt
+      (Events.Packet_in
+         { Message.dpid = 1 + (i mod 4); in_port = 1;
+           packet = Packet.arp ~src:0xA ~dst:0xB ();
+           reason = Message.No_match; buffer_id = None })
+  done;
+  Runtime.drain rt;
+  let snap = Runtime.telemetry rt in
+  Runtime.shutdown rt;
+  Metrics.unregister_cache "engine:demo";
+  snap
+
+(* A churn script through a market wired to [trace] (and optionally
+   [health]): populates the transaction track of a timeline export and
+   the `--market` section of the telemetry report. *)
+let run_traced_churn ~trace ?health ~txns ~apps ~invalid ~seed () =
+  let t =
+    match Epoch.create ~policy:"" () with
+    | Ok t -> t
+    | Error e -> failwith ("policy rejected: " ^ e)
+  in
+  let m = Epoch.market ~trace ?health t in
+  let script =
+    Shield_workload.Churn_gen.script ~seed ~apps ~invalid_fraction:invalid
+      ~length:txns ()
+  in
+  List.iter
+    (fun (e : Shield_workload.Churn_gen.entry) ->
+      ignore (Market.submit m e.Shield_workload.Churn_gen.request))
+    script;
+  Market.shutdown m;
+  let ledger = Market.history m in
+  let final_epoch = Epoch.epoch t in
+  let live_apps = List.length (Epoch.apps t) in
+  Epoch.close t;
+  (ledger, final_epoch, live_apps)
+
+let telemetry_cmd =
+  let run format events spans_to_show market =
     let trace = Trace.create ~capacity:4096 () in
-    let config = { Runtime.default_config with Runtime.trace = Some trace } in
-    let rt =
-      Runtime.create ~config
-        ~mode:(Runtime.Isolated { ksd_threads = 2 })
-        kernel
-        [ (app, Engine.checker engine) ]
+    let health = Health.create () in
+    let market_section =
+      if market then
+        Some (run_traced_churn ~trace ~health ~txns:40 ~apps:12 ~invalid:0.15 ~seed:11 ())
+      else None
     in
-    for i = 1 to events do
-      Runtime.feed rt
-        (Events.Packet_in
-           { Message.dpid = 1 + (i mod 4); in_port = 1;
-             packet = Packet.arp ~src:0xA ~dst:0xB ();
-             reason = Message.No_match; buffer_id = None })
-    done;
-    Runtime.drain rt;
-    let snap = Runtime.telemetry rt in
-    Runtime.shutdown rt;
+    let snap = run_traced_calls ~trace ~health ~events () in
+    let module J = Telemetry.Json in
+    let market_json (ledger, final_epoch, live_apps) =
+      let txn_json (txn : Market.txn) =
+        let base =
+          [ ("id", J.Num (float_of_int txn.Market.id));
+            ("kind", J.Str (Market.kind_to_string txn.Market.request.Market.kind));
+            ("app", J.Str txn.Market.request.Market.app) ]
+        in
+        match txn.Market.outcome with
+        | Market.Committed { epoch; delta; _ } ->
+          J.Obj
+            (base
+            @ [ ("outcome", J.Str "committed");
+                ("epoch", J.Num (float_of_int epoch));
+                ("delta", J.Bool delta) ])
+        | Market.Rolled_back { stage; reason; epoch; _ } ->
+          J.Obj
+            (base
+            @ [ ("outcome", J.Str "rolled_back"); ("stage", J.Str stage);
+                ("reason", J.Str reason);
+                ("epoch", J.Num (float_of_int epoch)) ])
+      in
+      J.Obj
+        [ ("ledger", J.Arr (List.map txn_json ledger));
+          ( "epoch_history",
+            J.Arr
+              (List.filter_map
+                 (fun (txn : Market.txn) ->
+                   match txn.Market.outcome with
+                   | Market.Committed { epoch; _ } ->
+                     Some (J.Num (float_of_int epoch))
+                   | Market.Rolled_back _ -> None)
+                 ledger) );
+          ("final_epoch", J.Num (float_of_int final_epoch));
+          ("live_apps", J.Num (float_of_int live_apps)) ]
+    in
+    let json_doc () =
+      match market_section with
+      | None -> Telemetry.to_json snap
+      | Some section ->
+        J.to_string
+          (J.Obj
+             [ ("telemetry", Telemetry.to_json_value snap);
+               ("market", market_json section) ])
+    in
+    let pp_market_text () =
+      match market_section with
+      | None -> ()
+      | Some (ledger, final_epoch, live_apps) ->
+        Fmt.pr "# --- market ---@.";
+        List.iter (fun txn -> Fmt.pr "%a@." Market.pp_txn txn) ledger;
+        Fmt.pr "epoch history: %s@."
+          (String.concat " -> "
+             ("0"
+             :: List.filter_map
+                  (fun (txn : Market.txn) ->
+                    match txn.Market.outcome with
+                    | Market.Committed { epoch; _ } ->
+                      Some (string_of_int epoch)
+                    | Market.Rolled_back _ -> None)
+                  ledger));
+        Fmt.pr "final epoch=%d live apps=%d@." final_epoch live_apps
+    in
     (match format with
-    | "json" -> Fmt.pr "%s@." (Telemetry.to_json snap)
+    | "json" -> Fmt.pr "%s@." (json_doc ())
     | "prometheus" -> Fmt.pr "%s" (Telemetry.to_prometheus snap)
-    | "text" -> Fmt.pr "%a" Telemetry.pp snap
+    | "text" ->
+      Fmt.pr "%a" Telemetry.pp snap;
+      pp_market_text ()
     | _ ->
       Fmt.pr "# --- text ---@.%a" Telemetry.pp snap;
-      Fmt.pr "# --- json ---@.%s@." (Telemetry.to_json snap);
+      pp_market_text ();
+      Fmt.pr "# --- json ---@.%s@." (json_doc ());
       Fmt.pr "# --- prometheus ---@.%s" (Telemetry.to_prometheus snap));
     (match spans_to_show with
     | 0 -> ()
@@ -686,7 +938,6 @@ let telemetry_cmd =
       in
       Fmt.pr "# --- last %d spans ---@." (List.length tail);
       List.iter (fun s -> Fmt.pr "%a@." Trace.pp_span s) tail);
-    Metrics.unregister_cache "engine:demo";
     `Ok ()
   in
   let format =
@@ -711,15 +962,215 @@ let telemetry_cmd =
       & info [ "spans" ] ~docv:"N"
           ~doc:"Also print the last N recorded spans (0 = none).")
   in
+  let market_arg =
+    Arg.(
+      value & flag
+      & info [ "market" ]
+          ~doc:
+            "Also run a seeded churn script through the live-update market \
+             (sharing the trace store and health monitor) and render its \
+             transaction ledger and epoch history as an extra section — \
+             the snapshot then carries the $(b,lat:stage:*) histograms \
+             and the market gauges too.")
+  in
   Cmd.v
     (Cmd.info "telemetry"
        ~doc:
          "Run a small traced workload on the isolated runtime and emit the \
           unified telemetry snapshot — latency histograms, cache counters, \
-          queue gauges, fault counters and span accounting — as JSON, \
-          Prometheus text exposition, or a human-readable report \
+          queue gauges, fault counters, span accounting and the health \
+          verdict — as JSON, Prometheus text exposition, or a \
+          human-readable report; $(b,--market) adds the churn ledger and \
+          epoch history (docs/OBSERVABILITY.md)")
+    Term.(ret (const run $ format $ events $ spans_arg $ market_arg))
+
+(* timeline ------------------------------------------------------------------- *)
+
+(* Export a combined workload — mediated calls plus lifecycle churn,
+   sharing one span store — as a Chrome trace_event document, the
+   format chrome://tracing and https://ui.perfetto.dev load directly:
+   calls on one track, transactions (with nested stage slices) on the
+   other. *)
+let timeline_cmd =
+  let run events txns apps invalid seed out =
+    let trace = Trace.create ~capacity:8192 ~txn_capacity:(max 1024 txns) () in
+    ignore (run_traced_calls ~trace ~events ());
+    ignore (run_traced_churn ~trace ~txns ~apps ~invalid ~seed ());
+    let doc = Timeline.to_string trace in
+    (match out with
+    | None -> print_string doc
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc doc);
+      let st = Trace.stats trace in
+      Fmt.pr "wrote %s: %d call spans, %d transaction spans@." path
+        st.Trace.stored st.Trace.txn_stored);
+    `Ok ()
+  in
+  let events =
+    Arg.(
+      value & opt int 500
+      & info [ "events" ] ~docv:"N"
+          ~doc:"Packet-in events for the mediated-call track.")
+  in
+  let txns =
+    Arg.(
+      value & opt int 24
+      & info [ "txns" ] ~docv:"N"
+          ~doc:"Lifecycle transactions for the transaction track.")
+  in
+  let apps =
+    Arg.(
+      value & opt int 12
+      & info [ "apps" ] ~docv:"N" ~doc:"App pool the churn script uses.")
+  in
+  let invalid =
+    Arg.(
+      value & opt float 0.15
+      & info [ "invalid" ] ~docv:"FRAC"
+          ~doc:"Fraction of churn requests built to roll back.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Churn script seed.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the document to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Run a traced workload (mediated calls + lifecycle churn) and \
+          export it as a Chrome trace_event JSON document, loadable in \
+          Perfetto or chrome://tracing: calls and lifecycle transactions \
+          on separate tracks, stage spans nested under their transaction \
           (docs/OBSERVABILITY.md)")
-    Term.(ret (const run $ format $ events $ spans_arg))
+    Term.(ret (const run $ events $ txns $ apps $ invalid $ seed $ out))
+
+(* health --------------------------------------------------------------------- *)
+
+(* Three deterministic phases against one monitor on a manual clock:
+   clean churn (expect healthy), churn with the mid-swap fault sites
+   armed (expect degraded — the fault-site observer feeds the
+   monitor), then disarm, slide the window past the incident and run
+   clean churn again (expect healthy).  Exits 1 when the final verdict
+   is not healthy. *)
+let health_cmd =
+  let run txns apps seed json =
+    let hclock = ref 0. in
+    let health = Health.create ~clock:(fun () -> !hclock) () in
+    let trace = Trace.create () in
+    let flight = Forensics.Flight.create ~trace () in
+    Faults.set_observer (fun _ -> Health.fault health);
+    let t =
+      match Epoch.create ~policy:"" () with
+      | Ok t -> t
+      | Error e -> failwith ("policy rejected: " ^ e)
+    in
+    let m = Epoch.market ~trace ~health ~flight t in
+    let phase ~faulted seed =
+      if faulted then
+        Faults.configure ~seed ~swap_verify:0.08 ~swap_compile:0.08
+          ~swap_publish:0.08 ()
+      else Faults.disarm ();
+      let script =
+        Shield_workload.Churn_gen.script ~seed ~apps ~invalid_fraction:0.
+          ~length:txns ()
+      in
+      List.iter
+        (fun (e : Shield_workload.Churn_gen.entry) ->
+          ignore (Market.submit m e.Shield_workload.Churn_gen.request))
+        script;
+      Health.verdict health
+    in
+    let verdicts =
+      Fun.protect
+        ~finally:(fun () ->
+          Faults.disarm ();
+          Faults.clear_observer ())
+        (fun () ->
+          let clean = phase ~faulted:false seed in
+          let under_fault = phase ~faulted:true (seed + 1) in
+          Faults.disarm ();
+          hclock := !hclock +. Health.window health +. 1.;
+          let recovered = phase ~faulted:false (seed + 2) in
+          [ ("clean", clean); ("faulted", under_fault);
+            ("recovered", recovered) ])
+    in
+    Market.shutdown m;
+    Epoch.close t;
+    let bundles = Forensics.Flight.bundles flight in
+    (if json then
+       let module J = Telemetry.Json in
+       let cause_json (c : Health.cause) =
+         J.Obj
+           [ ("signal", J.Str c.Health.cause_signal);
+             ("observed", J.Num c.Health.observed);
+             ("threshold", J.Num c.Health.threshold);
+             ("level", J.Str (Health.status_to_string c.Health.level)) ]
+       in
+       Fmt.pr "%s@."
+         (J.to_string
+            (J.Obj
+               [ ( "phases",
+                   J.Arr
+                     (List.map
+                        (fun (name, (v : Health.verdict)) ->
+                          J.Obj
+                            [ ("phase", J.Str name);
+                              ( "status",
+                                J.Str (Health.status_to_string v.Health.status)
+                              );
+                              ("causes", J.Arr (List.map cause_json v.Health.causes))
+                            ])
+                        verdicts) );
+                 ( "flight_bundles",
+                   J.Num (float_of_int (List.length bundles)) ) ]))
+     else
+       List.iter
+         (fun (name, v) ->
+           Fmt.pr "phase %-9s -> %a@." name Health.pp_verdict v)
+         verdicts);
+    let _, final = List.nth verdicts 2 in
+    if final.Health.status <> Health.Healthy then exit 1;
+    `Ok ()
+  in
+  let txns =
+    Arg.(
+      value & opt int 25
+      & info [ "txns" ] ~docv:"N" ~doc:"Lifecycle transactions per phase.")
+  in
+  let apps =
+    Arg.(
+      value & opt int 12
+      & info [ "apps" ] ~docv:"N" ~doc:"App pool the churn scripts use.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Base script / fault-schedule seed (phases offset it).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the phase verdicts as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Drive the sliding-window health monitor through a clean / \
+          faulted / recovered churn sequence on a manual clock and print \
+          the verdict after each phase (docs/OBSERVABILITY.md).  Exits 1 \
+          when the final verdict is not healthy")
+    Term.(ret (const run $ txns $ apps $ seed $ json))
 
 (* lint ----------------------------------------------------------------------- *)
 
@@ -951,4 +1402,4 @@ let () =
        (Cmd.group info
           [ parse_cmd; parse_policy_cmd; reconcile_cmd; check_cmd; vet_cmd;
             lint_cmd; verify_cmd; faults_demo_cmd; market_demo_cmd;
-            telemetry_cmd ]))
+            telemetry_cmd; timeline_cmd; health_cmd ]))

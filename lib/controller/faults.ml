@@ -115,6 +115,15 @@ let is_armed () = Atomic.get armed
 
 let reset_counts () = Array.iter (fun c -> Atomic.set c 0) counters
 
+(* An optional trip observer: health monitors and flight recorders
+   subscribe to learn that a site fired, without the enforcement path
+   knowing either exists.  Process-global like the rest of this
+   module; observer exceptions are swallowed — telemetry must never
+   change the fault schedule. *)
+let observer : (site -> unit) option Atomic.t = Atomic.make None
+let set_observer f = Atomic.set observer (Some f)
+let clear_observer () = Atomic.set observer None
+
 let injected site = Atomic.get (counter_of site)
 
 let report () =
@@ -143,6 +152,9 @@ let point site =
     in
     if p > 0. && next_float () < p then begin
       Atomic.incr (counter_of site);
+      (match Atomic.get observer with
+      | Some f -> ( try f site with _ -> ())
+      | None -> ());
       raise (Injected (site_name site))
     end
   end

@@ -140,6 +140,175 @@ let suspicions ?(allowed_destinations = []) ~(sandbox : Sandbox.t)
       else None)
     (Sandbox.audit_log sandbox)
 
+(* Flight recorder ------------------------------------------------------------
+
+   Post-mortems should not need a re-run: when a lifecycle transaction
+   rolls back (or a fault site trips), capture everything the process
+   knows about the incident *now*, into a bounded ring.  A bundle
+   carries the transaction span (stage timings included), the last few
+   call spans around the incident, and a diff of the telemetry
+   snapshot against the last epoch boundary — what moved since the
+   deployment was last known-good. *)
+
+module Flight = struct
+  type bundle = {
+    bseq : int;  (** Monotone capture number. *)
+    reason : string;
+    txn : Trace.txn_span option;
+        (** The failed transaction, with its stage spans. *)
+    calls : Trace.span list;
+        (** The most recent call spans at capture time (newest last). *)
+    baseline_epoch : int;
+        (** Epoch at the last {!boundary}; [-1] = never marked. *)
+    diff : (string * float) list;
+        (** Telemetry movement since the baseline: gauge depths, cache
+            hit/miss counters and histogram sample counts that
+            changed, as [(name, delta)]. *)
+  }
+
+  type t = {
+    calls_around : int;
+    trace : Trace.t option;
+    ring : bundle option array;
+    mutable recorded : int;
+    mutable baseline : (int * Telemetry.snapshot) option;
+    mutex : Mutex.t;
+  }
+
+  (** [create ()] — a recorder keeping the last [capacity] (default
+      16) incident bundles; [calls_around] (default 8) bounds the call
+      spans copied into each.  [trace], when given, supplies both the
+      surrounding call spans and (via the caller) transaction spans. *)
+  let create ?(capacity = 16) ?(calls_around = 8) ?trace () =
+    if capacity <= 0 then
+      invalid_arg "Flight.create: capacity must be > 0";
+    { calls_around = Stdlib.max 0 calls_around;
+      trace;
+      ring = Array.make capacity None;
+      recorded = 0;
+      baseline = None;
+      mutex = Mutex.create () }
+
+  (** Mark an epoch boundary: the next captures diff against the
+      telemetry snapshot taken here.  The market calls this after
+      every commit, so a bundle's diff covers exactly the window since
+      the last known-good epoch. *)
+  let boundary t ~epoch =
+    let snap = Telemetry.snapshot () in
+    Mutex.lock t.mutex;
+    t.baseline <- Some (epoch, snap);
+    Mutex.unlock t.mutex
+
+  (* What moved since the baseline snapshot: gauge depths, cache
+     hits/misses, histogram counts.  Counter-style entries only — the
+     point is a small, skimmable "what changed" list, not a second
+     snapshot. *)
+  let snapshot_diff (old_s : Telemetry.snapshot) (new_s : Telemetry.snapshot)
+      =
+    let delta out name now before =
+      let d = now -. before in
+      if d <> 0. then (name, d) :: out else out
+    in
+    let out = ref [] in
+    List.iter
+      (fun (k, (g : Metrics.gauge)) ->
+        let before =
+          match List.assoc_opt k old_s.Telemetry.gauges with
+          | Some (o : Metrics.gauge) -> float_of_int o.Metrics.depth
+          | None -> 0.
+        in
+        out := delta !out ("gauge:" ^ k) (float_of_int g.Metrics.depth) before)
+      new_s.Telemetry.gauges;
+    List.iter
+      (fun (k, (c : Metrics.cache_stats)) ->
+        let before =
+          match List.assoc_opt k old_s.Telemetry.caches with
+          | Some o -> o
+          | None -> Metrics.zero_cache_stats
+        in
+        out :=
+          delta !out ("cache:" ^ k ^ ":hits")
+            (float_of_int c.Metrics.hits)
+            (float_of_int before.Metrics.hits);
+        out :=
+          delta !out ("cache:" ^ k ^ ":misses")
+            (float_of_int c.Metrics.misses)
+            (float_of_int before.Metrics.misses))
+      new_s.Telemetry.caches;
+    List.iter
+      (fun (k, (h : Metrics.Histogram.export)) ->
+        let before =
+          match List.assoc_opt k old_s.Telemetry.histograms with
+          | Some (o : Metrics.Histogram.export) ->
+            float_of_int o.Metrics.Histogram.n
+          | None -> 0.
+        in
+        out :=
+          delta !out ("hist:" ^ k ^ ":n")
+            (float_of_int h.Metrics.Histogram.n)
+            before)
+      new_s.Telemetry.histograms;
+    List.rev !out
+
+  (** Capture an incident bundle now.  [txn], when given, is the
+      rolled-back transaction's span. *)
+  let capture t ?txn ~reason () =
+    let now = Telemetry.snapshot () in
+    let calls =
+      match t.trace with
+      | None -> []
+      | Some tr ->
+        let all = Trace.spans tr in
+        let n = List.length all in
+        if n <= t.calls_around then all
+        else List.filteri (fun i _ -> i >= n - t.calls_around) all
+    in
+    Mutex.lock t.mutex;
+    let baseline_epoch, diff =
+      match t.baseline with
+      | None -> (-1, [])
+      | Some (epoch, snap) -> (epoch, snapshot_diff snap now)
+    in
+    let b =
+      { bseq = t.recorded; reason; txn; calls; baseline_epoch; diff }
+    in
+    t.ring.(t.recorded mod Array.length t.ring) <- Some b;
+    t.recorded <- t.recorded + 1;
+    Mutex.unlock t.mutex;
+    b
+
+  (** Captured bundles, oldest first (bounded by the ring). *)
+  let bundles t =
+    Mutex.lock t.mutex;
+    let cap = Array.length t.ring in
+    let stored = Stdlib.min t.recorded cap in
+    let first = t.recorded - stored in
+    let out =
+      List.init stored (fun i ->
+          match t.ring.((first + i) mod cap) with
+          | Some b -> b
+          | None -> assert false)
+    in
+    Mutex.unlock t.mutex;
+    out
+
+  let captured t =
+    Mutex.lock t.mutex;
+    let n = t.recorded in
+    Mutex.unlock t.mutex;
+    n
+
+  let pp_bundle ppf (b : bundle) =
+    Fmt.pf ppf "@[<v>incident #%d: %s (baseline epoch %d)" b.bseq b.reason
+      b.baseline_epoch;
+    (match b.txn with
+    | None -> ()
+    | Some txn -> Fmt.pf ppf "@,  %a" Trace.pp_txn_span txn);
+    List.iter (fun s -> Fmt.pf ppf "@,  call %a" Trace.pp_span s) b.calls;
+    List.iter (fun (k, d) -> Fmt.pf ppf "@,  %+g %s" d k) b.diff;
+    Fmt.pf ppf "@]"
+end
+
 (* Incident reports ---------------------------------------------------------- *)
 
 type incident_report = {

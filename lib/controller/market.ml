@@ -35,9 +35,17 @@ type outcome =
       republished : string list;
       stages : (string * float) list;
     }
-  | Rolled_back of { stage : string; reason : string; epoch : int }
+  | Rolled_back of {
+      stage : string;
+      reason : string;
+      epoch : int;
+      stages : (string * float) list;
+    }
 
 let committed = function Committed _ -> true | Rolled_back _ -> false
+
+let stages_of = function
+  | Committed { stages; _ } | Rolled_back { stages; _ } -> stages
 
 type txn = { id : int; request : request; outcome : outcome }
 
@@ -49,6 +57,12 @@ type t = {
   exec : request -> outcome;
   chan : item Channel.t;
   sandbox : Sandbox.t option;
+  trace : Trace.t option;
+      (** Transaction spans land here (docs/OBSERVABILITY.md), along
+          with the [lat:stage:*] histograms. *)
+  health : Health.t option;  (** Rollbacks and stage latencies feed it. *)
+  flight : Forensics.Flight.t option;
+      (** Commit boundaries and rollback captures. *)
   mutable worker : Thread.t option;
   mutex : Mutex.t;  (** Guards [ledger], [next_id] and [completed]. *)
   done_cond : Condition.t;
@@ -92,7 +106,7 @@ let audit t (req : request) (outcome : outcome) =
              (match republished with
              | [] -> ""
              | apps -> " republished " ^ String.concat "," apps))
-    | Rolled_back { stage; reason; epoch } ->
+    | Rolled_back { stage; reason; epoch; _ } ->
       (* Fail-closed notification (docs/CHURN.md): the app was denied
          admission; forensics surfaces these via [fault_actions]. *)
       Sandbox.record_audit sandbox ~app:req.app ~action:"market-rollback"
@@ -101,11 +115,77 @@ let audit t (req : request) (outcome : outcome) =
           (Printf.sprintf "%s failed at %s (%s); still on epoch %d" subject
              stage reason epoch))
 
-let complete t id req outcome ivar =
+(* One parent transaction span per completed request.  Stage offsets
+   are synthesized cumulatively from the measured durations (the
+   executor times each stage; inter-stage overhead folds into the
+   parent), so children sum to at most the parent total. *)
+let txn_span_of id (req : request) outcome ~start ~dur : Trace.txn_span =
+  let verdict, epoch_before, epoch_after =
+    match outcome with
+    | Committed { epoch; delta; republished; _ } ->
+      (* The epoch counter advances by exactly one per commit
+         (docs/CHURN.md), so the pre-transaction epoch is derivable. *)
+      (Trace.Txn_committed { delta; republished }, epoch - 1, epoch)
+    | Rolled_back { stage; reason; epoch; _ } ->
+      (Trace.Txn_rolled_back { stage; reason }, epoch, epoch)
+  in
+  let _, rev_stages =
+    List.fold_left
+      (fun (off, acc) (stage, d) ->
+        (off +. d, { Trace.stage; offset = off; dur = d } :: acc))
+      (0., []) (stages_of outcome)
+  in
+  { Trace.tseq = 0; id; kind = kind_to_string req.kind; txn_app = req.app;
+    verdict; epoch_before; epoch_after; txn_start = start; txn_total = dur;
+    stages = List.rev rev_stages }
+
+let observe t id req outcome ~timing =
+  let tspan =
+    match timing with
+    | None -> None
+    | Some (start, dur) -> Some (txn_span_of id req outcome ~start ~dur)
+  in
+  (match (t.trace, tspan) with
+  | Some tr, Some tspan ->
+    Trace.record_txn tr tspan;
+    List.iter
+      (fun (stage, d) ->
+        Metrics.Histogram.record (Metrics.hist ("lat:stage:" ^ stage)) d;
+        match outcome with
+        | Committed { delta; _ } when stage = "reconcile" ->
+          Metrics.Histogram.record
+            (Metrics.hist
+               ("lat:stage:reconcile:" ^ if delta then "delta" else "full"))
+            d
+        | _ -> ())
+      (stages_of outcome)
+  | _ -> ());
+  (match t.health with
+  | Some h ->
+    (match outcome with
+    | Rolled_back _ -> Health.rollback h
+    | Committed _ -> ());
+    List.iter (fun (_, d) -> Health.stage_latency h d) (stages_of outcome)
+  | None -> ());
+  match t.flight with
+  | None -> ()
+  | Some fl -> (
+    match outcome with
+    | Committed { epoch; _ } -> Forensics.Flight.boundary fl ~epoch
+    | Rolled_back { stage; reason; _ } ->
+      ignore
+        (Forensics.Flight.capture fl ?txn:tspan
+           ~reason:
+             (Printf.sprintf "txn %d (%s %s) rolled back at %s: %s" id
+                (kind_to_string req.kind) req.app stage reason)
+           ()))
+
+let complete t id req outcome ivar ~timing =
   (match outcome with
   | Committed _ -> Atomic.incr t.commits
   | Rolled_back _ -> Atomic.incr t.rollbacks);
   audit t req outcome;
+  observe t id req outcome ~timing;
   Mutex.lock t.mutex;
   t.ledger <- { id; request = req; outcome } :: t.ledger;
   t.completed <- t.completed + 1;
@@ -118,6 +198,7 @@ let worker t () =
     match Channel.pop t.chan with
     | None -> ()
     | Some (Job (id, req, ivar)) ->
+      let t0 = Metrics.now () in
       let outcome =
         (* The worker's exception barrier: an executor that raises
            outside its own stage handling must not kill the market —
@@ -128,25 +209,30 @@ let worker t () =
         try t.exec req
         with exn ->
           Rolled_back
-            { stage = "apply"; reason = Printexc.to_string exn; epoch = -1 }
+            { stage = "apply"; reason = Printexc.to_string exn; epoch = -1;
+              stages = [] }
       in
-      complete t id req outcome ivar;
+      let dur = Metrics.now () -. t0 in
+      complete t id req outcome ivar ~timing:(Some (t0, dur));
       loop ()
   in
   loop ()
 
-let create ?capacity ?sandbox ~exec () : t =
+let create ?capacity ?sandbox ?trace ?health ?flight ~exec () : t =
   let t =
-    { exec; chan = Channel.create ?capacity (); sandbox; worker = None;
-      mutex = Mutex.create (); done_cond = Condition.create (); ledger = [];
-      next_id = 0; completed = 0; commits = Atomic.make 0;
-      rollbacks = Atomic.make 0; shut = false }
+    { exec; chan = Channel.create ?capacity (); sandbox; trace; health;
+      flight; worker = None; mutex = Mutex.create ();
+      done_cond = Condition.create (); ledger = []; next_id = 0;
+      completed = 0; commits = Atomic.make 0; rollbacks = Atomic.make 0;
+      shut = false }
   in
   t.worker <- Some (Thread.create (worker t) ());
   register_gauges t;
   t
 
-let refused = Rolled_back { stage = "queue"; reason = "market shut down"; epoch = -1 }
+let refused =
+  Rolled_back
+    { stage = "queue"; reason = "market shut down"; epoch = -1; stages = [] }
 
 let submit_async t req =
   let ivar = Channel.Ivar.create () in
@@ -159,7 +245,7 @@ let submit_async t req =
   | exception Channel.Closed ->
     (* The id was allocated but the job refused: account it completed
        so [drain] still converges. *)
-    complete t id req refused ivar);
+    complete t id req refused ivar ~timing:None);
   ivar
 
 let submit t req = Channel.Ivar.read (submit_async t req)
@@ -203,8 +289,16 @@ let pp_outcome ppf = function
       | apps -> " republished=" ^ String.concat "," apps)
       Fmt.(list ~sep:(any " ") (fun ppf (s, d) -> pf ppf "%s:%.1fms" s (d *. 1e3)))
       stages
-  | Rolled_back { stage; reason; epoch } ->
-    Fmt.pf ppf "ROLLED BACK at %s (%s); epoch=%d" stage reason epoch
+  | Rolled_back { stage; reason; epoch; stages } ->
+    Fmt.pf ppf "ROLLED BACK at %s (%s); epoch=%d%s" stage reason epoch
+      (match stages with
+      | [] -> ""
+      | stages ->
+        Fmt.str " (%a)"
+          Fmt.(
+            list ~sep:(any " ") (fun ppf (s, d) ->
+                pf ppf "%s:%.1fms" s (d *. 1e3)))
+          stages)
 
 let pp_txn ppf { id; request = { kind; app; _ }; outcome } =
   Fmt.pf ppf "#%d %s %s: %a" id (kind_to_string kind) app pp_outcome outcome

@@ -54,9 +54,17 @@ type outcome =
           (** Global epoch still current after the rollback — the
               pre-transaction epoch ([-1] when the executor itself
               crashed before reporting one). *)
+      stages : (string * float) list;
+          (** Stage names and durations (seconds) in execution order,
+              {e including} the failed stage and any publish undo
+              (["rollback-undo"]) — where the transaction's time went
+              before it died. *)
     }
 
 val committed : outcome -> bool
+
+val stages_of : outcome -> (string * float) list
+(** The stage timing list of either outcome. *)
 
 type txn = {
   id : int;  (** 1-based submission order. *)
@@ -72,8 +80,15 @@ type stats = {
 
 type t
 
-val create : ?capacity:int -> ?sandbox:Sandbox.t ->
-  exec:(request -> outcome) -> unit -> t
+val create :
+  ?capacity:int ->
+  ?sandbox:Sandbox.t ->
+  ?trace:Trace.t ->
+  ?health:Health.t ->
+  ?flight:Forensics.Flight.t ->
+  exec:(request -> outcome) ->
+  unit ->
+  t
 (** [create ~exec ()] starts the market worker.  [exec] runs one
     lifecycle transaction to completion and must be fail-safe: stage
     failures are reported as [Rolled_back], not raised (a raise is
@@ -84,6 +99,15 @@ val create : ?capacity:int -> ?sandbox:Sandbox.t ->
     given, receives an audit entry per transaction: ["market-commit"]
     (allowed) or ["market-rollback"] (denied), the notification channel
     {!Forensics.fault_log} surfaces.
+
+    Observability hooks (docs/OBSERVABILITY.md), all optional and all
+    off by default: [trace] records one {!Trace.txn_span} per
+    transaction (stage children included) and feeds the
+    [lat:stage:<name>] histograms; [health] receives a rollback signal
+    per rolled-back transaction plus every stage duration; [flight]
+    gets a {!Forensics.Flight.boundary} after each commit and a
+    {!Forensics.Flight.capture} (with the transaction span) on each
+    rollback.
 
     Registers the [queue:market] depth gauge and the
     [market:committed] / [market:rolled-back] counters in the

@@ -66,11 +66,17 @@ type config = {
           keeps the mediation path exactly as untraced; with a store,
           every sampled call records a {!Trace.span} and feeds the
           [lat:*] histograms in {!Metrics}. *)
+  health : Health.t option;
+      (** Sliding-window health monitor.  [None] (default) records
+          nothing; with a monitor, denials, mediation faults, deadline
+          expiries and request-queue depth feed its window and
+          [telemetry] carries its verdict. *)
 }
 
 let default_config =
   { call_deadline = None; restart_budget = 8; ev_capacity = None;
-    ev_policy = Channel.Block; req_capacity = None; trace = None }
+    ev_policy = Channel.Block; req_capacity = None; trace = None;
+    health = None }
 
 (* Fault-tolerance observability: how often the safety nets fired. *)
 type fault_counters = {
@@ -185,6 +191,9 @@ let wait_inflight_zero t =
 
 let audit_denial t inst call why =
   incr_counter t (fun c -> c.denials <- c.denials + 1);
+  (match t.config.health with
+  | Some h -> Health.denial h
+  | None -> ());
   Sandbox.record_audit (sandbox t) ~app:inst.app.App.name
     ~action:(Fmt.to_to_string Api.pp_call call)
     ~allowed:false ~detail:why
@@ -270,17 +279,18 @@ let span_histograms inst ~queue_wait ~check_dur ~exec_dur =
     (Metrics.hist ("lat:app:" ^ inst.app.App.name))
     total
 
-let record_span tr inst ~call ~deputy ~queue_wait ~check_dur ~exec_dur
-    ~decision ~cache ~explain =
+let record_span tr inst ~call ~deputy ~start ~queue_wait ~check_dur
+    ~exec_dur ~decision ~cache ~explain =
   span_histograms inst ~queue_wait ~check_dur ~exec_dur;
-  Trace.span tr ~app:inst.app.App.name ~call ~deputy ~queue_wait ~check_dur
-    ~exec_dur ~decision ~cache ~explain
+  Trace.span tr ~app:inst.app.App.name ~call ~deputy ~start ~queue_wait
+    ~check_dur ~exec_dur ~decision ~cache ~explain
 
 let checked_exec_traced t inst call tr ~deputy ~queue_wait : Api.result =
   incr_counter t (fun c -> c.calls <- c.calls + 1);
   let ck = resolve inst.checker in
   let call_str = Api.call_kind call in
   let t0 = Metrics.now () in
+  let start = t0 -. queue_wait in
   let decision, info =
     match ck.Api.explain with
     | Some explain -> explain call
@@ -290,7 +300,7 @@ let checked_exec_traced t inst call tr ~deputy ~queue_wait : Api.result =
   match decision with
   | Api.Deny why ->
     audit_denial t inst call why;
-    record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur
+    record_span tr inst ~call:call_str ~deputy ~start ~queue_wait ~check_dur
       ~exec_dur:0. ~decision:Trace.Denied ~cache:info.Api.cache
       ~explain:info.Api.explain;
     Api.Denied why
@@ -309,16 +319,16 @@ let checked_exec_traced t inst call tr ~deputy ~queue_wait : Api.result =
         | Api.Failed _ -> Trace.Failed
         | _ -> Trace.Allowed
       in
-      record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur
-        ~exec_dur ~decision:cls ~cache:info.Api.cache
+      record_span tr inst ~call:call_str ~deputy ~start ~queue_wait
+        ~check_dur ~exec_dur ~decision:cls ~cache:info.Api.cache
         ~explain:info.Api.explain;
       result
     | exception exn ->
       (* The span must not be lost to the deputy barrier: record the
          failure here, then let the barrier shape the reply. *)
       let exec_dur = Metrics.now () -. t1 in
-      record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur
-        ~exec_dur ~decision:Trace.Failed ~cache:info.Api.cache
+      record_span tr inst ~call:call_str ~deputy ~start ~queue_wait
+        ~check_dur ~exec_dur ~decision:Trace.Failed ~cache:info.Api.cache
         ~explain:(Some ("exception: " ^ Printexc.to_string exn));
       raise exn)
 
@@ -326,6 +336,7 @@ let checked_exec_traced t inst call tr ~deputy ~queue_wait : Api.result =
 let checked_txn_traced t inst calls tr ~deputy ~queue_wait =
   let call_str = Printf.sprintf "txn(%d calls)" (List.length calls) in
   let t0 = Metrics.now () in
+  let start = t0 -. queue_wait in
   match checked_txn t inst calls with
   | r ->
     let dur = Metrics.now () -. t0 in
@@ -335,13 +346,13 @@ let checked_txn_traced t inst calls tr ~deputy ~queue_wait =
       | Error (i, why) ->
         (Trace.Denied, Some (Printf.sprintf "call %d of group: %s" i why))
     in
-    record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur:dur
-      ~exec_dur:0. ~decision ~cache:Api.Uncached ~explain;
+    record_span tr inst ~call:call_str ~deputy ~start ~queue_wait
+      ~check_dur:dur ~exec_dur:0. ~decision ~cache:Api.Uncached ~explain;
     r
   | exception exn ->
     let dur = Metrics.now () -. t0 in
-    record_span tr inst ~call:call_str ~deputy ~queue_wait ~check_dur:dur
-      ~exec_dur:0. ~decision:Trace.Failed ~cache:Api.Uncached
+    record_span tr inst ~call:call_str ~deputy ~start ~queue_wait
+      ~check_dur:dur ~exec_dur:0. ~decision:Trace.Failed ~cache:Api.Uncached
       ~explain:(Some ("exception: " ^ Printexc.to_string exn));
     raise exn
 
@@ -359,6 +370,9 @@ let await_reply t ivar ~on_deadline =
     | Some r -> r
     | None ->
       Atomic.incr t.faults.deadline_expiries;
+      (match t.config.health with
+      | Some h -> Health.deadline h
+      | None -> ());
       on_deadline)
 
 (* The trace sampler runs at the call site (app thread), before any
@@ -392,7 +406,11 @@ let make_ctx t inst : App.ctx =
         (fun call ->
           let ivar = Channel.Ivar.create () in
           match Channel.push t.reqs (Call (inst, call, ivar, trace_enq t)) with
-          | () -> await_reply t ivar ~on_deadline:(Api.Failed "deadline")
+          | () ->
+            (match t.config.health with
+            | Some h -> Health.queue_depth h (Channel.length t.reqs)
+            | None -> ());
+            await_reply t ivar ~on_deadline:(Api.Failed "deadline")
           | exception Channel.Closed -> Api.Failed "runtime shut down"
           | exception Channel.Full ->
             Atomic.incr t.faults.backpressure_rejections;
@@ -401,7 +419,11 @@ let make_ctx t inst : App.ctx =
         (fun calls ->
           let ivar = Channel.Ivar.create () in
           match Channel.push t.reqs (Txn (inst, calls, ivar, trace_enq t)) with
-          | () -> await_reply t ivar ~on_deadline:(Error (-1, "deadline"))
+          | () ->
+            (match t.config.health with
+            | Some h -> Health.queue_depth h (Channel.length t.reqs)
+            | None -> ());
+            await_reply t ivar ~on_deadline:(Error (-1, "deadline"))
           | exception Channel.Closed -> Error (-1, "runtime shut down")
           | exception Channel.Full ->
             Atomic.incr t.faults.backpressure_rejections;
@@ -685,6 +707,9 @@ let app_thread t inst () =
 
 let ksd_failure t inst exn =
   Atomic.incr t.faults.ksd_failures;
+  (match t.config.health with
+  | Some h -> Health.fault h
+  | None -> ());
   Sandbox.record_audit (sandbox t) ~app:inst.app.App.name
     ~action:"ksd-exception" ~allowed:true ~detail:(Printexc.to_string exn)
 
@@ -915,7 +940,7 @@ let telemetry t : Telemetry.snapshot =
         ("ksd_failures", fr.failures); ("ksd_restarts", fr.restarts);
         ("deadline_expiries", fr.deadlines);
         ("backpressure_rejections", fr.rejections) ]
-    ?trace:t.config.trace ()
+    ?trace:t.config.trace ?health:t.config.health ()
 
 let pp_report ppf t = Telemetry.pp ppf (telemetry t)
 

@@ -51,6 +51,11 @@ type config = {
           kernel-execution durations, cache outcome, decision and its
           explanation — and feeds the [lat:*] histograms in
           {!Metrics}. *)
+  health : Health.t option;
+      (** Sliding-window health monitor (docs/OBSERVABILITY.md).
+          [None] (default) records nothing; with a monitor, denials,
+          mediation faults, deadline expiries and request-queue depth
+          feed its window and {!telemetry} carries its verdict. *)
 }
 
 val default_config : config

@@ -27,13 +27,16 @@ type snapshot = {
   caches : (string * Metrics.cache_stats) list;
   gauges : (string * Metrics.gauge) list;
   trace : Trace.stats option;
+  health : Health.verdict option;
+      (** The sliding-window monitor's judgment at snapshot time. *)
 }
 
-(** One consistent snapshot: [counters] and [trace] come from the
-    caller (the registries know nothing of runtimes), everything else
-    from the {!Metrics} registries.  Each registry is read atomically
-    per entry; the snapshot as a whole is not a stop-the-world cut. *)
-let snapshot ?(counters = []) ?trace () =
+(** One consistent snapshot: [counters], [trace] and [health] come
+    from the caller (the registries know nothing of runtimes),
+    everything else from the {!Metrics} registries.  Each registry is
+    read atomically per entry; the snapshot as a whole is not a
+    stop-the-world cut. *)
+let snapshot ?(counters = []) ?trace ?health () =
   { counters;
     histograms =
       List.map
@@ -41,7 +44,8 @@ let snapshot ?(counters = []) ?trace () =
         (Metrics.hist_report ());
     caches = Metrics.cache_report ();
     gauges = Metrics.gauge_report ();
-    trace = Option.map Trace.stats trace }
+    trace = Option.map Trace.stats trace;
+    health = Option.map Health.verdict health }
 
 (* JSON ---------------------------------------------------------------------
 
@@ -302,7 +306,29 @@ let json_of_trace (s : Trace.stats) : Json.t =
       ("sampled_out", Json.Num (float_of_int s.Trace.sampled_out));
       ("dropped", Json.Num (float_of_int s.Trace.dropped));
       ("stored", Json.Num (float_of_int s.Trace.stored));
-      ("sampling", Json.Num s.Trace.sampling) ]
+      ("sampling", Json.Num s.Trace.sampling);
+      ("txn_capacity", Json.Num (float_of_int s.Trace.txn_capacity));
+      ("txn_recorded", Json.Num (float_of_int s.Trace.txn_recorded));
+      ("txn_dropped", Json.Num (float_of_int s.Trace.txn_dropped));
+      ("txn_stored", Json.Num (float_of_int s.Trace.txn_stored)) ]
+
+let json_of_health (v : Health.verdict) : Json.t =
+  Json.Obj
+    [ ("status", Json.Str (Health.status_to_string v.Health.status));
+      ("window_s", Json.Num v.Health.window);
+      ("totals",
+       Json.Obj (List.map (fun (k, x) -> (k, Json.Num x)) v.Health.totals));
+      ("causes",
+       Json.Arr
+         (List.map
+            (fun (c : Health.cause) ->
+              Json.Obj
+                [ ("signal", Json.Str c.Health.cause_signal);
+                  ("observed", Json.Num c.Health.observed);
+                  ("threshold", Json.Num c.Health.threshold);
+                  ("level", Json.Str (Health.status_to_string c.Health.level))
+                ])
+            v.Health.causes)) ]
 
 let to_json_value (s : snapshot) : Json.t =
   Json.Obj
@@ -323,7 +349,9 @@ let to_json_value (s : snapshot) : Json.t =
                     ("hwm", Json.Num (float_of_int g.Metrics.hwm)) ] ))
             s.gauges));
       ("trace",
-       match s.trace with None -> Json.Null | Some tr -> json_of_trace tr) ]
+       (match s.trace with None -> Json.Null | Some tr -> json_of_trace tr));
+      ("health",
+       match s.health with None -> Json.Null | Some v -> json_of_health v) ]
 
 let to_json s = Json.to_string (to_json_value s)
 
@@ -457,19 +485,110 @@ let to_prometheus (s : snapshot) : string =
         ("sampled_out", tr.Trace.sampled_out) ];
     header "sdnshield_trace_sampling_ratio" "gauge"
       "Effective trace sampling ratio.";
-    line "sdnshield_trace_sampling_ratio" tr.Trace.sampling);
+    line "sdnshield_trace_sampling_ratio" tr.Trace.sampling;
+    header "sdnshield_trace_txn_spans" "gauge"
+      "Lifecycle-transaction span accounting (recorded/stored/dropped).";
+    List.iter
+      (fun (state, v) ->
+        line ~labels:[ ("state", state) ] "sdnshield_trace_txn_spans"
+          (float_of_int v))
+      [ ("recorded", tr.Trace.txn_recorded);
+        ("stored", tr.Trace.txn_stored);
+        ("dropped", tr.Trace.txn_dropped) ]);
+  (match s.health with
+  | None -> ()
+  | Some v ->
+    header "sdnshield_health_status" "gauge"
+      "Sliding-window health verdict: 0 healthy, 1 degraded, 2 unhealthy.";
+    line "sdnshield_health_status"
+      (float_of_int (Health.status_severity v.Health.status));
+    header "sdnshield_health_window_seconds" "gauge"
+      "Length of the health monitor's sliding window.";
+    line "sdnshield_health_window_seconds" v.Health.window;
+    header "sdnshield_health_signal" "gauge"
+      "Windowed value per health signal (counts, or seconds for \
+       stage-max-s).";
+    List.iter
+      (fun (k, x) -> line ~labels:[ ("signal", k) ] "sdnshield_health_signal" x)
+      v.Health.totals;
+    if v.Health.causes <> [] then begin
+      header "sdnshield_health_cause_level" "gauge"
+        "Severity of each crossed health rule: 1 degraded, 2 unhealthy.";
+      List.iter
+        (fun (c : Health.cause) ->
+          line
+            ~labels:[ ("signal", c.Health.cause_signal) ]
+            "sdnshield_health_cause_level"
+            (float_of_int (Health.status_severity c.Health.level)))
+        v.Health.causes
+    end);
   Buffer.contents b
 
-(* Shape validation for the exposition text: every non-comment line is
-   `name[{label="value",...}] value`.  Used by the obs-smoke gate and
-   the unit tests; not a full scrape parser. *)
+(* Shape validation for the exposition text.  Every non-comment line
+   must be `name[{label="value",...}] value`, and — family-aware since
+   the control-plane observability work — every sample must belong to
+   a preceding `# TYPE` declaration of its family: exactly the family
+   name for counters and gauges, or the `_bucket`/`_sum`/`_count`
+   suffixes for histograms.  Counter families must end `_total`, gauge
+   families must not, and `sdnshield_health_status` must read 0, 1 or
+   2.  This pins the exposition names the smoke gates (and an
+   operator's scrape config) rely on; it is still not a full scrape
+   parser. *)
 let validate_prometheus (text : string) : (unit, string) result =
   let is_name_char = function
     | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
     | _ -> false
   in
+  let families : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let ends_with suffix name =
+    let ls = String.length suffix and ln = String.length name in
+    ln >= ls && String.sub name (ln - ls) ls = suffix
+  in
+  let strip suffix name =
+    String.sub name 0 (String.length name - String.length suffix)
+  in
+  let family_of name =
+    match Hashtbl.find_opt families name with
+    | Some typ -> Some (name, typ)
+    | None ->
+      (* Histogram samples carry the family name plus a suffix. *)
+      List.find_map
+        (fun suffix ->
+          if ends_with suffix name then
+            let base = strip suffix name in
+            match Hashtbl.find_opt families base with
+            | Some "histogram" -> Some (base, "histogram")
+            | _ -> None
+          else None)
+        [ "_bucket"; "_sum"; "_count" ]
+  in
+  let check_type_line lineno line =
+    (* "# TYPE <name> <type>" — record the family; anything else
+       starting with '#' is a comment/HELP and passes. *)
+    match String.split_on_char ' ' line with
+    | [ "#"; "TYPE"; name; typ ] ->
+      if
+        not (List.mem typ [ "counter"; "gauge"; "histogram"; "summary";
+                            "untyped" ])
+      then Error (Printf.sprintf "line %d: unknown metric type %S" lineno typ)
+      else if typ = "counter" && not (ends_with "_total" name) then
+        Error
+          (Printf.sprintf "line %d: counter family %s must end _total" lineno
+             name)
+      else if typ = "gauge" && ends_with "_total" name then
+        Error
+          (Printf.sprintf "line %d: gauge family %s must not end _total"
+             lineno name)
+      else begin
+        Hashtbl.replace families name typ;
+        Ok ()
+      end
+    | _ -> Ok ()
+  in
   let check_line lineno line =
-    if line = "" || String.length line >= 1 && line.[0] = '#' then Ok ()
+    if line = "" then Ok ()
+    else if String.length line >= 1 && line.[0] = '#' then
+      check_type_line lineno line
     else
       let name_end = ref 0 in
       while
@@ -480,6 +599,7 @@ let validate_prometheus (text : string) : (unit, string) result =
       if !name_end = 0 then
         Error (Printf.sprintf "line %d: no metric name" lineno)
       else
+        let name = String.sub line 0 !name_end in
         let rest = String.sub line !name_end (String.length line - !name_end) in
         let rest =
           if rest <> "" && rest.[0] = '{' then
@@ -492,11 +612,33 @@ let validate_prometheus (text : string) : (unit, string) result =
           Error (Printf.sprintf "line %d: missing value" lineno)
         else
           let v = String.sub rest 1 (String.length rest - 1) in
-          if v = "+Inf" || v = "-Inf" || v = "NaN" then Ok ()
-          else (
-            match float_of_string_opt v with
-            | Some _ -> Ok ()
-            | None -> Error (Printf.sprintf "line %d: bad value %S" lineno v))
+          let value_ok =
+            if v = "+Inf" || v = "-Inf" || v = "NaN" then Ok ()
+            else
+              match float_of_string_opt v with
+              | Some _ -> Ok ()
+              | None -> Error (Printf.sprintf "line %d: bad value %S" lineno v)
+          in
+          match value_ok with
+          | Error _ as e -> e
+          | Ok () -> (
+            match family_of name with
+            | None ->
+              Error
+                (Printf.sprintf
+                   "line %d: sample %s has no preceding # TYPE family" lineno
+                   name)
+            | Some (_, _) ->
+              if
+                name = "sdnshield_health_status"
+                && not (List.mem v [ "0"; "1"; "2" ])
+              then
+                Error
+                  (Printf.sprintf
+                     "line %d: sdnshield_health_status must be 0, 1 or 2 \
+                      (got %s)"
+                     lineno v)
+              else Ok ())
   in
   let lines = String.split_on_char '\n' text in
   let rec go lineno = function
@@ -516,6 +658,9 @@ let pp ppf (s : snapshot) =
   (match s.trace with
   | None -> ()
   | Some tr -> Fmt.pf ppf "%a@." Trace.pp_stats tr);
+  (match s.health with
+  | None -> ()
+  | Some v -> Fmt.pf ppf "%a@." Health.pp_verdict v);
   List.iter
     (fun (k, (g : Metrics.gauge)) ->
       Fmt.pf ppf "gauge %-24s depth=%-6d hwm=%d@." k g.Metrics.depth

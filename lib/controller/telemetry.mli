@@ -14,10 +14,16 @@ type snapshot = {
   caches : (string * Metrics.cache_stats) list;
   gauges : (string * Metrics.gauge) list;
   trace : Trace.stats option;
+  health : Health.verdict option;
+      (** The sliding-window monitor's judgment at snapshot time. *)
 }
 
 val snapshot :
-  ?counters:(string * int) list -> ?trace:Trace.t -> unit -> snapshot
+  ?counters:(string * int) list ->
+  ?trace:Trace.t ->
+  ?health:Health.t ->
+  unit ->
+  snapshot
 (** Read the {!Metrics} registries now.  Each entry is internally
     consistent; the snapshot as a whole is not a stop-the-world cut. *)
 
@@ -52,12 +58,21 @@ val to_prometheus : snapshot -> string
     [_high_water], cache counters as [sdnshield_cache_*_total],
     histograms as cumulative [sdnshield_latency_seconds] bucket series
     (registry names in the [stage] label), trace accounting as
-    [sdnshield_trace_spans]. *)
+    [sdnshield_trace_spans] / [sdnshield_trace_txn_spans], and the
+    health verdict as [sdnshield_health_status] (0/1/2),
+    [sdnshield_health_window_seconds],
+    [sdnshield_health_signal{signal=…}] and, for crossed rules,
+    [sdnshield_health_cause_level{signal=…}]. *)
 
 val validate_prometheus : string -> (unit, string) result
 (** Shape-check exposition text: every non-comment line must be
-    [name[{labels}] value] with a parseable value.  Used by the
-    obs-smoke gate; not a full scrape parser. *)
+    [name[{labels}] value] with a parseable value, and every sample
+    must belong to a preceding [# TYPE] family — exactly for counters
+    and gauges, via the [_bucket]/[_sum]/[_count] suffixes for
+    histograms.  Counter families must end [_total], gauge families
+    must not, and [sdnshield_health_status] must read 0, 1 or 2.
+    Used by the obs-smoke and health-smoke gates; not a full scrape
+    parser. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable report (what [Runtime.pp_report] prints). *)

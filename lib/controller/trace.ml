@@ -27,6 +27,9 @@ type span = {
   app : string;
   call : string;  (** Call-kind label ({!Api.call_kind}), e.g. ["install_flow"]. *)
   deputy : int;  (** Serving deputy index; [-1] = inline (monolithic). *)
+  start : float;
+      (** {!Metrics.now} at the beginning of the call (enqueue time for
+          queued calls) — lets exporters place spans on a timeline. *)
   queue_wait : float;  (** Seconds between enqueue and deputy pop. *)
   check_dur : float;  (** Permission-check duration, seconds. *)
   exec_dur : float;  (** Kernel-execution (+ vetting) duration, seconds. *)
@@ -38,11 +41,47 @@ type span = {
           can explain itself (always populated for engine denials). *)
 }
 
+(* Lifecycle transaction spans (docs/CHURN.md): one parent span per
+   Market request, with child stage spans for each pipeline stage the
+   transaction entered (vet, reconcile, lint, verify, compile,
+   publish, and the publish undo on a torn rollback). *)
+
+type stage_span = {
+  stage : string;
+  offset : float;  (** Seconds from the transaction start. *)
+  dur : float;  (** Stage duration, seconds. *)
+}
+
+type txn_verdict =
+  | Txn_committed of { delta : bool; republished : string list }
+  | Txn_rolled_back of { stage : string; reason : string }
+
+type txn_span = {
+  tseq : int;  (** Monotone per-store sequence number of recorded txns. *)
+  id : int;  (** The market's transaction id (ledger key). *)
+  kind : string;  (** ["install"] / ["upgrade"] / ["revoke"]. *)
+  txn_app : string;
+  verdict : txn_verdict;
+  epoch_before : int;  (** Global epoch when the transaction started. *)
+  epoch_after : int;  (** Epoch after: [epoch_before + 1] on commit, unchanged on rollback. *)
+  txn_start : float;  (** {!Metrics.now} at worker pickup. *)
+  txn_total : float;  (** Whole-transaction duration, seconds. *)
+  stages : stage_span list;  (** Execution order. *)
+}
+
+let txn_committed (t : txn_span) =
+  match t.verdict with Txn_committed _ -> true | Txn_rolled_back _ -> false
+
 type t = {
   ring : span option array;
   mutable recorded : int;  (** Spans written into the ring, ever. *)
   seen : int Atomic.t;  (** Calls offered, including sampled-out ones. *)
   stride : int;  (** Record every [stride]-th offered call. *)
+  txn_ring : txn_span option array;
+      (** Lifecycle transactions, unsampled: churn is orders of
+          magnitude rarer than mediated calls, so every transaction is
+          kept (bounded by the ring). *)
+  mutable txn_recorded : int;
   mutex : Mutex.t;
 }
 
@@ -54,23 +93,34 @@ type stats = {
   dropped : int;  (** Recorded spans overwritten by the ring. *)
   stored : int;  (** Spans currently readable. *)
   sampling : float;  (** Effective ratio: [1 / stride]. *)
+  txn_capacity : int;
+  txn_recorded : int;  (** Transaction spans written, ever. *)
+  txn_dropped : int;  (** Transaction spans overwritten by the ring. *)
+  txn_stored : int;  (** Transaction spans currently readable. *)
 }
 
 let default_capacity = 4096
+let default_txn_capacity = 1024
 
 (** [create ()] — a span store.  [capacity] bounds memory (default
     4096 spans); [sampling] in (0, 1] is the fraction of calls to
     record (default 1.0 = every call), realised as a deterministic
     1-in-[round (1/sampling)] stride so the recorded subset is
-    reproducible. *)
-let create ?(capacity = default_capacity) ?(sampling = 1.0) () =
+    reproducible.  [txn_capacity] (default 1024) bounds the separate
+    lifecycle-transaction ring, which is never sampled. *)
+let create ?(capacity = default_capacity) ?(sampling = 1.0)
+    ?(txn_capacity = default_txn_capacity) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
   if not (sampling > 0. && sampling <= 1.) then
     invalid_arg "Trace.create: sampling must be in (0, 1]";
+  if txn_capacity <= 0 then
+    invalid_arg "Trace.create: txn_capacity must be > 0";
   { ring = Array.make capacity None;
     recorded = 0;
     seen = Atomic.make 0;
     stride = Stdlib.max 1 (int_of_float (Float.round (1. /. sampling)));
+    txn_ring = Array.make txn_capacity None;
+    txn_recorded = 0;
     mutex = Mutex.create () }
 
 (** Offer one call: bumps the seen counter and says whether this call
@@ -90,11 +140,21 @@ let record t (s : span) =
   Mutex.unlock t.mutex
 
 (** Convenience over {!record}. *)
-let span t ~app ~call ~deputy ~queue_wait ~check_dur ~exec_dur ~decision
-    ~cache ~explain =
+let span t ~app ~call ~deputy ~start ~queue_wait ~check_dur ~exec_dur
+    ~decision ~cache ~explain =
   record t
-    { seq = 0; app; call; deputy; queue_wait; check_dur; exec_dur;
+    { seq = 0; app; call; deputy; start; queue_wait; check_dur; exec_dur;
       total = queue_wait +. check_dur +. exec_dur; decision; cache; explain }
+
+(** Record a lifecycle-transaction span (the [tseq] field of the
+    argument is ignored and reassigned under the store's lock).
+    Transactions are never sampled out. *)
+let record_txn t (s : txn_span) =
+  Mutex.lock t.mutex;
+  let tseq = t.txn_recorded in
+  t.txn_ring.(tseq mod Array.length t.txn_ring) <- Some { s with tseq };
+  t.txn_recorded <- t.txn_recorded + 1;
+  Mutex.unlock t.mutex
 
 (** The retained spans, oldest first. *)
 let spans t =
@@ -111,11 +171,28 @@ let spans t =
   Mutex.unlock t.mutex;
   out
 
+(** The retained transaction spans, oldest first. *)
+let txn_spans t =
+  Mutex.lock t.mutex;
+  let cap = Array.length t.txn_ring in
+  let stored = Stdlib.min t.txn_recorded cap in
+  let first = t.txn_recorded - stored in
+  let out =
+    List.init stored (fun i ->
+        match t.txn_ring.((first + i) mod cap) with
+        | Some s -> s
+        | None -> assert false)
+  in
+  Mutex.unlock t.mutex;
+  out
+
 let stats t : stats =
   Mutex.lock t.mutex;
   let cap = Array.length t.ring in
   let stored = Stdlib.min t.recorded cap in
   let seen = Atomic.get t.seen in
+  let txn_cap = Array.length t.txn_ring in
+  let txn_stored = Stdlib.min t.txn_recorded txn_cap in
   let s =
     { capacity = cap;
       seen;
@@ -123,7 +200,11 @@ let stats t : stats =
       sampled_out = seen - ((seen + t.stride - 1) / t.stride);
       dropped = t.recorded - stored;
       stored;
-      sampling = 1. /. float_of_int t.stride }
+      sampling = 1. /. float_of_int t.stride;
+      txn_capacity = txn_cap;
+      txn_recorded = t.txn_recorded;
+      txn_dropped = t.txn_recorded - txn_stored;
+      txn_stored }
   in
   Mutex.unlock t.mutex;
   s
@@ -133,6 +214,8 @@ let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.recorded <- 0;
   Atomic.set t.seen 0;
+  Array.fill t.txn_ring 0 (Array.length t.txn_ring) None;
+  t.txn_recorded <- 0;
   Mutex.unlock t.mutex
 
 let pp_span ppf s =
@@ -147,8 +230,28 @@ let pp_span ppf s =
     Fmt.(option (any " — " ++ string))
     s.explain
 
+let pp_txn_span ppf (s : txn_span) =
+  let verdict ppf = function
+    | Txn_committed { delta; republished } ->
+      Fmt.pf ppf "committed (%s, %d republished)"
+        (if delta then "delta" else "full")
+        (List.length republished)
+    | Txn_rolled_back { stage; reason } ->
+      Fmt.pf ppf "rolled back at %s: %s" stage reason
+  in
+  Fmt.pf ppf "@[<h>txn#%d %s %s epoch %d->%d total=%.1fus %a [%a]@]" s.id
+    s.kind s.txn_app s.epoch_before s.epoch_after (s.txn_total *. 1e6)
+    verdict s.verdict
+    Fmt.(
+      list ~sep:(any " ")
+        (fun ppf (st : stage_span) ->
+          Fmt.pf ppf "%s=%.1fus" st.stage (st.dur *. 1e6)))
+    s.stages
+
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "trace: capacity=%d stored=%d recorded=%d dropped=%d seen=%d \
-     sampled-out=%d sampling=%.3f"
+     sampled-out=%d sampling=%.3f txns: capacity=%d stored=%d recorded=%d \
+     dropped=%d"
     s.capacity s.stored s.recorded s.dropped s.seen s.sampled_out s.sampling
+    s.txn_capacity s.txn_stored s.txn_recorded s.txn_dropped

@@ -256,17 +256,33 @@ let failure_reason = function
   | Invalid_argument m | Failure m -> m
   | exn -> Printexc.to_string exn
 
-(* Run one stage: record its wall-clock duration on success, convert
-   any escaping exception (injected fault, budget exhaustion, compile
-   rejection) into [Stage_failed] carrying this stage's name. *)
+(* Run one stage: record its wall-clock duration — on failure too, so
+   a rolled-back transaction's span still shows where the time went —
+   and convert any escaping exception (injected fault, budget
+   exhaustion, compile rejection) into [Stage_failed] carrying this
+   stage's name. *)
 let stage stages name f =
   let t0 = Metrics.now () in
+  let before = !stages in
+  let record () =
+    (* Entries [f] itself pushed (the publish stage's undo walk) stay
+       *after* this stage's own entry in execution order, i.e. nearer
+       the head of the reversed-accumulation list. *)
+    let rec during l = if l == before then [] else
+        match l with [] -> [] | x :: tl -> x :: during tl
+    in
+    stages := during !stages @ ((name, Metrics.now () -. t0) :: before)
+  in
   match f () with
   | v ->
-    stages := (name, Metrics.now () -. t0) :: !stages;
+    record ();
     v
-  | exception (Stage_failed _ as e) -> raise e
-  | exception exn -> failed name (failure_reason exn)
+  | exception (Stage_failed _ as e) ->
+    record ();
+    raise e
+  | exception exn ->
+    record ();
+    failed name (failure_reason exn)
 
 let published t =
   List.filter_map
@@ -391,8 +407,10 @@ let compile_stage t ~next_epoch to_publish () =
 (* Swap the prepared slots in, keeping an undo list: a fault mid-way
    (site [Swap_publish], armed before *each* swap) restores every
    already-swapped slot, so the commit is all-or-nothing.  The global
-   epoch only advances after the last swap. *)
-let publish_stage t ~next_epoch entries () =
+   epoch only advances after the last swap.  The undo walk is timed
+   into a ["rollback-undo"] stage entry so a rolled-back transaction's
+   span accounts for the restore, not just the stages that ran. *)
+let publish_stage t ~next_epoch ~stages entries () =
   let swapped = ref [] in
   (try
      List.iter
@@ -402,7 +420,9 @@ let publish_stage t ~next_epoch entries () =
          swapped := (cell, old) :: !swapped)
        entries
    with exn ->
+     let u0 = Metrics.now () in
      List.iter (fun (cell, old) -> Atomic.set cell old) !swapped;
+     stages := ("rollback-undo", Metrics.now () -. u0) :: !stages;
      raise exn);
   Atomic.set t.epoch_counter next_epoch
 
@@ -462,7 +482,7 @@ let apply_admit t ~upgrade ~app ~src stages =
   in
   let records = stage stages "compile" (compile_stage t ~next_epoch to_publish) in
   let entries = List.map (fun (name, s) -> (slot_cell_locked t name, s)) records in
-  stage stages "publish" (publish_stage t ~next_epoch entries);
+  stage stages "publish" (publish_stage t ~next_epoch ~stages entries);
   t.originals <- (app, manifest) :: List.remove_assoc app t.originals;
   Market.Committed
     { epoch = next_epoch; delta; republished = republished ~app records;
@@ -496,7 +516,7 @@ let apply_revoke t ~app stages =
     (slot_cell_locked t app, Absent { epoch = next_epoch; reason = "revoked" })
     :: List.map (fun (name, s) -> (slot_cell_locked t name, s)) records
   in
-  stage stages "publish" (publish_stage t ~next_epoch entries);
+  stage stages "publish" (publish_stage t ~next_epoch ~stages entries);
   t.originals <- List.remove_assoc app t.originals;
   Market.Committed
     { epoch = next_epoch; delta; republished = republished ~app records;
@@ -519,10 +539,11 @@ let apply t (req : Market.request) : Market.outcome =
         | Market.Revoke -> apply_revoke t ~app:req.Market.app stages
       with Stage_failed { stage; reason } ->
         Market.Rolled_back
-          { stage; reason; epoch = Atomic.get t.epoch_counter })
+          { stage; reason; epoch = Atomic.get t.epoch_counter;
+            stages = List.rev !stages })
 
-let market ?capacity ?sandbox t =
-  Market.create ?capacity ?sandbox ~exec:(apply t) ()
+let market ?capacity ?sandbox ?trace ?health ?flight t =
+  Market.create ?capacity ?sandbox ?trace ?health ?flight ~exec:(apply t) ()
 
 (* Invariants --------------------------------------------------------------- *)
 

@@ -79,9 +79,20 @@ val apply : t -> Market.request -> Market.outcome
     current epoch.  Install of a present app and upgrade/revoke of an
     absent one roll back at stage ["vet"]. *)
 
-val market : ?capacity:int -> ?sandbox:Sandbox.t -> t -> Market.t
+val market :
+  ?capacity:int ->
+  ?sandbox:Sandbox.t ->
+  ?trace:Trace.t ->
+  ?health:Health.t ->
+  ?flight:Forensics.Flight.t ->
+  t ->
+  Market.t
 (** [Market.create ~exec:(apply t)] — the update queue wired to this
-    deployment. *)
+    deployment.  The optional observability hooks are passed through
+    to {!Market.create}: [trace] records a transaction span (with the
+    vet…publish stage children this executor times) per lifecycle
+    request, [health] sees rollbacks and stage latencies, [flight]
+    captures an incident bundle per rollback. *)
 
 val checker : t -> string -> Api.checker
 (** The app's {e live} checker, valid across swaps for the lifetime of

@@ -45,7 +45,7 @@ let committed what (o : Market.outcome) : commit_view =
 
 let rolled_back what (o : Market.outcome) : rollback_view =
   match o with
-  | Market.Rolled_back { stage; reason; epoch } ->
+  | Market.Rolled_back { stage; reason; epoch; _ } ->
     { stage; reason; at_epoch = epoch }
   | Market.Committed _ -> Alcotest.failf "%s: expected rollback" what
 

@@ -39,7 +39,7 @@ let test_stats_and_outcomes () =
     match req.Market.kind with
     | Market.Install -> commit 1
     | Market.Upgrade ->
-      Market.Rolled_back { stage = "verify"; reason = "refuted"; epoch = 1 }
+      Market.Rolled_back { stage = "verify"; reason = "refuted"; epoch = 1; stages = [] }
     | Market.Revoke -> failwith "executor crashed"
   in
   let m = Market.create ~exec () in
@@ -68,7 +68,7 @@ let test_audit_notifications () =
   let sandbox = Sandbox.create () in
   let exec (req : Market.request) =
     if req.Market.kind = Market.Revoke then
-      Market.Rolled_back { stage = "publish"; reason = "injected"; epoch = 3 }
+      Market.Rolled_back { stage = "publish"; reason = "injected"; epoch = 3; stages = [] }
     else commit 4
   in
   let m = Market.create ~sandbox ~exec () in

@@ -19,9 +19,9 @@ let check_contains what ~sub s =
 
 let dummy_span i =
   { Trace.seq = 0; app = "a"; call = "install_flow"; deputy = 0;
-    queue_wait = float_of_int i; check_dur = 0.; exec_dur = 0.;
-    total = float_of_int i; decision = Trace.Allowed; cache = Api.Uncached;
-    explain = None }
+    start = float_of_int i; queue_wait = float_of_int i; check_dur = 0.;
+    exec_dur = 0.; total = float_of_int i; decision = Trace.Allowed;
+    cache = Api.Uncached; explain = None }
 
 (* Span store ---------------------------------------------------------------- *)
 
@@ -348,6 +348,184 @@ let test_traced_runtime_denials_explained () =
   List.iter Metrics.unregister_hist
     [ "lat:queue"; "lat:check"; "lat:exec"; "lat:total"; "lat:app:traced" ]
 
+(* Lifecycle transaction spans ----------------------------------------------- *)
+
+let unregister_stage_hists () =
+  List.iter
+    (fun (name, _) ->
+      if String.length name >= 10 && String.sub name 0 10 = "lat:stage:" then
+        Metrics.unregister_hist name)
+    (Metrics.hist_report ())
+
+(* One committed and one rolled-back lifecycle request through the real
+   executor: each leaves a parent transaction span whose stage children
+   account for the parent's duration, and whose verdict mirrors the
+   ledger outcome (including the failed stage). *)
+let test_txn_spans_lifecycle () =
+  let trace = Trace.create () in
+  let t =
+    match Epoch.create ~policy:"" () with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "policy rejected: %s" e
+  in
+  let m = Epoch.market ~trace t in
+  let manifest = "PERM insert_flow LIMITING MAX_PRIORITY 400\nPERM pkt_in_event" in
+  let o1 = Market.submit m (Market.install "alpha" manifest) in
+  let o2 = Market.submit m (Market.install "alpha" manifest) in
+  Market.shutdown m;
+  Epoch.close t;
+  Alcotest.(check bool) "first install committed" true (Market.committed o1);
+  Alcotest.(check bool) "re-install rolled back" false (Market.committed o2);
+  let spans = Trace.txn_spans trace in
+  Alcotest.(check int) "one span per transaction" 2 (List.length spans);
+  let s1 = List.nth spans 0 and s2 = List.nth spans 1 in
+  (* Committed parent: verdict, epochs, and stage accounting. *)
+  Alcotest.(check bool) "span 1 committed" true (Trace.txn_committed s1);
+  Alcotest.(check int) "span 1 id" 1 s1.Trace.id;
+  Alcotest.(check int) "epoch before commit" 0 s1.Trace.epoch_before;
+  Alcotest.(check int) "epoch after commit" 1 s1.Trace.epoch_after;
+  let stage_names =
+    List.map (fun (st : Trace.stage_span) -> st.Trace.stage) s1.Trace.stages
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "commit ran stage %s" expected)
+        true (List.mem expected stage_names))
+    [ "vet"; "reconcile"; "verify"; "compile"; "publish" ];
+  let sum =
+    List.fold_left
+      (fun acc (st : Trace.stage_span) -> acc +. st.Trace.dur)
+      0. s1.Trace.stages
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stage children (%.6fs) fit inside parent (%.6fs)" sum
+       s1.Trace.txn_total)
+    true
+    (sum <= s1.Trace.txn_total +. 1e-3);
+  Alcotest.(check bool)
+    (Printf.sprintf "parent (%.6fs) mostly accounted by children (%.6fs)"
+       s1.Trace.txn_total sum)
+    true
+    (s1.Trace.txn_total -. sum <= 0.05);
+  (* Offsets are cumulative: each child starts at or after the previous
+     child's end. *)
+  ignore
+    (List.fold_left
+       (fun prev_end (st : Trace.stage_span) ->
+         Alcotest.(check bool)
+           (Printf.sprintf "stage %s starts after the previous ends"
+              st.Trace.stage)
+           true
+           (st.Trace.offset >= prev_end -. 1e-9);
+         st.Trace.offset +. st.Trace.dur)
+       0. s1.Trace.stages);
+  (* Rolled-back parent: the span's failed stage is the ledger's. *)
+  (match (o2, s2.Trace.verdict) with
+  | Market.Rolled_back { stage; epoch; _ }, Trace.Txn_rolled_back v ->
+    Alcotest.(check string) "span names the failed stage" stage v.stage;
+    Alcotest.(check string) "vet failed" "vet" v.stage;
+    Alcotest.(check int) "rollback leaves the epoch" epoch s2.Trace.epoch_after;
+    Alcotest.(check int) "epoch unchanged by rollback" s2.Trace.epoch_before
+      s2.Trace.epoch_after
+  | _ -> Alcotest.fail "rolled-back transaction has a committed span");
+  (* The span's stage list mirrors the outcome's timing list. *)
+  Alcotest.(check (list string)) "span stages = outcome stages"
+    (List.map fst (Market.stages_of o2))
+    (List.map (fun (st : Trace.stage_span) -> st.Trace.stage) s2.Trace.stages);
+  unregister_stage_hists ()
+
+(* Timeline export ----------------------------------------------------------- *)
+
+let arb_timeline_store =
+  let open QCheck in
+  let span_gen =
+    Gen.(
+      map
+        (fun (st, (qw, cd, ed)) ->
+          { Trace.seq = 0; app = "a"; call = "install_flow"; deputy = -1;
+            start = st; queue_wait = qw; check_dur = cd; exec_dur = ed;
+            total = qw +. cd +. ed; decision = Trace.Allowed;
+            cache = Api.Uncached; explain = None })
+        (pair (float_bound_inclusive 1.0)
+           (triple (float_bound_inclusive 0.01) (float_bound_inclusive 0.01)
+              (float_bound_inclusive 0.01))))
+  in
+  let txn_gen =
+    Gen.(
+      map
+        (fun (st, durs, committed) ->
+          let stages =
+            List.rev
+              (fst
+                 (List.fold_left
+                    (fun (acc, off) dur ->
+                      ( { Trace.stage = "stage"; offset = off; dur } :: acc,
+                        off +. dur ))
+                    ([], 0.) durs))
+          in
+          let total =
+            List.fold_left
+              (fun acc (s : Trace.stage_span) -> acc +. s.Trace.dur)
+              0. stages
+          in
+          { Trace.tseq = 0; id = 1; kind = "install"; txn_app = "a";
+            verdict =
+              (if committed then
+                 Trace.Txn_committed { delta = false; republished = [] }
+               else Trace.Txn_rolled_back { stage = "vet"; reason = "refused" });
+            epoch_before = 0;
+            epoch_after = (if committed then 1 else 0);
+            txn_start = st; txn_total = total; stages })
+        (triple (float_bound_inclusive 1.0)
+           (list_size (int_range 0 6) (float_bound_inclusive 0.005))
+           bool))
+  in
+  make
+    Gen.(
+      pair
+        (list_size (int_range 0 20) span_gen)
+        (list_size (int_range 0 10) txn_gen))
+
+(* Every "X" event's ts is non-decreasing within its track (tid). *)
+let monotone_per_track v =
+  match Telemetry.Json.member "traceEvents" v with
+  | Some (Telemetry.Json.Arr events) ->
+    let by_tid = Hashtbl.create 4 in
+    List.iter
+      (fun e ->
+        match e with
+        | Telemetry.Json.Obj fields
+          when List.assoc_opt "ph" fields = Some (Telemetry.Json.Str "X") -> (
+          match
+            (List.assoc_opt "tid" fields, List.assoc_opt "ts" fields)
+          with
+          | Some (Telemetry.Json.Num tid), Some (Telemetry.Json.Num ts) ->
+            let prev = try Hashtbl.find by_tid tid with Not_found -> [] in
+            Hashtbl.replace by_tid tid (ts :: prev)
+          | _ -> ())
+        | _ -> ())
+      events;
+    Hashtbl.fold
+      (fun _ rev_ts acc ->
+        let ts = List.rev rev_ts in
+        acc && List.sort Float.compare ts = ts)
+      by_tid true
+  | _ -> false
+
+let timeline_qsuite =
+  [ QCheck.Test.make ~count:100
+      ~name:"timeline export round-trips through Json and is monotone per track"
+      arb_timeline_store
+      (fun (calls, txns) ->
+        let tr = Trace.create () in
+        List.iter (Trace.record tr) calls;
+        List.iter (Trace.record_txn tr) txns;
+        let doc = Timeline.to_json tr in
+        match Telemetry.Json.of_string (Timeline.to_string tr) with
+        | Error _ -> false
+        | Ok parsed -> parsed = doc && monotone_per_track parsed) ]
+
 let suite =
   [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
     Alcotest.test_case "sampling stride" `Quick test_sampling_stride;
@@ -365,6 +543,8 @@ let suite =
     Alcotest.test_case "telemetry roundtrip" `Quick test_telemetry_roundtrip;
     Alcotest.test_case "json parser rejects garbage" `Quick
       test_json_parser_rejects_garbage;
+    Alcotest.test_case "lifecycle txn spans" `Quick test_txn_spans_lifecycle;
     Alcotest.test_case "traced runtime explains denials" `Quick
       test_traced_runtime_denials_explained ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      (qsuite @ timeline_qsuite)
