@@ -9,7 +9,8 @@
                 reconcile-perf decision-cache cache-smoke automaton-lab
                 automaton-smoke faults faults-smoke vetting-lab
                 vet-smoke lint-lab lint-smoke verify-lab verify-smoke
-                trace-lab obs-smoke health-smoke market-lab market-smoke
+                diff-lab diff-smoke trace-lab obs-smoke health-smoke
+                market-lab market-smoke
                 ablation-compile ablation-isolation ablation-inclusion *)
 
 let experiments : (string * (unit -> unit)) list =
@@ -33,6 +34,8 @@ let experiments : (string * (unit -> unit)) list =
     ("lint-smoke", Lint_lab.smoke);
     ("verify-lab", Verify_lab.run);
     ("verify-smoke", Verify_lab.smoke);
+    ("diff-lab", Diff_lab.run);
+    ("diff-smoke", Diff_lab.smoke);
     ("trace-lab", Trace_lab.run);
     ("obs-smoke", Trace_lab.smoke);
     ("health-smoke", Health_lab.smoke);

@@ -1247,13 +1247,17 @@ let lint_cmd =
           | Some Lint.Info -> 0
         in
         if worst >= deny_rank then begin
+          (* Gate counts collapse witness-bearing findings to one per
+             rule (Lint.gate_count): attaching confirmed witness calls
+             to a rule's findings must not inflate the numbers CI keys
+             on. *)
           Fmt.epr
             "lint: findings at or above the --deny %s threshold (%d \
              error(s), %d warning(s), %d info)@."
             deny
-            (Lint.count Lint.Error findings)
-            (Lint.count Lint.Warn findings)
-            (Lint.count Lint.Info findings);
+            (Lint.gate_count Lint.Error findings)
+            (Lint.gate_count Lint.Warn findings)
+            (Lint.gate_count Lint.Info findings);
           exit 1
         end
         else `Ok ())
@@ -1308,7 +1312,7 @@ let lint_cmd =
 (* verify --------------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run app manifest_path policy_path json deny max_steps max_clauses
+  let run app manifest_path policy_path json deny minimal max_steps max_clauses
       max_nodes max_depth deadline =
     let d = Budget.default_limits in
     let limits =
@@ -1341,6 +1345,12 @@ let verify_cmd =
           Fmt.epr "verify: %s — failing (--deny)@." (Verify.verdict_label cert);
           exit 1
         end
+        else if minimal && Verify.minimality_label cert <> "minimal" then begin
+          Fmt.epr
+            "verify: repair minimality is %s — failing (--minimal)@."
+            (Verify.minimality_label cert);
+          exit 1
+        end
         else `Ok ())
   in
   let app_arg =
@@ -1366,6 +1376,17 @@ let verify_cmd =
             "Exit non-zero unless the verdict is $(b,certified) — for CI: \
              refuted and unverified (budget-degraded) runs both fail.")
   in
+  let minimal =
+    Arg.(
+      value & flag
+      & info [ "minimal" ]
+          ~doc:
+            "Additionally exit non-zero unless the certificate's \
+             least-repair dimension is $(b,minimal): confirmed slack (a \
+             repair stripped behaviour the policy allows) and \
+             unknown-minimality (budget-degraded) runs both fail.  \
+             Composes with $(b,--deny) for full promotion.")
+  in
   let opt_int names doc =
     Arg.(value & opt (some int) None & info names ~docv:"N" ~doc)
   in
@@ -1384,13 +1405,14 @@ let verify_cmd =
        ~doc:
          "Reconcile an app manifest against a policy and certify that the \
           repaired manifest satisfies every obligation (docs/VERIFY.md); \
-          refuted obligations come with concrete counterexample calls. \
-          Exits 0 unless $(b,--deny) is given and the verdict is not \
-          certified")
+          refuted obligations come with concrete counterexample calls, and \
+          the certificate carries a least-repair minimality dimension. \
+          Exits 0 unless $(b,--deny) (verdict not certified) or \
+          $(b,--minimal) (repair not provably minimal) fail it")
     Term.(
       ret
-        (const run $ app_arg $ manifest $ policy $ json $ deny $ max_steps
-       $ max_clauses $ max_nodes $ max_depth $ deadline))
+        (const run $ app_arg $ manifest $ policy $ json $ deny $ minimal
+       $ max_steps $ max_clauses $ max_nodes $ max_depth $ deadline))
 
 let () =
   let info =

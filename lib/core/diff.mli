@@ -1,0 +1,81 @@
+(** Symbolic lattice-difference analysis over permission manifests
+    (docs/VERIFY.md, "Minimality").
+
+    [diff p q] decides non-emptiness of [p \ q] — behaviour admitted by
+    [p] that [q] does not admit — over the filter lattice, under the
+    ambient {!Budget}:
+
+    - {b Empty} — a {e sound} emptiness proof: Algorithm 1
+      ({!Inclusion.manifest_includes}) proved [p <= q].  The lattice
+      procedure is incomplete but its positive answers are trusted, so
+      [Empty] certifies.
+    - {b Nonempty} — one or more {e concrete witness calls}, each
+      semantically confirmed by {!Filter_eval} on both sides: admitted
+      by [p]'s filter, rejected by [q]'s.  Candidates are synthesized
+      from the atoms of the filters under comparison (subnet boundaries
+      and one-bit-outside addresses, integer off-by-ones, priority
+      envelopes, topology members, action sets, stats levels), so a
+      witness is never an artifact of the search heuristics.
+    - {b Unknown} — neither provable nor witnessed.  Budget exhaustion,
+      [Nf.Too_large] degradation, and any internal error land here:
+      the operator is {e fail-closed} and never answers a false
+      [Empty] past exhaustion (pinned by [test/test_diff.ml]; direction
+      table in docs/VETTING.md).
+
+    [diff] never raises — not even {!Budget.Exhausted}; exhaustion is
+    absorbed into [Unknown] so callers folding many differences (the
+    {!Verify} minimality pass, lint rules) degrade per-query. *)
+
+open Shield_controller
+
+(** One confirmed concrete call in the region under test. *)
+type witness = {
+  token : Token.t;
+  call : Api.call;
+  why_left : string;
+      (** {!Filter_eval.explain}'s account of why the left manifest
+          admits [call]. *)
+  why_right : string;
+      (** Why the right manifest rejects it ([diff]) or also admits it
+          ([overlap]). *)
+}
+
+type verdict =
+  | Empty  (** Sound lattice proof that the region is empty. *)
+  | Nonempty of witness list  (** Nonempty; every witness confirmed. *)
+  | Unknown of string  (** Fail-closed: neither proof nor witness. *)
+
+val diff : ?max_witnesses:int -> Perm.manifest -> Perm.manifest -> verdict
+(** [diff p q] — is there behaviour in [p] not in [q]?  Collects at
+    most [max_witnesses] (default 4) confirmed witnesses, one per
+    granted token.  Ticks the ambient {!Budget} once per candidate
+    call; each per-token search is additionally hard-capped.  Never
+    raises. *)
+
+val overlap : ?max_witnesses:int -> Perm.manifest -> Perm.manifest -> verdict
+(** [overlap p q] — is there behaviour admitted by {e both} sides?
+    [Empty] is a sound disjointness proof
+    (¬{!Inclusion.manifests_overlap}); witnesses are confirmed admitted
+    by both filters.  Same budget discipline as {!diff}. *)
+
+val find_call :
+  filters:Filter.expr list ->
+  Token.t ->
+  goal:(Attrs.t -> bool) ->
+  (Api.call * Attrs.t) option
+(** The candidate-synthesis engine underneath both verdicts: first
+    concrete call of [token]'s kind whose attributes satisfy [goal],
+    with candidates harvested from the atoms of [filters].  One
+    {!Budget.step} per candidate (so this {e can} raise
+    {!Budget.Exhausted} — callers wanting the fail-closed absorption
+    use {!diff}/{!overlap}); hard-capped at {!max_candidates}. *)
+
+val max_candidates : int
+(** Per-search candidate cap (4096). *)
+
+val dedup : ?cap:int -> 'a list -> 'a list
+(** Stable physical-equality coalescing with a length cap (default 8):
+    keeps the first occurrence of each physically-distinct element, in
+    order, and drops everything past [cap] — the bound that keeps
+    witness lists in certificates and SARIF output finite under
+    adversarial manifests. *)

@@ -372,9 +372,15 @@ let reconcile_stage t ~app ~changed () :
         (policy', report, true)
       end
 
-let verify_stage t policy' report () =
+let verify_stage t stages policy' report () =
   Faults.point Faults.Swap_verify;
   let cert = Verify.verify_report ?limits:t.limits policy' report in
+  (* Advisory: record the certificate's least-repair dimension as a
+     zero-duration pseudo-stage, so the transaction span (and the
+     lat:stage:* histograms behind it) names whether this commit's
+     truncations were provably minimal — even when the stage then
+     fails on the verdict. *)
+  stages := ("verify:minimality:" ^ Verify.minimality_label cert, 0.) :: !stages;
   (match cert.Verify.verdict with
   | Verify.Certified -> ()
   | Verify.Refuted ces ->
@@ -466,7 +472,7 @@ let apply_admit t ~upgrade ~app ~src stages =
         Lint.lint_manifest ?limits:t.limits ~label:("app " ^ app)
           (List.assoc app report.Reconcile.manifests))
   in
-  let _cert = stage stages "verify" (verify_stage t policy' report) in
+  let _cert = stage stages "verify" (verify_stage t stages policy' report) in
   let next_epoch = Atomic.get t.epoch_counter + 1 in
   let to_publish =
     (* The changed app always republishes; under a full reconcile other
@@ -499,7 +505,7 @@ let apply_revoke t ~app stages =
   let policy', report, delta =
     stage stages "reconcile" (reconcile_stage t ~app ~changed:None)
   in
-  let _cert = stage stages "verify" (verify_stage t policy' report) in
+  let _cert = stage stages "verify" (verify_stage t stages policy' report) in
   let next_epoch = Atomic.get t.epoch_counter + 1 in
   let to_publish =
     List.filter

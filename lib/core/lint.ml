@@ -16,6 +16,7 @@
 
 module M = Shield_controller.Metrics
 module Json = Shield_controller.Telemetry.Json
+module Api = Shield_controller.Api
 
 (* Rule catalogue ------------------------------------------------------------- *)
 
@@ -92,9 +93,21 @@ type finding = {
   location : string;
   message : string;
   suggestion : string option;
+  witnesses : Diff.witness list;
 }
 
 let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
+
+(* CI-gate counting: witness-bearing findings collapse to one per
+   rule.  Upgrading a rule from a lattice claim to N confirmed witness
+   calls must not inflate the numbers a --deny gate keys on. *)
+let gate_count sev fs =
+  let at_sev = List.filter (fun f -> f.severity = sev) fs in
+  let bare, witnessed = List.partition (fun f -> f.witnesses = []) at_sev in
+  let rules =
+    List.sort_uniq compare (List.map (fun f -> f.rule) witnessed)
+  in
+  List.length bare + List.length rules
 
 let severity_rank = function Error -> 2 | Warn -> 1 | Info -> 0
 
@@ -159,8 +172,8 @@ let clause_str (c : Nf.clause) =
   ellipsize
     (String.concat " AND " (List.map (Fmt.to_to_string Nf.pp_literal) c))
 
-let finding ?suggestion rule severity location message =
-  { rule; severity; location; message; suggestion }
+let finding ?suggestion ?(witnesses = []) rule severity location message =
+  { rule; severity; location; message; suggestion; witnesses }
 
 let unverified rule location message =
   finding rule Info location ("unverified: " ^ message)
@@ -439,6 +452,21 @@ let redundant_perm loc (p : Perm.t) =
 
 (* Rule 5: over-privilege audit ---------------------------------------------- *)
 
+(* The lattice claims below are upgraded to confirmed witness calls
+   where [Diff] can synthesize one: a witness is a concrete call the
+   grant admits that the least-privilege envelope does not — evidence
+   an auditor can replay, not just a provable-inclusion assertion.
+   [Diff.diff] never raises and fails closed to no-witnesses, so the
+   base finding still fires when synthesis degrades. *)
+let excess_witnesses token ~(wide : Filter.expr) ~(narrow : Filter.expr) =
+  match
+    Diff.diff ~max_witnesses:2
+      [ { Perm.token; filter = wide } ]
+      [ { Perm.token; filter = narrow } ]
+  with
+  | Diff.Nonempty ws -> Diff.dedup ws
+  | Diff.Empty | Diff.Unknown _ -> []
+
 let over_privilege_findings ~label trace (m : Perm.manifest) =
   Budget.step ();
   let inferred = Infer.of_trace trace in
@@ -449,12 +477,21 @@ let over_privilege_findings ~label trace (m : Perm.manifest) =
       else
         match Perm.find inferred p.Perm.token with
         | None ->
-          [ finding Over_privilege Warn loc
+          let witnesses =
+            excess_witnesses p.Perm.token ~wide:p.Perm.filter
+              ~narrow:Filter.False
+          in
+          [ finding Over_privilege Warn loc ~witnesses
               (Printf.sprintf
                  "token %s is granted but never used in the supplied \
-                  behaviour trace (%d calls)"
+                  behaviour trace (%d calls)%s"
                  (Token.to_string p.Perm.token)
-                 (List.length trace))
+                 (List.length trace)
+                 (match witnesses with
+                 | w :: _ ->
+                   Printf.sprintf "; the grant admits e.g. %s"
+                     (ellipsize (Fmt.to_to_string Api.pp_call w.Diff.call))
+                 | [] -> ""))
               ~suggestion:
                 (Printf.sprintf "drop PERM %s from the manifest"
                    (Token.to_string p.Perm.token)) ]
@@ -463,12 +500,22 @@ let over_privilege_findings ~label trace (m : Perm.manifest) =
             Inclusion.filter_includes p.Perm.filter q.Perm.filter
             && not (Inclusion.filter_includes q.Perm.filter p.Perm.filter)
           then
-            [ finding Over_privilege Warn loc
+            let witnesses =
+              excess_witnesses p.Perm.token ~wide:p.Perm.filter
+                ~narrow:q.Perm.filter
+            in
+            [ finding Over_privilege Warn loc ~witnesses
                 (Printf.sprintf
                    "filter strictly exceeds the least-privilege envelope \
                     observed in the trace; the observed behaviour only \
-                    needs: %s"
-                   (filter_str q.Perm.filter))
+                    needs: %s%s"
+                   (filter_str q.Perm.filter)
+                   (match witnesses with
+                   | w :: _ ->
+                     Printf.sprintf
+                       " (confirmed: %s is admitted but outside the envelope)"
+                       (ellipsize (Fmt.to_to_string Api.pp_call w.Diff.call))
+                   | [] -> ""))
                 ~suggestion:
                   (Printf.sprintf "narrow to LIMITING %s"
                      (filter_str q.Perm.filter)) ]
@@ -652,13 +699,29 @@ let overlapping_exclusives (policy : Policy.t) =
            | Some ma, Some mb -> (
              match overlap_token ma mb with
              | Some t ->
+               (* Upgrade the satisfiability claim to confirmed calls
+                  where the witness engine finds one; [Diff.overlap]
+                  never raises, and a degraded search just leaves the
+                  claim witness-less. *)
+               let witnesses =
+                 match Diff.overlap ~max_witnesses:2 ma mb with
+                 | Diff.Nonempty ws -> Diff.dedup ws
+                 | Diff.Empty | Diff.Unknown _ -> []
+               in
                [ finding Overlapping_exclusive Warn (stmt_loc i stmt)
+                   ~witnesses
                    (Printf.sprintf
                       "the two EITHER sides share allowed behaviour (e.g. \
                        under token %s); an app possessing both would have \
                        the overlap silently truncated from the second side \
-                       at reconciliation"
-                      (Token.to_string t))
+                       at reconciliation%s"
+                      (Token.to_string t)
+                      (match witnesses with
+                      | w :: _ ->
+                        Printf.sprintf " (confirmed: %s is admitted by both)"
+                          (ellipsize
+                             (Fmt.to_to_string Api.pp_call w.Diff.call))
+                      | [] -> ""))
                    ~suggestion:
                      "tighten one side so the sets are disjoint, or drop \
                       the exclusivity constraint" ]
@@ -708,6 +771,11 @@ let pp_finding ppf f =
   Fmt.pf ppf "%s[%s] %s: %s"
     (severity_label f.severity)
     (rule_id f.rule) f.location f.message;
+  List.iter
+    (fun (w : Diff.witness) ->
+      Fmt.pf ppf "@,    witness: %a — %s" Api.pp_call w.Diff.call
+        w.Diff.why_left)
+    f.witnesses;
   match f.suggestion with
   | Some s -> Fmt.pf ppf "@,    suggestion: %s" s
   | None -> ()
@@ -734,11 +802,26 @@ let to_sarif ?(uri = "<memory>") fs =
           Json.Obj [ ("text", Json.Str (rule_doc r)) ] ) ]
   in
   let result f =
-    let properties =
-      match f.suggestion with
+    let witness_json (w : Diff.witness) =
+      Json.Obj
+        [ ("token", Json.Str (Token.to_string w.Diff.token));
+          ("call", Json.Str (Fmt.to_to_string Api.pp_call w.Diff.call));
+          ("admitted", Json.Str w.Diff.why_left);
+          ("counterpart", Json.Str w.Diff.why_right) ]
+    in
+    let property_fields =
+      (match f.suggestion with
       | None -> []
-      | Some s ->
-        [ ("properties", Json.Obj [ ("suggestion", Json.Str s) ]) ]
+      | Some s -> [ ("suggestion", Json.Str s) ])
+      @
+      match f.witnesses with
+      | [] -> []
+      | ws -> [ ("witnesses", Json.Arr (List.map witness_json ws)) ]
+    in
+    let properties =
+      match property_fields with
+      | [] -> []
+      | fields -> [ ("properties", Json.Obj fields) ]
     in
     Json.Obj
       ([ ("ruleId", Json.Str (rule_id f.rule));

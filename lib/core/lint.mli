@@ -89,9 +89,25 @@ type finding = {
           or ["statement 2 (LET x = ...)"]. *)
   message : string;
   suggestion : string option;
+  witnesses : Diff.witness list;
+      (** Concrete calls confirming the claim, where the {!Diff}
+          engine could synthesize them — a call admitted by the grant
+          but outside the least-privilege envelope
+          ([Over_privilege]), or admitted by both [EITHER] sides
+          ([Overlapping_exclusive]).  Deduplicated and capped
+          ({!Diff.dedup}); empty when the rule's claim is purely
+          lattice-derived or witness synthesis degraded under the
+          budget. *)
 }
 
 val count : severity -> finding list -> int
+
+val gate_count : severity -> finding list -> int
+(** Like {!count}, but witness-bearing findings collapse to one per
+    rule — the number a CI [--deny] gate should key on, so upgrading
+    a rule's findings with witness calls can never flip an existing
+    gate. *)
+
 val max_severity : finding list -> severity option
 val has_rule : rule -> finding list -> bool
 

@@ -3,12 +3,13 @@
 
    Architecture of one obligation check:
 
-     1. lattice pass — Algorithm 1 ([Inclusion]) proves the obligation
-        where it can.  Positive answers are sound (property-tested
-        against the evaluation semantics), so they certify.
+     1. lattice pass — Algorithm 1 ([Inclusion], via [Diff]) proves the
+        obligation where it can.  Positive answers are sound
+        (property-tested against the evaluation semantics), so they
+        certify.
      2. witness pass — where the lattice answers "no", that answer is
-        conservative and proves nothing.  We synthesize candidate
-        calls from the atoms of the filters under test, and accept a
+        conservative and proves nothing.  [Diff] synthesizes candidate
+        calls from the atoms of the filters under test, and accepts a
         candidate only when [Filter_eval] semantically confirms it
         (admitted by the manifest side, escaping the bound).  Only a
         confirmed call refutes.
@@ -19,9 +20,18 @@
    Assertions combine in three-valued logic: the lattice's
    conservative "false" must not flip into a false positive under
    [NOT] (the repair engine's boolean [eval_assert] is unsound there —
-   which is precisely why verification cannot reuse it). *)
+   which is precisely why verification cannot reuse it).
 
-open Shield_openflow
+   On top of the obligations, the certificate carries a *minimality*
+   dimension over the reconciliation repairs (ISSUE 10): for every
+   truncation, the least repair the lattice admits is recomputed —
+   MEET(original, boundary) for boundary violations, original \
+   second-exclusive-set for exclusions — and [Diff] decides whether
+   the actual repair stripped behaviour the least repair would have
+   kept.  A confirmed call in that gap is Slack; a provably empty gap
+   on every repair is Minimal; anything else fails closed to
+   Unknown_minimality. *)
+
 module M = Shield_controller.Metrics
 module Api = Shield_controller.Api
 module J = Shield_controller.Telemetry.Json
@@ -45,6 +55,11 @@ type status = Holds | Refuted_by of counterexample list | Unknown of string
 
 type obligation = { index : int; stmt : Policy.stmt; status : status }
 
+type minimality =
+  | Minimal
+  | Slack of witness list
+  | Unknown_minimality of string
+
 type crosscheck = {
   replayed : int;
   checkers_agree : bool;
@@ -60,6 +75,7 @@ type verdict =
 
 type certificate = {
   verdict : verdict;
+  minimality : minimality;
   obligations : obligation list;
   crosscheck : crosscheck;
   spent : Budget.spent;
@@ -69,344 +85,50 @@ type certificate = {
 let pure = Filter_eval.pure_env
 let eval_f f attrs = Filter_eval.eval pure f attrs
 
-(* Candidate synthesis ------------------------------------------------------
+(* Witness synthesis ---------------------------------------------------------
 
-   A witness search enumerates concrete calls and keeps the first one
-   [Filter_eval] confirms.  The candidate space is seeded from the
-   atoms of the filters under comparison: every predicate contributes
-   its exact value, its subnet form and a value just outside its
-   range; priority bounds contribute their boundary and the first
-   value past it; topology sets contribute members and a non-member;
-   and so on.  For a violated obligation the violating region is
-   almost always delimited by the atoms of the two filters, so this
-   small atom-derived frontier finds the witness without anything like
-   SMT.  Every candidate costs one budget tick; searches are also
-   hard-capped, so adversarial filters degrade to Unknown instead of
-   to a scan. *)
+   The candidate machinery lives in [Diff]; verification wraps its
+   anonymous witnesses into certificate witnesses that carry the
+   manifests the claim is about. *)
 
-type cand_val = C_ipm of Match_fields.ip_match | C_int of int
+(** A [Diff.diff ml mr] witness: admitted by [ml], escapes [mr]. *)
+let escape_of (ml : Perm.manifest) (mr : Perm.manifest) (w : Diff.witness) :
+    witness =
+  { token = w.Diff.token;
+    call = w.Diff.call;
+    admitted_by = ml;
+    escapes = Some mr;
+    explanation =
+      Fmt.str "admitted by %a (%s) but not by the bound (%s)" Token.pp
+        w.Diff.token w.Diff.why_left w.Diff.why_right }
 
-type cands = {
-  mutable per_field : (Filter.field * cand_val) list;
-  mutable prios : int list;
-  mutable dpids : int list;
-  mutable actsets : Action.t list list;
-  mutable levels : Stats.level list;
-}
-
-let add_uniq x xs = if List.mem x xs then xs else xs @ [ x ]
-
-let set_field_for (f : Filter.field) : Action.set_field option =
-  match f with
-  | Filter.F_eth_src -> Some (Action.Set_dl_src 0xBEEF)
-  | Filter.F_eth_dst -> Some (Action.Set_dl_dst 0xBEEF)
-  | Filter.F_ip_src -> Some (Action.Set_nw_src 0x0A000063l)
-  | Filter.F_ip_dst -> Some (Action.Set_nw_dst 0x0A000063l)
-  | Filter.F_tcp_src -> Some (Action.Set_tp_src 4242)
-  | Filter.F_tcp_dst -> Some (Action.Set_tp_dst 4242)
-  | _ -> None
-
-let harvest (filters : Filter.expr list) : cands =
-  let c =
-    { per_field = []; prios = []; dpids = []; actsets = []; levels = [] }
-  in
-  let add_field f v = c.per_field <- add_uniq (f, v) c.per_field in
-  let one (s : Filter.singleton) =
-    match s with
-    | Filter.Pred { field; value = Filter.V_ip a; mask } ->
-      let m = Option.value mask ~default:0xFFFFFFFFl in
-      add_field field (C_ipm (Match_fields.exact_ip a));
-      add_field field (C_ipm { Match_fields.addr = Int32.logand a m; mask = m });
-      (* A value just outside the range: flip one bit the mask fixes. *)
-      if m <> 0l then begin
-        let bit = Int32.logand m (Int32.neg m) in
-        add_field field (C_ipm (Match_fields.exact_ip (Int32.logxor a bit)))
-      end
-    | Filter.Pred { field; value = Filter.V_int v; _ } ->
-      add_field field (C_int v);
-      add_field field (C_int (v + 1))
-    | Filter.Wildcard { field; mask } when Filter.is_ip_field field ->
-      (* Constrains the field while keeping the mask bits wildcarded. *)
-      add_field field
-        (C_ipm { Match_fields.addr = 0l; mask = Int32.lognot mask })
-    | Filter.Wildcard _ -> ()
-    | Filter.Max_priority n ->
-      c.prios <- add_uniq n c.prios;
-      if n < 65535 then c.prios <- add_uniq (n + 1) c.prios
-    | Filter.Min_priority n ->
-      c.prios <- add_uniq n c.prios;
-      if n > 0 then c.prios <- add_uniq (n - 1) c.prios
-    | Filter.Phys_topo { switches; _ } ->
-      Option.iter
-        (fun d -> c.dpids <- add_uniq d c.dpids)
-        (Filter.Int_set.min_elt_opt switches);
-      Option.iter
-        (fun d ->
-          c.dpids <- add_uniq d c.dpids;
-          c.dpids <- add_uniq (d + 1) c.dpids)
-        (Filter.Int_set.max_elt_opt switches)
-    | Filter.Virt_topo Filter.Single_big_switch ->
-      c.dpids <- add_uniq Filter_eval.virtual_big_switch_dpid c.dpids
-    | Filter.Virt_topo (Filter.Switch_groups groups) ->
-      List.iter (fun (_, vid) -> c.dpids <- add_uniq vid c.dpids) groups
-    | Filter.Stats_level l -> c.levels <- add_uniq l c.levels
-    | Filter.Action_f Filter.A_drop -> c.actsets <- add_uniq [] c.actsets
-    | Filter.Action_f Filter.A_forward ->
-      c.actsets <- add_uniq [ Action.Output 2 ] c.actsets
-    | Filter.Action_f (Filter.A_modify f) ->
-      let set =
-        match set_field_for f with
-        | Some sf -> [ Action.Set sf; Action.Output 2 ]
-        | None -> [ Action.Output 2 ]
-      in
-      c.actsets <- add_uniq set c.actsets
-    | Filter.Max_rule_count _ | Filter.Pkt_out _ | Filter.Owner _
-    | Filter.Callback _ | Filter.Macro _ ->
-      ()
-  in
-  List.iter (fun f -> Filter.fold_atoms (fun () s -> one s) () f) filters;
-  (* Defaults keep every dimension inhabited even when no atom names
-     it, so unconstrained sides still yield candidates. *)
-  c.prios <- add_uniq 100 c.prios;
-  c.dpids <- add_uniq 1 c.dpids;
-  c.actsets <- add_uniq [ Action.Output 2 ] c.actsets;
-  c.actsets <- add_uniq [] c.actsets;
-  c.actsets <- add_uniq [ Action.To_controller ] c.actsets;
-  c.levels <- add_uniq Stats.Flow_level c.levels;
-  c.levels <- add_uniq Stats.Switch_level c.levels;
-  c
-
-(* Match-record assignments: the cartesian product of {absent, each
-   candidate value} over the fields that have candidates.  Lazy
-   ([Seq]), widest dimension last, capped by the search driver. *)
-let match_seq (c : cands) : Match_fields.t Seq.t =
-  let fields =
-    List.fold_left
-      (fun acc (f, _) -> if List.mem f acc then acc else acc @ [ f ])
-      [] c.per_field
-  in
-  let fields = List.filteri (fun i _ -> i < 6) fields in
-  let values f =
-    List.filter_map
-      (fun (f', v) -> if f' = f then Some v else None)
-      c.per_field
-  in
-  let apply (m : Match_fields.t) f (v : cand_val) : Match_fields.t =
-    match (f, v) with
-    | Filter.F_ip_src, C_ipm im -> { m with Match_fields.nw_src = Some im }
-    | Filter.F_ip_dst, C_ipm im -> { m with Match_fields.nw_dst = Some im }
-    | Filter.F_tcp_src, C_int v -> { m with Match_fields.tp_src = Some v }
-    | Filter.F_tcp_dst, C_int v -> { m with Match_fields.tp_dst = Some v }
-    | Filter.F_eth_src, C_int v -> { m with Match_fields.dl_src = Some v }
-    | Filter.F_eth_dst, C_int v -> { m with Match_fields.dl_dst = Some v }
-    | Filter.F_in_port, C_int v -> { m with Match_fields.in_port = Some v }
-    | Filter.F_eth_type, C_int v ->
-      { m with Match_fields.dl_type = Some (Types.eth_type_of_code v) }
-    | Filter.F_ip_proto, C_int v ->
-      { m with Match_fields.nw_proto = Some (Types.ip_proto_of_code v) }
-    | Filter.F_vlan, C_int v -> { m with Match_fields.dl_vlan = Some v }
-    | _ -> m
-  in
-  let rec go fields (m : Match_fields.t) : Match_fields.t Seq.t =
-    match fields with
-    | [] -> Seq.return m
-    | f :: rest ->
-      Seq.concat_map
-        (fun v_opt ->
-          let m' = match v_opt with None -> m | Some v -> apply m f v in
-          go rest m')
-        (List.to_seq (None :: List.map Option.some (values f)))
-  in
-  go fields Match_fields.wildcard_all
-
-let seq_prod (xs : 'a list) (f : 'a -> 'b Seq.t) : 'b Seq.t =
-  Seq.concat_map f (List.to_seq xs)
-
-let ip_cands (c : cands) field ~default : Types.ipv4 list =
-  let vs =
-    List.filter_map
-      (function
-        | f, C_ipm im when f = field -> Some im.Match_fields.addr
-        | _ -> None)
-      c.per_field
-  in
-  if vs = [] then [ default ] else vs
-
-let int_cands (c : cands) field ~default : int list =
-  let vs =
-    List.filter_map
-      (function f, C_int v when f = field -> Some v | _ -> None)
-      c.per_field
-  in
-  if vs = [] then [ default ] else vs
-
-let packets (c : cands) : Packet.t list =
-  let dsts = ip_cands c Filter.F_ip_dst ~default:0x0A000001l in
-  let srcs = ip_cands c Filter.F_ip_src ~default:0x0A000009l in
-  let tp_dsts = int_cands c Filter.F_tcp_dst ~default:80 in
-  let tcps =
-    List.concat_map
-      (fun nw_dst ->
-        List.map
-          (fun tp_dst ->
-            Packet.tcp ~src:1 ~dst:2 ~nw_src:(List.hd srcs) ~nw_dst
-              ~tp_src:1234 ~tp_dst ())
-          (List.filteri (fun i _ -> i < 3) tp_dsts))
-      (List.filteri (fun i _ -> i < 3) dsts)
-  in
-  Packet.arp ~src:1 ~dst:2 () :: tcps
-
-(* All candidate calls for [token], as a lazy sequence. *)
-let calls_for (c : cands) (token : Token.t) : Api.call Seq.t =
-  let matches () = match_seq c in
-  let install mk =
-    seq_prod c.prios (fun p ->
-        seq_prod c.dpids (fun d ->
-            seq_prod c.actsets (fun al ->
-                Seq.map (fun m -> mk p d al m) (matches ()))))
-  in
-  match token with
-  | Token.Insert_flow ->
-    install (fun p d al m ->
-        Api.Install_flow (d, Flow_mod.add ~priority:p ~match_:m ~actions:al ()))
-  | Token.Delete_flow ->
-    seq_prod c.prios (fun p ->
-        seq_prod c.dpids (fun d ->
-            Seq.map
-              (fun m ->
-                Api.Install_flow (d, Flow_mod.delete ~priority:p ~match_:m ()))
-              (matches ())))
-  | Token.Read_flow_table ->
-    seq_prod (None :: List.map Option.some c.dpids) (fun dpid ->
-        Seq.cons
-          (Api.Read_flow_table { dpid; pattern = None })
-          (Seq.map
-             (fun m -> Api.Read_flow_table { dpid; pattern = Some m })
-             (matches ())))
-  | Token.Visible_topology -> Seq.return Api.Read_topology
-  | Token.Modify_topology ->
-    seq_prod c.dpids (fun d -> Seq.return (Api.Modify_topology (Api.Add_switch d)))
-  | Token.Read_statistics ->
-    Seq.append
-      (seq_prod c.levels (fun level ->
-           seq_prod (None :: List.map Option.some c.dpids) (fun dpid ->
-               Seq.cons
-                 (Api.Read_stats (Stats.request ?dpid level))
-                 (Seq.map
-                    (fun m ->
-                      Api.Read_stats (Stats.request ?dpid ~match_filter:m level))
-                    (matches ())))))
-      (Seq.return (Api.Receive_event Api.E_stats))
-  | Token.Flow_event -> Seq.return (Api.Receive_event Api.E_flow)
-  | Token.Topology_event -> Seq.return (Api.Receive_event Api.E_topology)
-  | Token.Error_event -> Seq.return (Api.Receive_event Api.E_error)
-  | Token.Pkt_in_event -> Seq.return (Api.Receive_event Api.E_packet_in)
-  | Token.Read_payload -> Seq.return Api.Read_payload_access
-  | Token.Send_pkt_out ->
-    seq_prod c.dpids (fun dpid ->
-        seq_prod [ true; false ] (fun from_pkt_in ->
-            Seq.map
-              (fun packet ->
-                Api.Send_packet_out { dpid; port = 2; packet; from_pkt_in })
-              (List.to_seq (packets c))))
-  | Token.Host_network ->
-    seq_prod (ip_cands c Filter.F_ip_dst ~default:0x0A000001l) (fun dst ->
-        seq_prod (int_cands c Filter.F_tcp_dst ~default:80) (fun dst_port ->
-            Seq.return (Api.Syscall (Api.Net_connect { dst; dst_port; payload = "" }))))
-  | Token.File_system ->
-    List.to_seq
-      [ Api.Syscall (Api.File_open { path = "/etc/app.conf"; write = false });
-        Api.Syscall (Api.File_open { path = "/etc/app.conf"; write = true }) ]
-  | Token.Process_runtime -> Seq.return (Api.Syscall (Api.Spawn_process "helper"))
-
-let max_candidates = 4096
-
-(** First candidate call of [token]'s kind whose attributes satisfy
-    [goal], with candidates harvested from [filters].  One budget tick
-    per candidate; hard-capped. *)
-let find_call ~(filters : Filter.expr list) (token : Token.t)
-    ~(goal : Attrs.t -> bool) : (Api.call * Attrs.t) option =
-  let cands = harvest filters in
-  let seq = calls_for cands token in
-  let rec scan n seq =
-    if n >= max_candidates then None
-    else
-      match seq () with
-      | Seq.Nil -> None
-      | Seq.Cons (call, rest) ->
-        Budget.step ();
-        let attrs = Attrs.of_call call in
-        if goal attrs then Some (call, attrs) else scan (n + 1) rest
-  in
-  scan 0 seq
-
-(* Witness synthesis --------------------------------------------------------- *)
-
-(** A call admitted by [ml] (token + filter) that [mr] does not admit.
-    Proves semantic non-inclusion [ml ⊄ mr]. *)
-let escape_witness (ml : Perm.manifest) (mr : Perm.manifest) : witness option =
-  List.find_map
-    (fun (p : Perm.t) ->
-      let token = p.Perm.token in
-      let fl = p.Perm.filter in
-      let fr = Perm.filter_of mr token in
-      let goal attrs = eval_f fl attrs && not (eval_f fr attrs) in
-      match find_call ~filters:[ fl; fr ] token ~goal with
-      | None -> None
-      | Some (call, attrs) ->
-        let _, why_in = Filter_eval.explain pure fl attrs in
-        let _, why_out = Filter_eval.explain pure fr attrs in
-        Some
-          { token; call; admitted_by = ml; escapes = Some mr;
-            explanation =
-              Fmt.str "admitted by %a (%s) but not by the bound (%s)" Token.pp
-                token why_in why_out })
-    ml
-
-(** A call admitted by both [m] and [mx]: semantic possession of the
-    exclusive set [mx] by the app holding [m]. *)
-let overlap_witness (m : Perm.manifest) (mx : Perm.manifest) : witness option =
-  List.find_map
-    (fun (p : Perm.t) ->
-      let token = p.Perm.token in
-      let fm = p.Perm.filter in
-      let fx = Perm.filter_of mx token in
-      if fx = Filter.False then None
-      else
-        let goal attrs = eval_f fm attrs && eval_f fx attrs in
-        match find_call ~filters:[ fm; fx ] token ~goal with
-        | None -> None
-        | Some (call, attrs) ->
-          let _, why_m = Filter_eval.explain pure fm attrs in
-          let _, why_x = Filter_eval.explain pure fx attrs in
-          Some
-            { token; call; admitted_by = m; escapes = None;
-              explanation =
-                Fmt.str
-                  "admitted by the app's %a grant (%s) and by the exclusive \
-                   set (%s)"
-                  Token.pp token why_m why_x })
-    m
+(** A [Diff.overlap m mx] witness: admitted by both sides. *)
+let overlap_of (m : Perm.manifest) (w : Diff.witness) : witness =
+  { token = w.Diff.token;
+    call = w.Diff.call;
+    admitted_by = m;
+    escapes = None;
+    explanation =
+      Fmt.str "admitted by the app's %a grant (%s) and by the exclusive set \
+               (%s)"
+        Token.pp w.Diff.token w.Diff.why_left w.Diff.why_right }
 
 (* Obligation checking ------------------------------------------------------- *)
 
-(** [check_le stmt app ml mr] — the obligation [ml <= mr].  Positive
-    lattice answers certify (sound); otherwise only a semantically
-    confirmed escape refutes; otherwise unknown (fail closed). *)
+(** [check_le stmt app ml mr] — the obligation [ml <= mr].  [Diff]'s
+    [Empty] certifies (sound lattice proof); a confirmed escape
+    refutes; [Unknown] stays unknown (fail closed). *)
 let check_le stmt app (ml : Perm.manifest) (mr : Perm.manifest) : status =
-  if Inclusion.manifest_includes mr ml then Holds
-  else
-    match escape_witness ml mr with
-    | Some w ->
-      Refuted_by
-        [ { stmt; app; witnesses = [ w ];
-            detail =
-              Fmt.str "%a: %a call escapes the bound" Policy.pp_stmt stmt
-                Token.pp w.token } ]
-    | None ->
-      Unknown
-        "inclusion not provable (Algorithm 1 is incomplete) and no \
-         counterexample call found"
+  match Diff.diff ~max_witnesses:1 ml mr with
+  | Diff.Empty -> Holds
+  | Diff.Nonempty ws ->
+    Refuted_by
+      [ { stmt; app;
+          witnesses = List.map (escape_of ml mr) (Diff.dedup ws);
+          detail =
+            Fmt.str "%a: %a call escapes the bound" Policy.pp_stmt stmt
+              Token.pp (List.hd ws).Diff.token } ]
+  | Diff.Unknown r -> Unknown r
 
 let combine_eq a b =
   match (a, b) with
@@ -417,13 +139,22 @@ let combine_eq a b =
 
 (** Strict comparison: on top of a certified [ml <= mr], strictness
     needs a semantic witness in [mr \ ml] — the lattice's negative
-    answer to [mr <= ml] is conservative and proves nothing. *)
+    answer to [mr <= ml] is conservative and proves nothing.  A
+    provably empty difference means the sides are equal, so strictness
+    definitely fails — but a failed strict comparison has no
+    single-call counterexample and [Refuted_by] promises one, so that
+    too stays unknown. *)
 let check_strict stmt app ml mr : status =
   match check_le stmt app ml mr with
   | Holds -> (
-    match escape_witness mr ml with
-    | Some _ -> Holds
-    | None ->
+    match Diff.diff ~max_witnesses:1 mr ml with
+    | Diff.Nonempty _ -> Holds
+    | Diff.Empty ->
+      Unknown
+        "inclusion holds both ways (the sides are provably equal), so the \
+         strict comparison fails — but a strictness failure has no \
+         call-level counterexample"
+    | Diff.Unknown _ ->
       Unknown
         "inclusion holds but strictness is not witnessed (no call found in \
          the difference)")
@@ -480,7 +211,7 @@ let rec eval3 env stmt (ae : Policy.assert_expr) : tv =
     match eval3 env stmt a with
     | F _ -> T (* operand semantically refuted ⇒ negation holds *)
     | T ->
-      (* The negated operand certifiably holds, so this assertion is
+      (* The negated comparison certifiably holds, so this assertion is
          false — but a negated obligation has no single-call
          counterexample, and Refuted promises one.  Fail closed. *)
       U
@@ -495,21 +226,21 @@ let check_exclusive env stmt p1 p2 : status =
     let refuted, unknowns =
       List.fold_left
         (fun (refuted, unknowns) (name, m) ->
-          (* [manifests_overlap] = false is a sound emptiness proof, so
+          (* [Diff.overlap]'s [Empty] is a sound emptiness proof, so
              either non-overlap certifies this app. *)
-          if
-            (not (Inclusion.manifests_overlap m m1))
-            || not (Inclusion.manifests_overlap m m2)
-          then (refuted, unknowns)
-          else
-            match (overlap_witness m m1, overlap_witness m m2) with
-            | Some w1, Some w2 ->
-              ( { stmt; app = Some name; witnesses = [ w1; w2 ];
+          match Diff.overlap ~max_witnesses:1 m m1 with
+          | Diff.Empty -> (refuted, unknowns)
+          | o1 -> (
+            match (o1, Diff.overlap ~max_witnesses:1 m m2) with
+            | _, Diff.Empty -> (refuted, unknowns)
+            | Diff.Nonempty (w1 :: _), Diff.Nonempty (w2 :: _) ->
+              ( { stmt; app = Some name;
+                  witnesses = [ overlap_of m w1; overlap_of m w2 ];
                   detail =
                     Fmt.str
                       "app %s holds behaviours from both exclusive sets (%a, \
                        %a)"
-                      name Token.pp w1.token Token.pp w2.token }
+                      name Token.pp w1.Diff.token Token.pp w2.Diff.token }
                 :: refuted,
                 unknowns )
             | _ ->
@@ -518,12 +249,99 @@ let check_exclusive env stmt p1 p2 : status =
                   "app %s: overlap with both exclusive sets is neither \
                    provably empty nor witnessed"
                   name
-                :: unknowns ))
+                :: unknowns )))
         ([], []) (Reconcile.Env.apps env)
     in
     if refuted <> [] then Refuted_by (List.rev refuted)
     else if unknowns <> [] then Unknown (String.concat "; " (List.rev unknowns))
     else Holds
+
+(* Minimality of repair -------------------------------------------------------
+
+   Sufficiency (the obligations above) says the repaired manifests
+   satisfy the policy; minimality says repair did not over-truncate.
+   The least repair the lattice admits is recomputed independently of
+   [Reconcile]'s simplification step, so a bug there — or a torn
+   [after] recorded in the report — shows up as a confirmed Slack
+   call. *)
+
+(** The least repair for one truncation, recomputed from the
+    violation's [before] manifest and the statement's own bound. *)
+let least_repair env (v : Reconcile.violation) : (Perm.manifest, string) result
+    =
+  match (v.Reconcile.action, v.Reconcile.stmt) with
+  | ( Reconcile.Truncated_to_boundary,
+      Policy.Assert (Policy.A_cmp (_, (Policy.C_le | Policy.C_lt), rhs)) ) -> (
+    match Reconcile.Env.manifest_of env rhs with
+    | Ok (bound, _) -> Ok (Perm_ops.meet v.Reconcile.before bound)
+    | Error msg -> Error ("boundary evaluation: " ^ msg))
+  | Reconcile.Truncated_to_boundary, _ ->
+    Error "boundary truncation recorded on an unrecognized statement shape"
+  | Reconcile.Truncated_exclusive, Policy.Assert_exclusive (_, p2) -> (
+    match Reconcile.Env.manifest_of env p2 with
+    | Ok (m2, _) -> Ok (Perm_ops.subtract v.Reconcile.before m2)
+    | Error msg -> Error ("exclusive-set evaluation: " ^ msg))
+  | Reconcile.Truncated_exclusive, _ ->
+    Error "exclusive truncation recorded on an unrecognized statement shape"
+  | (Reconcile.Alert_only | Reconcile.Policy_error), _ ->
+    Error "not a truncation repair"
+
+let slack_of ~least ~(after : Perm.manifest) (w : Diff.witness) : witness =
+  { token = w.Diff.token;
+    call = w.Diff.call;
+    admitted_by = least;
+    escapes = Some after;
+    explanation =
+      Fmt.str
+        "allowed by the least repair for %a (%s) but stripped by the actual \
+         repair (%s)"
+        Token.pp w.Diff.token w.Diff.why_left w.Diff.why_right }
+
+(** Fold the per-repair verdicts: any confirmed Slack wins (the repair
+    provably stripped legitimate behaviour); otherwise any [Unknown]
+    sticks (fail closed); only all-[Empty] — including the vacuous
+    no-repairs case — is [Minimal]. *)
+let check_minimality env (repairs : Reconcile.violation list) : minimality =
+  let slack = ref [] in
+  let unknown = ref None in
+  let note_unknown r = if !unknown = None then unknown := Some r in
+  List.iter
+    (fun (v : Reconcile.violation) ->
+      match v.Reconcile.action with
+      | Reconcile.Alert_only | Reconcile.Policy_error -> ()
+      | Reconcile.Truncated_to_boundary | Reconcile.Truncated_exclusive -> (
+        let analyze () =
+          match least_repair env v with
+          | Error msg -> note_unknown msg
+          | Ok least -> (
+            match Diff.diff least v.Reconcile.after with
+            | Diff.Empty -> ()
+            | Diff.Nonempty ws ->
+              slack :=
+                !slack
+                @ List.map (slack_of ~least ~after:v.Reconcile.after) ws
+            | Diff.Unknown r -> note_unknown r)
+        in
+        (* [Diff.diff] never raises, but recomputing the least repair
+           ([Env.manifest_of], [Perm_ops.meet]/[subtract]) ticks the
+           budget and normalizes filters. *)
+        match analyze () with
+        | () -> ()
+        | exception Budget.Exhausted { reason; _ } ->
+          note_unknown ("budget exhausted: " ^ reason)
+        | exception Nf.Too_large ->
+          note_unknown "normal form too large; minimality degraded"
+        | exception Stack_overflow ->
+          note_unknown "stack overflow during minimality analysis"
+        | exception exn ->
+          note_unknown ("internal error: " ^ Printexc.to_string exn)))
+    repairs;
+  match Diff.dedup ~cap:8 !slack with
+  | _ :: _ as ws -> Slack ws
+  | [] -> (
+    match !unknown with
+    | Some r -> Unknown_minimality r
+    | None -> Minimal)
 
 (* Checker cross-check ------------------------------------------------------- *)
 
@@ -567,7 +385,7 @@ let build_trio notes (m : Perm.manifest) : trio =
   { engine; compiled; automaton }
 
 let run_crosscheck ~(apps : (string * Perm.manifest) list)
-    ~(obligations : obligation list) : crosscheck =
+    ~(obligations : obligation list) ~(extra : witness list) : crosscheck =
   let notes = ref [] in
   let agree = ref true in
   let replayed = ref 0 in
@@ -592,16 +410,17 @@ let run_crosscheck ~(apps : (string * Perm.manifest) list)
     Option.iter (fun a -> one "automaton" (Automaton.check a)) trio.automaton
   in
   (* Every synthesized witness is replayed against the manifest that
-     admits it and (for boundary escapes) against the bound it escapes
-     — a differential test of all three checkers on exactly the calls
-     verification's verdict rests on. *)
+     admits it and (for boundary escapes and repair slack) against the
+     bound it escapes — a differential test of all three checkers on
+     exactly the calls verification's verdict rests on. *)
   let witnesses =
-    List.concat_map
-      (fun o ->
-        match o.status with
-        | Refuted_by cs -> List.concat_map (fun c -> c.witnesses) cs
-        | _ -> [])
-      obligations
+    extra
+    @ List.concat_map
+        (fun o ->
+          match o.status with
+          | Refuted_by cs -> List.concat_map (fun c -> c.witnesses) cs
+          | _ -> [])
+        obligations
   in
   List.iter
     (fun w ->
@@ -619,7 +438,7 @@ let run_crosscheck ~(apps : (string * Perm.manifest) list)
         List.filter_map
           (fun (p : Perm.t) ->
             let fl = p.Perm.filter in
-            find_call ~filters:[ fl ] p.Perm.token ~goal:(eval_f fl)
+            Diff.find_call ~filters:[ fl ] p.Perm.token ~goal:(eval_f fl)
             |> Option.map fst)
           m
       in
@@ -655,25 +474,42 @@ let run_crosscheck ~(apps : (string * Perm.manifest) list)
 
 (* Verdict counters ---------------------------------------------------------- *)
 
-type stats = { certified_n : int; refuted_n : int; unverified_n : int }
+type stats = {
+  certified_n : int;
+  refuted_n : int;
+  unverified_n : int;
+  minimal_n : int;
+  slack_n : int;
+  unknown_minimality_n : int;
+}
 
 let counters_mutex = Mutex.create ()
 let certified_c = ref 0
 let refuted_c = ref 0
 let unverified_c = ref 0
+let minimal_c = ref 0
+let slack_c = ref 0
+let unknown_min_c = ref 0
 let gauge_of_counter c () = { M.depth = !c; hwm = !c }
 
 let () =
   M.register_gauge "verify-certified" (gauge_of_counter certified_c);
   M.register_gauge "verify-refuted" (gauge_of_counter refuted_c);
-  M.register_gauge "verify-unverified" (gauge_of_counter unverified_c)
+  M.register_gauge "verify-unverified" (gauge_of_counter unverified_c);
+  M.register_gauge "verify-minimal" (gauge_of_counter minimal_c);
+  M.register_gauge "verify-slack" (gauge_of_counter slack_c);
+  M.register_gauge "verify-unknown-minimality" (gauge_of_counter unknown_min_c)
 
-let count_verdict v =
+let count_certificate cert =
   Mutex.lock counters_mutex;
-  (match v with
+  (match cert.verdict with
   | Certified -> incr certified_c
   | Refuted _ -> incr refuted_c
   | Unverified _ -> incr unverified_c);
+  (match cert.minimality with
+  | Minimal -> incr minimal_c
+  | Slack _ -> incr slack_c
+  | Unknown_minimality _ -> incr unknown_min_c);
   Mutex.unlock counters_mutex
 
 let stats () =
@@ -681,7 +517,10 @@ let stats () =
   let s =
     { certified_n = !certified_c;
       refuted_n = !refuted_c;
-      unverified_n = !unverified_c }
+      unverified_n = !unverified_c;
+      minimal_n = !minimal_c;
+      slack_n = !slack_c;
+      unknown_minimality_n = !unknown_min_c }
   in
   Mutex.unlock counters_mutex;
   s
@@ -691,6 +530,9 @@ let reset_stats () =
   certified_c := 0;
   refuted_c := 0;
   unverified_c := 0;
+  minimal_c := 0;
+  slack_c := 0;
+  unknown_min_c := 0;
   Mutex.unlock counters_mutex
 
 (* Driver -------------------------------------------------------------------- *)
@@ -702,8 +544,8 @@ let empty_crosscheck note =
     infer_traced = 0;
     crosscheck_notes = [ note ] }
 
-let verify ?limits ~(apps : (string * Perm.manifest) list) (policy : Policy.t) :
-    certificate =
+let verify ?limits ?(repairs = []) ~(apps : (string * Perm.manifest) list)
+    (policy : Policy.t) : certificate =
   let b = Budget.create ?limits () in
   let cert =
     match
@@ -742,9 +584,20 @@ let verify ?limits ~(apps : (string * Perm.manifest) list) (policy : Policy.t) :
                      in
                      Some { index; stmt; status })
           in
+          Budget.set_stage "minimality";
+          let minimality =
+            match check_minimality env repairs with
+            | m -> m
+            | exception Budget.Exhausted { reason; _ } ->
+              Unknown_minimality ("budget exhausted: " ^ reason)
+            | exception exn ->
+              Unknown_minimality
+                ("internal error: " ^ Printexc.to_string exn)
+          in
           Budget.set_stage "crosscheck";
+          let extra = match minimality with Slack ws -> ws | _ -> [] in
           let crosscheck =
-            match run_crosscheck ~apps ~obligations with
+            match run_crosscheck ~apps ~obligations ~extra with
             | cc -> cc
             | exception Budget.Exhausted { reason; _ } ->
               empty_crosscheck ("budget exhausted during cross-check: " ^ reason)
@@ -779,6 +632,7 @@ let verify ?limits ~(apps : (string * Perm.manifest) list) (policy : Policy.t) :
                 else Certified
           in
           { verdict;
+            minimality;
             obligations;
             crosscheck;
             spent = Budget.spent b;
@@ -787,23 +641,28 @@ let verify ?limits ~(apps : (string * Perm.manifest) list) (policy : Policy.t) :
     | cert -> cert
     | exception Budget.Exhausted { reason; _ } ->
       { verdict = Unverified ("budget exhausted: " ^ reason);
+        minimality = Unknown_minimality "verification aborted";
         obligations = [];
         crosscheck = empty_crosscheck "verification aborted";
         spent = Budget.spent b;
         notes = Budget.notes b }
     | exception exn ->
       { verdict = Unverified ("internal error: " ^ Printexc.to_string exn);
+        minimality = Unknown_minimality "verification aborted";
         obligations = [];
         crosscheck = empty_crosscheck "verification aborted";
         spent = Budget.spent b;
         notes = Budget.notes b }
   in
-  count_verdict cert.verdict;
+  count_certificate cert;
   cert
 
 let verify_report ?limits (policy : Policy.t) (report : Reconcile.report) :
     certificate =
-  let cert = verify ?limits ~apps:report.Reconcile.manifests policy in
+  let cert =
+    verify ?limits ~repairs:report.Reconcile.violations
+      ~apps:report.Reconcile.manifests policy
+  in
   match report.Reconcile.unresolved_macros with
   | [] -> cert
   | ms ->
@@ -821,6 +680,12 @@ let verdict_label cert =
   | Certified -> "certified"
   | Refuted _ -> "refuted"
   | Unverified _ -> "unverified"
+
+let minimality_label cert =
+  match cert.minimality with
+  | Minimal -> "minimal"
+  | Slack _ -> "slack"
+  | Unknown_minimality _ -> "unknown"
 
 (* Rendering ----------------------------------------------------------------- *)
 
@@ -847,14 +712,25 @@ let pp_obligation ppf (o : obligation) =
       | Refuted_by cs -> Fmt.pf ppf "@,%a" Fmt.(list pp_counterexample) cs)
     o.status
 
+let pp_minimality ppf = function
+  | Minimal -> Fmt.pf ppf "minimality: minimal (no repair stripped behaviour \
+                           the policy would have allowed)"
+  | Slack ws ->
+    Fmt.pf ppf "@[<v2>minimality: SLACK — %d call(s) the least repair keeps \
+                but the actual repair strips:@,%a@]"
+      (List.length ws)
+      Fmt.(list pp_witness)
+      ws
+  | Unknown_minimality r -> Fmt.pf ppf "minimality: unknown (%s)" r
+
 let pp_certificate ppf (cert : certificate) =
-  Fmt.pf ppf "@[<v>verdict: %s%a@,%a@,cross-check: %d replay(s), checkers %s, \
-              inference %s (%d call(s))%a%a@]"
+  Fmt.pf ppf "@[<v>verdict: %s%a@,%a@,%a@,cross-check: %d replay(s), checkers \
+              %s, inference %s (%d call(s))%a%a@]"
     (verdict_label cert)
     (fun ppf -> function
       | Unverified r -> Fmt.pf ppf " (%s)" r
       | _ -> ())
-    cert.verdict
+    cert.verdict pp_minimality cert.minimality
     Fmt.(list pp_obligation)
     cert.obligations cert.crosscheck.replayed
     (if cert.crosscheck.checkers_agree then "agree" else "DISAGREE")
@@ -892,6 +768,20 @@ let json_of_obligation (o : obligation) : J.t =
     | Refuted_by cs ->
       [ ("counterexamples", J.Arr (List.map json_of_counterexample cs)) ]))
 
+let json_of_minimality (m : minimality) : J.t =
+  J.Obj
+    (( "status",
+       J.Str
+         (match m with
+         | Minimal -> "minimal"
+         | Slack _ -> "slack"
+         | Unknown_minimality _ -> "unknown") )
+    ::
+    (match m with
+    | Minimal -> []
+    | Slack ws -> [ ("witnesses", J.Arr (List.map json_of_witness ws)) ]
+    | Unknown_minimality r -> [ ("reason", J.Str r) ]))
+
 let json_of_certificate (cert : certificate) : J.t =
   J.Obj
     [ ("verdict", J.Str (verdict_label cert));
@@ -899,6 +789,7 @@ let json_of_certificate (cert : certificate) : J.t =
         match cert.verdict with
         | Unverified r -> J.Str r
         | _ -> J.Null );
+      ("minimality", json_of_minimality cert.minimality);
       ("obligations", J.Arr (List.map json_of_obligation cert.obligations));
       ( "counterexamples",
         match cert.verdict with

@@ -3,8 +3,9 @@
     Reconciliation {e repairs} manifests; nothing in the repair path
     proves the result actually satisfies the policy.  This pass
     re-derives every [ASSERT] obligation over the filter lattice
-    (reusing {!Inclusion} + {!Nf} under the ambient {!Budget}
-    fail-degraded discipline) and classifies each:
+    (reusing {!Diff}'s sound-inclusion + witness-synthesis engine under
+    the ambient {!Budget} fail-degraded discipline) and classifies
+    each:
 
     - {b holds} — provable by Algorithm 1's sound inclusion (or, for
       mutual exclusions, by a provably empty overlap).  Because the
@@ -29,8 +30,20 @@
     refutations and sound positive proofs propagate through negation;
     everything else stays unknown.
 
+    Orthogonally to the verdict, the certificate carries a
+    {b minimality} dimension over the reconciliation repairs (the
+    least-repair check; docs/VERIFY.md "Minimality"): each truncation
+    is compared against the least repair the lattice admits —
+    MEET(original, boundary) for boundary violations, original minus
+    the second exclusive set for exclusions — via {!Diff.diff}.
+    [Minimal] means every gap is provably empty; [Slack] carries
+    confirmed calls the repair stripped although the policy would have
+    allowed them; everything else fails closed to
+    [Unknown_minimality].
+
     The pass never raises: internal errors, stack overflow and budget
-    exhaustion all surface as [Unverified]. *)
+    exhaustion all surface as [Unverified] (and
+    [Unknown_minimality]). *)
 
 open Shield_controller
 
@@ -40,11 +53,13 @@ type witness = {
   call : Api.call;
   admitted_by : Perm.manifest;
       (** Manifest whose filter {!Filter_eval} confirmed admits
-          [call] (under {!Filter_eval.pure_env}). *)
+          [call] (under {!Filter_eval.pure_env}); for slack witnesses,
+          the least repair. *)
   escapes : Perm.manifest option;
       (** The bound the call provably escapes ([None] for
           mutual-exclusion witnesses, which are admitted by both
-          sides instead). *)
+          sides instead); for slack witnesses, the over-truncated
+          repaired manifest. *)
   explanation : string;  (** Deciding clauses, via {!Filter_eval.explain}. *)
 }
 
@@ -66,11 +81,29 @@ type obligation = {
   status : status;
 }
 
+(** Least-repair certification over the reconciliation's truncation
+    repairs, folded across all of them (three-valued; [Slack]
+    dominates, then [Unknown_minimality], then [Minimal]). *)
+type minimality =
+  | Minimal
+      (** Every truncation's gap against its least repair is provably
+          empty ({!Diff.diff} = [Empty]); vacuously so when no repair
+          was performed. *)
+  | Slack of witness list
+      (** Confirmed calls ({!Diff.dedup}-bounded) allowed by the least
+          repair but denied by the actual repaired manifest — repair
+          stripped behaviour the policy would have kept. *)
+  | Unknown_minimality of string
+      (** Fail-closed: some gap was neither provably empty nor
+          witnessed (incompleteness, budget exhaustion, policy
+          evaluation error). *)
+
 (** Results of the semantic cross-checks run over the synthesized
     calls (see docs/VERIFY.md). *)
 type crosscheck = {
   replayed : int;
-      (** Witness-side replays performed across the three checkers. *)
+      (** Witness-side replays performed across the three checkers
+          (counterexample and slack witnesses alike). *)
   checkers_agree : bool;
       (** {!Engine}, {!Compiled} and {!Automaton} each matched the
           {!Filter_eval} expectation on every replay. *)
@@ -89,6 +122,9 @@ type verdict =
 
 type certificate = {
   verdict : verdict;
+  minimality : minimality;
+      (** Advisory least-repair dimension; does not gate the verdict
+          (promote it in CI with [verify --deny --minimal]). *)
   obligations : obligation list;  (** One per [ASSERT] statement. *)
   crosscheck : crosscheck;
   spent : Budget.spent;
@@ -97,37 +133,54 @@ type certificate = {
 
 val verify :
   ?limits:Budget.limits ->
+  ?repairs:Reconcile.violation list ->
   apps:(string * Perm.manifest) list ->
   Policy.t ->
   certificate
 (** Certify that [apps]' manifests satisfy every [ASSERT] /
-    [ASSERT EITHER] obligation of the policy.  Installs its own nested
-    {!Budget} scope (default {!Budget.default_limits}), so a caller
-    already inside a scope — {!Vetting} — degrades to [Unverified]
-    without burning its own admission budget.  Never raises. *)
+    [ASSERT EITHER] obligation of the policy.  [repairs] (default
+    none) are the reconciliation violations whose truncations the
+    minimality dimension audits.  Installs its own nested {!Budget}
+    scope (default {!Budget.default_limits}), so a caller already
+    inside a scope — {!Vetting} — degrades to [Unverified] without
+    burning its own admission budget.  Never raises. *)
 
 val verify_report : ?limits:Budget.limits -> Policy.t -> Reconcile.report -> certificate
-(** {!verify} over a reconciliation report's repaired manifests — the
-    "did repair actually work?" entry point.  Unresolved stub macros
-    are noted (their atoms deny-closed under evaluation). *)
+(** {!verify} over a reconciliation report's repaired manifests and
+    recorded repairs — the "did repair actually work, and did it take
+    no more than needed?" entry point.  Unresolved stub macros are
+    noted (their atoms deny-closed under evaluation). *)
 
 val certified : certificate -> bool
 
 val verdict_label : certificate -> string
 (** ["certified"], ["refuted"] or ["unverified"]. *)
 
+val minimality_label : certificate -> string
+(** ["minimal"], ["slack"] or ["unknown"]. *)
+
 val json_of_certificate : certificate -> Telemetry.Json.t
 (** Machine-readable rendering for the CLI's [--json] and CI. *)
 
 val pp_witness : Format.formatter -> witness -> unit
 val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_minimality : Format.formatter -> minimality -> unit
 val pp_certificate : Format.formatter -> certificate -> unit
 
 (** {1 Metrics} — process-wide per-verdict counters, registered as
     gauges [verify-certified] / [verify-refuted] / [verify-unverified]
-    so they ride into the {!Telemetry} snapshot. *)
+    and [verify-minimal] / [verify-slack] /
+    [verify-unknown-minimality] so they ride into the {!Telemetry}
+    snapshot. *)
 
-type stats = { certified_n : int; refuted_n : int; unverified_n : int }
+type stats = {
+  certified_n : int;
+  refuted_n : int;
+  unverified_n : int;
+  minimal_n : int;
+  slack_n : int;
+  unknown_minimality_n : int;
+}
 
 val stats : unit -> stats
 val reset_stats : unit -> unit

@@ -1,0 +1,187 @@
+(* Unit tests for the symbolic lattice-difference engine (lib/core/
+   diff.ml).  The fail-closed pinning mirrors the Inclusion fallback
+   directions in test_verify.ml: past budget exhaustion or normal-form
+   blow-up, [Diff.diff] must answer [Unknown] — never a false [Empty]
+   (the direction table lives in docs/VETTING.md §3). *)
+
+open Sdnshield
+module Hostile = Shield_workload.Hostile_gen
+
+let manifest src =
+  match Perm_parser.manifest_of_string src with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "test manifest does not parse: %s" e
+
+let pure = Filter_eval.pure_env
+
+let wide = [ { Perm.token = Token.Insert_flow; filter = Filter.True } ]
+
+let narrow () =
+  manifest "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0"
+
+let verdict_name = function
+  | Diff.Empty -> "Empty"
+  | Diff.Nonempty _ -> "Nonempty"
+  | Diff.Unknown _ -> "Unknown"
+
+(* Sound proofs ---------------------------------------------------------------- *)
+
+let test_empty_on_inclusion () =
+  (match Diff.diff (narrow ()) wide with
+  | Diff.Empty -> ()
+  | v -> Alcotest.failf "narrow \\ wide should prove Empty, got %s" (verdict_name v));
+  (* Disjoint token sets share no behaviour. *)
+  match Diff.overlap (manifest "PERM pkt_in_event") (narrow ()) with
+  | Diff.Empty -> ()
+  | v ->
+    Alcotest.failf "token-disjoint overlap should prove Empty, got %s"
+      (verdict_name v)
+
+(* Confirmed witnesses --------------------------------------------------------- *)
+
+let test_diff_witnesses_confirmed () =
+  match Diff.diff wide (narrow ()) with
+  | Diff.Nonempty (_ :: _ as ws) ->
+    List.iter
+      (fun (w : Diff.witness) ->
+        let attrs = Attrs.of_call w.Diff.call in
+        Alcotest.(check bool) "admitted by the left side" true
+          (Filter_eval.eval pure (Perm.filter_of wide w.Diff.token) attrs);
+        Alcotest.(check bool) "rejected by the right side" false
+          (Filter_eval.eval pure (Perm.filter_of (narrow ()) w.Diff.token) attrs);
+        Alcotest.(check bool) "left explanation present" true (w.Diff.why_left <> "");
+        Alcotest.(check bool) "right explanation present" true
+          (w.Diff.why_right <> ""))
+      ws
+  | v -> Alcotest.failf "True \\ 10/8 should be witnessed, got %s" (verdict_name v)
+
+let test_overlap_witnesses_confirmed () =
+  match Diff.overlap wide (narrow ()) with
+  | Diff.Nonempty (_ :: _ as ws) ->
+    List.iter
+      (fun (w : Diff.witness) ->
+        let attrs = Attrs.of_call w.Diff.call in
+        Alcotest.(check bool) "admitted by the left side" true
+          (Filter_eval.eval pure (Perm.filter_of wide w.Diff.token) attrs);
+        Alcotest.(check bool) "ALSO admitted by the right side" true
+          (Filter_eval.eval pure (Perm.filter_of (narrow ()) w.Diff.token) attrs))
+      ws
+  | v -> Alcotest.failf "True ∩ 10/8 should be witnessed, got %s" (verdict_name v)
+
+let test_witness_cap_respected () =
+  match Diff.diff ~max_witnesses:1 wide (narrow ()) with
+  | Diff.Nonempty ws ->
+    Alcotest.(check int) "max_witnesses caps the list" 1 (List.length ws)
+  | v -> Alcotest.failf "expected a single witness, got %s" (verdict_name v)
+
+(* Fail-closed directions (pins docs/VETTING.md §3) --------------------------- *)
+
+let test_exhaustion_is_unknown_never_empty () =
+  let b =
+    Budget.create ~limits:{ Budget.default_limits with Budget.max_steps = 1 } ()
+  in
+  (* Drain the scope so every tick inside [diff] raises... *)
+  (try
+     Budget.with_scope b (fun () ->
+         Budget.step ();
+         Budget.step ())
+   with Budget.Exhausted _ -> ());
+  (* ...then [diff] must absorb the exhaustion into [Unknown]: the true
+     answer here is Nonempty, so Empty would be an unsound proof and
+     Nonempty an un-metered search.  (Parse the manifest outside the
+     scope — the parser ticks the budget too.) *)
+  let n = narrow () in
+  match Budget.with_scope b (fun () -> Diff.diff wide n) with
+  | Diff.Unknown _ -> ()
+  | Diff.Empty -> Alcotest.fail "exhausted diff answered a false Empty"
+  | Diff.Nonempty _ -> Alcotest.fail "exhausted diff still searched for witnesses"
+  | exception exn ->
+    Alcotest.failf "diff raised instead of degrading: %s" (Printexc.to_string exn)
+
+let test_blowup_is_unknown_not_empty () =
+  (* cross_bomb's DNF is 6400 clauses, past Inclusion's 4096-clause
+     guard, so the (true) inclusion bomb ⊆ True is unprovable; and no
+     call can be admitted by the bomb yet rejected by [True], so no
+     witness exists either.  The only sound answer left is Unknown. *)
+  let bomb_m = Hostile.manifest_of_filter (Hostile.cross_bomb ~atoms:80) in
+  (match Diff.diff bomb_m wide with
+  | Diff.Unknown _ -> ()
+  | v ->
+    Alcotest.failf "unprovable-and-unwitnessable diff must be Unknown, got %s"
+      (verdict_name v));
+  (* The reflexive query dodges the blow-up through the syntactic
+     fast path: emptiness of p \ p is still proved. *)
+  match Diff.diff bomb_m bomb_m with
+  | Diff.Empty -> ()
+  | v -> Alcotest.failf "reflexive diff should prove Empty, got %s" (verdict_name v)
+
+let test_find_call_can_raise () =
+  (* The raw candidate engine deliberately does NOT absorb exhaustion —
+     that is [diff]'s job (diff.mli). *)
+  let b =
+    Budget.create ~limits:{ Budget.default_limits with Budget.max_steps = 1 } ()
+  in
+  (try
+     Budget.with_scope b (fun () ->
+         Budget.step ();
+         Budget.step ())
+   with Budget.Exhausted _ -> ());
+  let raised =
+    try
+      Budget.with_scope b (fun () ->
+          ignore
+            (Diff.find_call ~filters:[ Filter.True ] Token.Insert_flow
+               ~goal:(fun _ -> true)));
+      false
+    with Budget.Exhausted _ -> true
+  in
+  Alcotest.(check bool) "find_call propagates Budget.Exhausted" true raised
+
+(* Witness-list hygiene -------------------------------------------------------- *)
+
+let test_dedup_stable_and_capped () =
+  let x = ref 1 and y = ref 2 and z = ref 3 in
+  Alcotest.(check bool) "physical duplicates coalesce, order stable" true
+    (Diff.dedup [ x; y; x; z; y ] == [ x; y; z ]
+    || Diff.dedup [ x; y; x; z; y ] = [ x; y; z ]);
+  let first_of l = List.nth l 0 in
+  Alcotest.(check bool) "first occurrence wins" true
+    (first_of (Diff.dedup [ x; y; x ]) == x);
+  Alcotest.(check int) "explicit cap bounds the list" 3
+    (List.length (Diff.dedup ~cap:3 [ 1; 2; 3; 4; 5; 6 ]));
+  Alcotest.(check int) "default cap is 8" 8
+    (List.length (Diff.dedup (List.init 50 (fun i -> i))));
+  (* Structurally equal but physically distinct elements are kept:
+     dedup never drops a witness it cannot prove redundant. *)
+  Alcotest.(check int) "structural twins survive" 2
+    (List.length (Diff.dedup [ ref 7; ref 7 ]))
+
+let test_hostile_never_raises () =
+  for seed = 1 to 5 do
+    let manifest_src, _ = Hostile.assertion_heavy ~seed in
+    let m = manifest manifest_src in
+    match (Diff.diff m [], Diff.overlap m m) with
+    | _, _ -> ()
+    | exception exn ->
+      Alcotest.failf "diff/overlap raised on hostile seed %d: %s" seed
+        (Printexc.to_string exn)
+  done
+
+let suite =
+  [ Alcotest.test_case "Empty on provable inclusion" `Quick test_empty_on_inclusion;
+    Alcotest.test_case "diff witnesses confirmed both sides" `Quick
+      test_diff_witnesses_confirmed;
+    Alcotest.test_case "overlap witnesses admitted by both" `Quick
+      test_overlap_witnesses_confirmed;
+    Alcotest.test_case "max_witnesses caps the list" `Quick
+      test_witness_cap_respected;
+    Alcotest.test_case "exhaustion degrades to Unknown, never Empty" `Quick
+      test_exhaustion_is_unknown_never_empty;
+    Alcotest.test_case "normal-form blow-up degrades to Unknown" `Quick
+      test_blowup_is_unknown_not_empty;
+    Alcotest.test_case "find_call propagates exhaustion" `Quick
+      test_find_call_can_raise;
+    Alcotest.test_case "dedup is stable, physical, capped" `Quick
+      test_dedup_stable_and_capped;
+    Alcotest.test_case "hostile manifests never raise" `Quick
+      test_hostile_never_raises ]

@@ -63,8 +63,11 @@ let test_install_upgrade_revoke () =
          (Market.install "mon" "PERM read_statistics\nPERM insert_flow"))
   in
   Alcotest.(check int) "first commit is epoch 1" 1 c.epoch;
+  (* "verify:minimality:minimal" is the advisory pseudo-stage the
+     verify stage pushes so repair-minimality rides into txn spans. *)
   Alcotest.(check (list string)) "staged pipeline ran in order"
-    [ "vet"; "reconcile"; "lint"; "verify"; "compile"; "publish" ]
+    [ "vet"; "reconcile"; "lint"; "verify"; "verify:minimality:minimal";
+      "compile"; "publish" ]
     (List.map fst c.stages);
   (* The policy boundary truncated insert_flow away: the published
      record enforces the *reconciled* manifest. *)

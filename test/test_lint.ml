@@ -208,6 +208,59 @@ let test_overlapping_exclusive () =
   Alcotest.(check bool) "token-disjoint sides silent" false
     (Lint.has_rule Lint.Overlapping_exclusive fs)
 
+(* The Diff engine upgrades over-privilege and overlapping-exclusive
+   claims to confirmed witness calls, and the --deny gate counts
+   witness-bearing findings once per rule so the upgrade can never
+   flip an existing gate. *)
+let test_witnesses_and_gate_count () =
+  let m, trace = Pgen.over_privileged ~n:64 () in
+  let fs = Lint.lint_manifest ~trace m in
+  let op = List.filter (fun f -> f.Lint.rule = Lint.Over_privilege) fs in
+  Alcotest.(check bool) "some over-privilege finding carries a witness" true
+    (List.exists (fun f -> f.Lint.witnesses <> []) op);
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (w : Diff.witness) ->
+          Alcotest.(check bool) "witness call admitted by the audited grant"
+            true
+            (Filter_eval.eval Filter_eval.pure_env
+               (Perm.filter_of m w.Diff.token)
+               (Attrs.of_call w.Diff.call)))
+        f.Lint.witnesses)
+    op;
+  let fs = Lint.lint_policy (dirty_policy ()) in
+  Alcotest.(check bool) "overlapping-exclusive carries a confirmed overlap"
+    true
+    (List.exists
+       (fun f -> f.Lint.rule = Lint.Overlapping_exclusive && f.Lint.witnesses <> [])
+       fs);
+  (* gate_count: witness-bearing findings collapse to one per rule;
+     bare findings keep counting individually. *)
+  let mk rule witnesses =
+    { Lint.rule;
+      severity = Lint.Warn;
+      location = "here";
+      message = "msg";
+      suggestion = None;
+      witnesses }
+  in
+  let w =
+    match op with
+    | f :: _ when f.Lint.witnesses <> [] -> f.Lint.witnesses
+    | _ -> Alcotest.fail "no witness to build the gate_count fixture from"
+  in
+  let findings =
+    [ mk Lint.Over_privilege w;
+      mk Lint.Over_privilege w;
+      mk Lint.Over_privilege w;
+      mk Lint.Dead_binding [] ]
+  in
+  Alcotest.(check int) "plain count sees every finding" 4
+    (Lint.count Lint.Warn findings);
+  Alcotest.(check int) "gate_count collapses witnessed findings per rule" 2
+    (Lint.gate_count Lint.Warn findings)
+
 (* Toggles, budget, counters, renderers ---------------------------------------- *)
 
 let test_rule_toggle () =
@@ -367,6 +420,8 @@ let suite =
     Alcotest.test_case "dead bindings" `Quick test_dead_binding;
     Alcotest.test_case "self MEET/JOIN" `Quick test_self_meet_join;
     Alcotest.test_case "overlapping EITHER" `Quick test_overlapping_exclusive;
+    Alcotest.test_case "witness-bearing findings and gate_count" `Quick
+      test_witnesses_and_gate_count;
     Alcotest.test_case "rule toggles" `Quick test_rule_toggle;
     Alcotest.test_case "budget degrades to Info" `Quick
       test_budget_degrades_to_info;

@@ -23,6 +23,7 @@ let () =
       ("trace", Test_trace.suite);
       ("vetting", Test_vetting.suite);
       ("lint", Test_lint.suite);
+      ("diff", Test_diff.suite);
       ("verify", Test_verify.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("forensics", Test_forensics.suite);

@@ -170,6 +170,87 @@ let test_unrepairable_stays_refuted () =
       Alcotest.(check bool) "witness confirmed" true (witness_sound w))
     (witnesses_of cert)
 
+(* Minimality of repairs (docs/VERIFY.md "Minimality") ------------------------- *)
+
+(* A reconciliation report as a buggy repair pass would publish it:
+   the recorded Truncated_to_boundary repair [before -> after] strips
+   more than MEET(original, boundary). *)
+let overtruncated_report () =
+  let before = manifest (read_example "dirty.manifest") in
+  let after = manifest (read_example "overtruncated.manifest") in
+  let p = policy (read_example "dirty.policy") in
+  let stmt =
+    match List.find_opt (function Policy.Assert _ -> true | _ -> false) p with
+    | Some s -> s
+    | None -> Alcotest.fail "dirty.policy has no ASSERT statement"
+  in
+  ( p,
+    { Reconcile.manifests = [ ("app", after) ];
+      violations =
+        [ { Reconcile.stmt;
+            app = Some "app";
+            message = "simulated buggy boundary truncation";
+            action = Reconcile.Truncated_to_boundary;
+            before;
+            after } ];
+      unresolved_macros = [] } )
+
+let test_honest_repair_is_minimal () =
+  let m = manifest (read_example "dirty.manifest") in
+  let p = policy (read_example "dirty.policy") in
+  let report = Reconcile.run ~apps:[ ("app", m) ] p in
+  let cert = Verify.verify_report p report in
+  Alcotest.(check string) "reconcile's own repair certifies minimal" "minimal"
+    (Verify.minimality_label cert)
+
+let test_overtruncation_yields_slack () =
+  let p, report = overtruncated_report () in
+  let cert = Verify.verify_report p report in
+  match cert.Verify.minimality with
+  | Verify.Slack (_ :: _ as ws) ->
+    let before = manifest (read_example "dirty.manifest") in
+    let after = manifest (read_example "overtruncated.manifest") in
+    (* The boundary of dirty.policy's ASSERT, re-parsed from scratch. *)
+    let bound =
+      manifest
+        "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0 AND \
+         MAX_PRIORITY 32000\n\
+         PERM read_statistics\n\
+         PERM pkt_in_event"
+    in
+    let least = Perm_ops.meet before bound in
+    List.iter
+      (fun (w : Verify.witness) ->
+        Alcotest.(check bool) "slack witness sound as a witness" true
+          (witness_sound w);
+        let attrs = Attrs.of_call w.Verify.call in
+        Alcotest.(check bool) "allowed by MEET(original, boundary)" true
+          (Filter_eval.eval pure (Perm.filter_of least w.Verify.token) attrs);
+        Alcotest.(check bool) "denied by the published repair" false
+          (Filter_eval.eval pure (Perm.filter_of after w.Verify.token) attrs))
+      ws;
+    Alcotest.(check bool) "slack witnesses replay through the checkers" true
+      (cert.Verify.crosscheck.Verify.replayed > 0);
+    Alcotest.(check bool) "checkers agree on the slack witnesses" true
+      cert.Verify.crosscheck.Verify.checkers_agree
+  | Verify.Slack [] -> Alcotest.fail "Slack with an empty witness list"
+  | m -> Alcotest.failf "expected Slack, got %a" Verify.pp_minimality m
+
+let test_minimality_exhaustion_is_unknown () =
+  let p, report = overtruncated_report () in
+  let limits = { Budget.default_limits with Budget.max_steps = 2 } in
+  match Verify.verify_report ~limits p report with
+  | cert -> (
+    match cert.Verify.minimality with
+    | Verify.Unknown_minimality _ -> ()
+    | Verify.Minimal ->
+      Alcotest.fail "exhausted budget certified an over-truncation minimal"
+    | Verify.Slack _ ->
+      Alcotest.fail "exhausted budget still synthesized slack witnesses")
+  | exception exn ->
+    Alcotest.failf "verify_report raised under an exhausted budget: %s"
+      (Printexc.to_string exn)
+
 (* Fail-closed Inclusion fallbacks (the audit the verifier rests on) ----------- *)
 
 let test_inclusion_fallback_directions () =
@@ -230,7 +311,8 @@ let test_counters_reach_telemetry () =
     (fun name ->
       Alcotest.(check bool) (name ^ " gauge registered") true
         (List.mem_assoc name gauges))
-    [ "verify-certified"; "verify-refuted"; "verify-unverified" ]
+    [ "verify-certified"; "verify-refuted"; "verify-unverified";
+      "verify-minimal"; "verify-slack"; "verify-unknown-minimality" ]
 
 let test_json_rendering () =
   let m = manifest (read_example "dirty.manifest") in
@@ -240,9 +322,12 @@ let test_json_rendering () =
   match Telemetry.Json.of_string (Telemetry.Json.to_string json) with
   | Error e -> Alcotest.failf "certificate JSON does not re-parse: %s" e
   | Ok j -> (
-    match Telemetry.Json.member "verdict" j with
+    (match Telemetry.Json.member "verdict" j with
     | Some (Telemetry.Json.Str "refuted") -> ()
-    | _ -> Alcotest.fail "verdict field missing or wrong")
+    | _ -> Alcotest.fail "verdict field missing or wrong");
+    match Telemetry.Json.member "minimality" j with
+    | Some (Telemetry.Json.Obj _) -> ()
+    | _ -> Alcotest.fail "minimality field missing or wrong")
 
 (* Checker-composition regression (check --automaton --explain --cache):
    the CLI builds exactly this engine, so pin at the library layer
@@ -320,6 +405,95 @@ let qsuite =
           && cert.Verify.crosscheck.Verify.checkers_agree
         | Verify.Certified | Verify.Unverified _ -> true);
     QCheck.Test.make ~count:40
+      ~name:"slack witnesses are in MEET(original, boundary) \\ repaired"
+      (QCheck.pair QCheck.small_nat (QCheck.int_range 0 254))
+      (fun (seed, octet) ->
+        (* Reconcile a seeded manifest against a narrow boundary, then
+           corrupt every boundary repair by a further unjustified
+           truncation.  Whenever the minimality pass reports Slack,
+           each witness must be (re-derived from scratch) allowed by
+           MEET(original, boundary) and denied by the published
+           repaired manifest — and the certificate's cross-check must
+           have replayed it identically through Engine, Compiled and
+           Automaton. *)
+        let m = Test_util.manifest_exn (fst (Hostile.assertion_heavy ~seed)) in
+        let bound_src =
+          Printf.sprintf
+            "PERM insert_flow LIMITING IP_DST 10.%d.0.0 MASK 255.255.0.0 AND \
+             MAX_PRIORITY 500\n\
+             PERM read_statistics LIMITING FLOW_LEVEL\n\
+             PERM pkt_in_event"
+            octet
+        in
+        let p =
+          policy (Printf.sprintf "LET a = APP app\nASSERT a <= { %s }" bound_src)
+        in
+        let bound = Test_util.manifest_exn bound_src in
+        let cap =
+          Test_util.manifest_exn "PERM insert_flow LIMITING MAX_PRIORITY 1"
+        in
+        let report = Reconcile.run ~apps:[ ("app", m) ] p in
+        let corrupt mf = Perm_ops.simplify (Perm_ops.meet mf cap) in
+        let report =
+          { report with
+            Reconcile.manifests =
+              List.map (fun (a, mf) -> (a, corrupt mf)) report.Reconcile.manifests;
+            violations =
+              List.map
+                (fun (v : Reconcile.violation) ->
+                  if v.Reconcile.action = Reconcile.Truncated_to_boundary then
+                    { v with Reconcile.after = corrupt v.Reconcile.after }
+                  else v)
+                report.Reconcile.violations }
+        in
+        let cert = Verify.verify_report p report in
+        match cert.Verify.minimality with
+        | Verify.Slack ws ->
+          ws <> []
+          && List.for_all
+               (fun (w : Verify.witness) ->
+                 let attrs = Attrs.of_call w.Verify.call in
+                 let least =
+                   match
+                     List.find_opt
+                       (fun (v : Reconcile.violation) ->
+                         v.Reconcile.action = Reconcile.Truncated_to_boundary)
+                       report.Reconcile.violations
+                   with
+                   | Some v -> Perm_ops.meet v.Reconcile.before bound
+                   | None -> []
+                 in
+                 Filter_eval.eval pure
+                   (Perm.filter_of least w.Verify.token)
+                   attrs
+                 && not
+                      (Filter_eval.eval pure
+                         (Perm.filter_of
+                            (List.assoc "app" report.Reconcile.manifests)
+                            w.Verify.token)
+                         attrs))
+               ws
+          && cert.Verify.crosscheck.Verify.replayed > 0
+          && cert.Verify.crosscheck.Verify.checkers_agree
+        | Verify.Minimal | Verify.Unknown_minimality _ -> true);
+    QCheck.Test.make ~count:40
+      ~name:"minimality pass never raises on assertion-heavy repairs"
+      QCheck.small_nat
+      (fun seed ->
+        (* The full reconcile-then-verify path with the minimality
+           dimension enabled: [verify_report] must terminate with a
+           certificate on every hostile seed, whatever the verdict. *)
+        let manifest_src, policy_src = Hostile.assertion_heavy ~seed in
+        let m = Test_util.manifest_exn manifest_src in
+        let p =
+          match Policy_parser.of_string policy_src with
+          | Ok p -> p
+          | Error e -> QCheck.Test.fail_reportf "policy parse: %s" e
+        in
+        let report = Reconcile.run ~apps:[ ("app", m) ] p in
+        ignore (Verify.verify_report p report);
+        true);
+    QCheck.Test.make ~count:40
       ~name:"verify never raises on hostile filter ASTs"
       QCheck.(pair small_nat (int_range 1 120))
       (fun (seed, size) ->
@@ -348,6 +522,12 @@ let suite =
       test_exclusivity_refuted_with_two_witnesses;
     Alcotest.test_case "unrepairable violation stays refuted" `Quick
       test_unrepairable_stays_refuted;
+    Alcotest.test_case "honest repair certifies minimal" `Quick
+      test_honest_repair_is_minimal;
+    Alcotest.test_case "over-truncation yields confirmed Slack" `Quick
+      test_overtruncation_yields_slack;
+    Alcotest.test_case "minimality exhaustion degrades to Unknown" `Quick
+      test_minimality_exhaustion_is_unknown;
     Alcotest.test_case "Inclusion fallbacks stay fail-closed" `Quick
       test_inclusion_fallback_directions;
     Alcotest.test_case "vetting carries the certificate" `Quick
